@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation: collective-algorithm choice.
+ *
+ * The paper attributes the O(log p) vs O(p) startup split entirely
+ * to the algorithms the vendor MPIs picked (Section 8).  This bench
+ * swaps algorithms on a fixed machine (the SP2 model) and shows:
+ *
+ *  - broadcast: linear fan-out's O(p) startup vs binomial's
+ *    O(log p), and scatter+allgather's long-message win;
+ *  - barrier: linear vs binomial tree vs dissemination;
+ *  - alltoall: pairwise vs Bruck (Bruck wins for tiny m, loses for
+ *    large m) vs all-nonblocking linear;
+ *  - allgather: ring vs recursive doubling;
+ *  - reduce/gather: linear vs binomial;
+ *  - allreduce: reduce+bcast vs recursive doubling;
+ *  - scan: linear pipeline vs recursive doubling.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ccsim;
+using namespace ccsim::bench;
+
+namespace {
+
+void
+panel(const machine::MachineConfig &cfg, machine::Coll op,
+      const std::vector<machine::Algo> &algos,
+      const std::vector<Bytes> &lengths, const std::vector<int> &sizes)
+{
+    auto mopt = benchMeasureOptions();
+    std::printf("--- %s on %s ---\n", machine::collName(op).c_str(),
+                cfg.name.c_str());
+    for (Bytes m : lengths) {
+        TableWriter t;
+        std::vector<std::string> hdr{"p"};
+        for (auto a : algos)
+            hdr.push_back(machine::algoName(a));
+        t.header(hdr);
+        for (int p : sizes) {
+            std::vector<std::string> row{std::to_string(p)};
+            for (auto a : algos) {
+                auto meas =
+                    harness::measureCollective(cfg, p, op, m, a, mopt);
+                row.push_back(usCell(meas.us()));
+            }
+            t.row(row);
+        }
+        std::printf("  m = %s [us]\n", formatBytes(m).c_str());
+        t.print(std::cout);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    quietLogging(true);
+
+    printBanner("ABLATION — collective algorithm choice",
+                "Same machine model (SP2), different algorithms per "
+                "operation.");
+
+    auto cfg = machine::sp2Config();
+    std::vector<int> sizes = opts.quick
+                                 ? std::vector<int>{4, 16}
+                                 : std::vector<int>{4, 16, 64};
+    std::vector<Bytes> small_large =
+        opts.quick ? std::vector<Bytes>{64}
+                   : std::vector<Bytes>{64, 64 * KiB};
+
+    using machine::Algo;
+    using machine::Coll;
+
+    panel(cfg, Coll::Bcast,
+          {Algo::Linear, Algo::Binomial, Algo::ScatterAllgather},
+          small_large, sizes);
+    panel(cfg, Coll::Barrier,
+          {Algo::Linear, Algo::Binomial, Algo::Dissemination}, {0},
+          sizes);
+    panel(cfg, Coll::Alltoall,
+          {Algo::Linear, Algo::Pairwise, Algo::Bruck}, small_large,
+          sizes);
+    panel(cfg, Coll::Allgather, {Algo::Ring, Algo::RecursiveDoubling},
+          small_large, sizes);
+    panel(cfg, Coll::Gather, {Algo::Linear, Algo::Binomial},
+          small_large, sizes);
+    panel(cfg, Coll::Reduce, {Algo::Linear, Algo::Binomial},
+          small_large, sizes);
+    panel(cfg, Coll::Allreduce,
+          {Algo::ReduceBcast, Algo::RecursiveDoubling}, small_large,
+          sizes);
+    panel(cfg, Coll::Scan, {Algo::Linear, Algo::RecursiveDoubling},
+          small_large, sizes);
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Ablation: the special hardware the paper credits for each
+ * machine's signature behaviour.
+ *
+ *  - T3D hardwired barrier OFF -> the 3 us barrier becomes a
+ *    software dissemination barrier (the paper: "at least 30 times
+ *    faster than the SP2 or Paragon" with it on);
+ *  - T3D block-transfer engine OFF -> long-message transfers pay
+ *    the memory-copy path;
+ *  - Paragon message coprocessor OFF -> the sender eats the whole
+ *    injection copy and the long-message advantage over the SP2
+ *    shrinks.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ccsim;
+using namespace ccsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    quietLogging(true);
+
+    printBanner("ABLATION — special hardware mechanisms",
+                "T3D barrier tree & BLT; Paragon message "
+                "coprocessor.");
+
+    auto mopt = benchMeasureOptions();
+    std::vector<int> sizes = opts.quick
+                                 ? std::vector<int>{4, 16}
+                                 : std::vector<int>{4, 16, 64};
+
+    {
+        std::printf("--- T3D hardwired barrier [us] ---\n");
+        auto with_hw = machine::t3dConfig();
+        auto without = machine::t3dConfig();
+        without.hardware_barrier = false;
+        without.setAlgorithm(machine::Coll::Barrier,
+                             machine::Algo::Dissemination);
+        // Software barrier pays the same per-stage cost the other
+        // machines' MPICH-style barriers pay.
+        without.costsFor(machine::Coll::Barrier).per_stage =
+            microseconds(40);
+
+        TableWriter t;
+        t.header({"p", "hardwired", "software", "speedup"});
+        for (int p : sizes) {
+            auto hw = harness::measureCollective(
+                with_hw, p, machine::Coll::Barrier, 0,
+                machine::Algo::Default, mopt);
+            auto sw = harness::measureCollective(
+                without, p, machine::Coll::Barrier, 0,
+                machine::Algo::Default, mopt);
+            t.row({std::to_string(p), usCell(hw.us()), usCell(sw.us()),
+                   formatF(sw.us() / hw.us(), 1) + "x"});
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    {
+        std::printf("--- T3D block-transfer engine, broadcast [us] "
+                    "---\n");
+        auto with_blt = machine::t3dConfig();
+        auto without = machine::t3dConfig();
+        without.transport.blt_enabled = false;
+
+        TableWriter t;
+        t.header({"m", "BLT on", "BLT off", "saving"});
+        for (Bytes m : {Bytes(4 * KiB), Bytes(16 * KiB),
+                        Bytes(64 * KiB)}) {
+            auto on = harness::measureCollective(
+                with_blt, 32, machine::Coll::Bcast, m,
+                machine::Algo::Default, mopt);
+            auto off = harness::measureCollective(
+                without, 32, machine::Coll::Bcast, m,
+                machine::Algo::Default, mopt);
+            double save =
+                off.us() > 0 ? 100.0 * (off.us() - on.us()) / off.us()
+                             : 0;
+            t.row({formatBytes(m), usCell(on.us()), usCell(off.us()),
+                   formatF(save, 1) + "%"});
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    {
+        std::printf("--- Paragon message coprocessor [us] ---\n");
+        auto with_cp = machine::paragonConfig();
+        auto without = machine::paragonConfig();
+        without.transport.coprocessor_overlap = 0.0;
+
+        // The coprocessor relieves the *sending* processor, so it
+        // shows most where one node paces many injections (scatter
+        // root) — and it compounds when node memory is slower than
+        // the i860 XP's streaming mode (second table: 170 MB/s
+        // copies, the non-streaming rate).
+        for (double copy_bw : {400.0, 170.0}) {
+            with_cp.transport.copy_bandwidth_mbs = copy_bw;
+            without.transport.copy_bandwidth_mbs = copy_bw;
+            TableWriter t;
+            t.header({"m", "coprocessor on", "off", "penalty"});
+            for (Bytes m : {Bytes(1 * KiB), Bytes(16 * KiB),
+                            Bytes(64 * KiB)}) {
+                auto on = harness::measureCollective(
+                    with_cp, 16, machine::Coll::Scatter, m,
+                    machine::Algo::Default, mopt);
+                auto off = harness::measureCollective(
+                    without, 16, machine::Coll::Scatter, m,
+                    machine::Algo::Default, mopt);
+                double pen =
+                    on.us() > 0
+                        ? 100.0 * (off.us() - on.us()) / on.us()
+                        : 0;
+                t.row({formatBytes(m), usCell(on.us()),
+                       usCell(off.us()), formatF(pen, 1) + "%"});
+            }
+            std::printf("  scatter, p = 16, copies at %.0f MB/s\n",
+                        copy_bw);
+            t.print(std::cout);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,126 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace ccsim::bench {
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            o.quick = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            o.csv_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s [--quick] [--csv DIR]\n", argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown argument '%s' (try --help)", argv[i]);
+        }
+    }
+    return o;
+}
+
+harness::MeasureOptions
+benchMeasureOptions()
+{
+    harness::MeasureOptions o;
+    o.iterations = 3;
+    o.repetitions = 1;
+    o.warmup = 1;
+    return o;
+}
+
+std::vector<int>
+sweepSizes(const std::string &machine, bool quick)
+{
+    std::vector<int> sizes = harness::paperMachineSizes(machine);
+    if (quick) {
+        // Keep the shape visible but cap the cost.
+        std::vector<int> trimmed;
+        for (int p : sizes)
+            if (p <= 16)
+                trimmed.push_back(p);
+        return trimmed;
+    }
+    return sizes;
+}
+
+std::vector<Bytes>
+sweepLengths(bool quick)
+{
+    std::vector<Bytes> all = harness::paperMessageLengths();
+    if (quick) {
+        std::vector<Bytes> trimmed;
+        for (Bytes m : all)
+            if (m <= 1024)
+                trimmed.push_back(m);
+        return trimmed;
+    }
+    return all;
+}
+
+std::string
+usCell(double us)
+{
+    char buf[48];
+    if (us >= 10000)
+        std::snprintf(buf, sizeof(buf), "%.0f", us);
+    else if (us >= 100)
+        std::snprintf(buf, sizeof(buf), "%.1f", us);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f", us);
+    return buf;
+}
+
+std::string
+paperUsCell(const std::string &machine, machine::Coll op, Bytes m,
+            int p)
+{
+    if (!model::paper::hasExpression(machine, op))
+        return "-";
+    return usCell(model::paper::expression(machine, op).evalUs(m, p));
+}
+
+void
+maybeWriteCsv(const BenchOptions &opts, const std::string &name,
+              const std::vector<std::string> &header,
+              const std::vector<std::vector<std::string>> &rows)
+{
+    if (opts.csv_dir.empty())
+        return;
+    std::filesystem::create_directories(opts.csv_dir);
+    std::string path = opts.csv_dir + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write %s", path.c_str());
+    CsvWriter w(out);
+    w.row(header);
+    for (const auto &r : rows)
+        w.row(r);
+    inform("wrote %s", path.c_str());
+}
+
+void
+printBanner(const std::string &title, const std::string &what)
+{
+    std::printf("========================================================"
+                "========\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("Reproduces: Hwang, Wang & Wang, \"Evaluating MPI "
+                "Collective\nCommunication on the SP2, T3D, and Paragon "
+                "Multicomputers\",\nHPCA-3, 1997.\n");
+    std::printf("========================================================"
+                "========\n\n");
+}
+
+} // namespace ccsim::bench

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table bench binaries: option
+ * parsing (--quick trims sweeps for smoke runs, --csv DIR dumps
+ * machine-readable series), the measurement options used by all
+ * benches, and paper-vs-simulated formatting helpers.
+ */
+
+#ifndef CCSIM_BENCH_BENCH_COMMON_HH
+#define CCSIM_BENCH_BENCH_COMMON_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/measure.hh"
+#include "machine/machine_config.hh"
+#include "model/paper_data.hh"
+#include "model/timing_expr.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace ccsim::bench {
+
+/** Command-line options common to every bench binary. */
+struct BenchOptions
+{
+    bool quick = false;      //!< trim sweeps (CI smoke mode)
+    std::string csv_dir;     //!< dump CSV series here when non-empty
+
+    static BenchOptions parse(int argc, char **argv);
+};
+
+/** Measurement knobs used by the benches (deterministic sim: one
+ *  repetition of a short loop reproduces the paper's numbers). */
+harness::MeasureOptions benchMeasureOptions();
+
+/** Machine sizes for a sweep (paper's 2..128, T3D capped at 64). */
+std::vector<int> sweepSizes(const std::string &machine, bool quick);
+
+/** Message lengths for a sweep (4 B .. 64 KB, powers of four). */
+std::vector<Bytes> sweepLengths(bool quick);
+
+/** "150.2" style microsecond cell. */
+std::string usCell(double us);
+
+/** Paper prediction cell, or "-" if Table 3 has no row. */
+std::string paperUsCell(const std::string &machine, machine::Coll op,
+                        Bytes m, int p);
+
+/** Write a CSV file (header + rows) under opts.csv_dir if set. */
+void maybeWriteCsv(const BenchOptions &opts, const std::string &name,
+                   const std::vector<std::string> &header,
+                   const std::vector<std::vector<std::string>> &rows);
+
+/** Banner with the binary's purpose and the paper reference. */
+void printBanner(const std::string &title, const std::string &what);
+
+} // namespace ccsim::bench
+
+#endif // CCSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation engine itself:
+ * event-queue throughput, coroutine spawn/switch cost, network
+ * routing cost, and end-to-end cost of simulating one collective.
+ * These bound how large a sweep the figure benches can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/measure.hh"
+#include "machine/machine.hh"
+#include "mpi/comm.hh"
+#include "net/mesh2d.hh"
+#include "net/network.hh"
+#include "net/omega.hh"
+#include "net/torus3d.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace ccsim;
+using namespace ccsim::time_literals;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < n; ++i)
+            q.schedule(i % 977, [&sink] { ++sink; });
+        while (!q.empty())
+            q.runNext();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_CoroutineSpawnResume(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator s;
+        auto prog = [&s]() -> sim::Task<void> {
+            for (int i = 0; i < 8; ++i)
+                co_await s.delay(1 * NS);
+        };
+        for (int i = 0; i < n; ++i)
+            s.spawn(prog());
+        s.run();
+    }
+    state.SetItemsProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_CoroutineSpawnResume)->Arg(64)->Arg(1024);
+
+template <typename Topo, typename... Args>
+void
+routeAllPairs(benchmark::State &state, Args... args)
+{
+    Topo topo(args...);
+    std::vector<net::LinkId> path;
+    for (auto _ : state) {
+        for (int s = 0; s < topo.numNodes(); ++s) {
+            for (int d = 0; d < topo.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                path.clear();
+                topo.route(s, d, path);
+                benchmark::DoNotOptimize(path.data());
+            }
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * topo.numNodes() *
+                            (topo.numNodes() - 1));
+}
+
+void
+BM_RouteMesh2D(benchmark::State &state)
+{
+    routeAllPairs<net::Mesh2D>(state, 8, 8);
+}
+BENCHMARK(BM_RouteMesh2D);
+
+void
+BM_RouteTorus3D(benchmark::State &state)
+{
+    routeAllPairs<net::Torus3D>(state, 4, 4, 4);
+}
+BENCHMARK(BM_RouteTorus3D);
+
+void
+BM_RouteOmega(benchmark::State &state)
+{
+    routeAllPairs<net::Omega>(state, 64, 4);
+}
+BENCHMARK(BM_RouteOmega);
+
+void
+BM_NetworkTransfer(benchmark::State &state)
+{
+    net::NetworkParams np;
+    np.link_bandwidth_mbs = 300;
+    np.hop_latency = 20 * NS;
+    net::Network net(std::make_unique<net::Torus3D>(4, 4, 4), np);
+    Time now = 0;
+    for (auto _ : state) {
+        for (int s = 0; s < 64; ++s)
+            now = std::max(now,
+                           net.transfer(s, (s + 17) % 64, 4096, now));
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkTransfer);
+
+void
+BM_SimulateCollective(benchmark::State &state)
+{
+    const int p = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto meas = harness::measureCollective(
+            machine::t3dConfig(), p, machine::Coll::Alltoall, 1024,
+            machine::Algo::Default, harness::MeasureOptions{1, 1, 0});
+        benchmark::DoNotOptimize(meas.max_time);
+    }
+    state.SetItemsProcessed(state.iterations() * p * (p - 1));
+}
+BENCHMARK(BM_SimulateCollective)->Arg(8)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Algorithm auto-tuning: what a modern tuned-collectives table looks
+ * like, computed on a simulated 1997 machine.
+ *
+ * For each collective and each (m, p) cell, try every implemented
+ * algorithm on the chosen machine model and report the winner — the
+ * same selection logic MPICH later shipped as hard-coded switch
+ * points (e.g.\ Bruck below a size threshold, pairwise above;
+ * binomial bcast for short, scatter+allgather for long).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "harness/measure.hh"
+#include "machine/machine_config.hh"
+#include "util/table.hh"
+
+using namespace ccsim;
+
+namespace {
+
+const std::map<machine::Coll, std::vector<machine::Algo>> &
+candidates()
+{
+    using machine::Algo;
+    using machine::Coll;
+    static const std::map<Coll, std::vector<Algo>> c = {
+        {Coll::Bcast,
+         {Algo::Linear, Algo::Binomial, Algo::ScatterAllgather}},
+        {Coll::Alltoall, {Algo::Linear, Algo::Pairwise, Algo::Bruck}},
+        {Coll::Allgather, {Algo::Ring, Algo::RecursiveDoubling}},
+        {Coll::Reduce, {Algo::Linear, Algo::Binomial}},
+        {Coll::Allreduce,
+         {Algo::ReduceBcast, Algo::RecursiveDoubling}},
+        {Coll::Scan, {Algo::Linear, Algo::RecursiveDoubling}},
+        {Coll::Barrier,
+         {Algo::Linear, Algo::Binomial, Algo::Dissemination}},
+    };
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Pick the machine model from the command line (default SP2).
+    machine::MachineConfig cfg = machine::sp2Config();
+    if (argc > 1) {
+        std::string name = argv[1];
+        if (name == "T3D")
+            cfg = machine::t3dConfig();
+        else if (name == "Paragon")
+            cfg = machine::paragonConfig();
+        else if (name != "SP2")
+            fatal("unknown machine '%s' (SP2, T3D, Paragon)",
+                  name.c_str());
+    }
+    // Compare software algorithms only.
+    if (cfg.hardware_barrier)
+        cfg.setAlgorithm(machine::Coll::Barrier,
+                         machine::Algo::Dissemination);
+
+    harness::MeasureOptions mopt;
+    mopt.iterations = 3;
+    mopt.repetitions = 1;
+    mopt.warmup = 1;
+
+    std::printf("Best algorithm per (operation, m, p) on the %s "
+                "model\n\n", cfg.name.c_str());
+
+    for (const auto &[op, algos] : candidates()) {
+        TableWriter t;
+        t.header({"m \\ p", "4", "16", "64"});
+        std::vector<Bytes> lengths =
+            op == machine::Coll::Barrier
+                ? std::vector<Bytes>{0}
+                : std::vector<Bytes>{64, 4 * KiB, 64 * KiB};
+        for (Bytes m : lengths) {
+            std::vector<std::string> row{
+                op == machine::Coll::Barrier ? "-" : formatBytes(m)};
+            for (int p : {4, 16, 64}) {
+                machine::Algo best = algos.front();
+                double best_us = -1;
+                for (auto a : algos) {
+                    auto meas = harness::measureCollective(cfg, p, op,
+                                                           m, a, mopt);
+                    if (best_us < 0 || meas.us() < best_us) {
+                        best_us = meas.us();
+                        best = a;
+                    }
+                }
+                row.push_back(machine::algoName(best));
+            }
+            t.row(row);
+        }
+        std::printf("--- %s ---\n", machine::collName(op).c_str());
+        t.print(std::cout);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Latency predictor: the paper's intended use of Table 3.
+ *
+ * "These findings are useful to those who wish to predict the MPP
+ * performance or to optimize parallel applications" — i.e.\ fit the
+ * closed form T(m, p) = T0(p) + D(m, p) once from a few calibration
+ * runs, then predict collective cost for any (m, p) without running
+ * anything.
+ *
+ * This example fits a model for T3D total exchange from a coarse
+ * sweep, predicts a set of held-out (m, p) points, and compares the
+ * predictions against direct simulation — reporting the prediction
+ * error an application writer of 1997 would have lived with.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "harness/measure.hh"
+#include "machine/machine_config.hh"
+#include "model/fit.hh"
+#include "model/predictor.hh"
+#include "model/paper_data.hh"
+#include "util/table.hh"
+
+using namespace ccsim;
+
+int
+main()
+{
+    auto cfg = machine::t3dConfig();
+    const machine::Coll op = machine::Coll::Alltoall;
+    harness::MeasureOptions mopt;
+    mopt.iterations = 3;
+    mopt.repetitions = 1;
+    mopt.warmup = 1;
+
+    // Calibration sweep: a coarse grid an application writer could
+    // afford on a shared machine.
+    std::vector<model::Sample> samples;
+    for (int p : {2, 8, 32}) {
+        for (Bytes m : {Bytes(4), Bytes(1024), Bytes(16 * KiB),
+                        Bytes(64 * KiB)}) {
+            auto meas = harness::measureCollective(
+                cfg, p, op, m, machine::Algo::Default, mopt);
+            samples.push_back({m, p, meas.us()});
+        }
+    }
+    model::TimingExpression fit = model::fitPaperStyleAuto(samples);
+
+    std::printf("Fitted %s %s model from %zu calibration points:\n"
+                "    T(m, p) = %s   [us]\n\n",
+                cfg.name.c_str(), machine::collName(op).c_str(),
+                samples.size(), fit.str().c_str());
+    std::printf("Paper's Table 3 row for comparison:\n    T(m, p) = "
+                "%s\n\n",
+                model::paper::expression("T3D", op).str().c_str());
+
+    // Held-out points: none of these (m, p) combinations were used
+    // in the fit.
+    TableWriter t;
+    t.header({"p", "m", "predicted", "simulated", "error %"});
+    for (int p : {4, 16, 64}) {
+        for (Bytes m : {Bytes(512), Bytes(4 * KiB),
+                        Bytes(32 * KiB)}) {
+            double pred = fit.evalUs(m, p);
+            auto meas = harness::measureCollective(
+                cfg, p, op, m, machine::Algo::Default, mopt);
+            double err = 100.0 * (pred - meas.us()) / meas.us();
+            t.row({std::to_string(p), formatBytes(m),
+                   formatF(pred, 1), formatF(meas.us(), 1),
+                   formatF(err, 1)});
+        }
+    }
+    t.print(std::cout);
+
+    std::printf("\nThe paper's own worked example (Section 8): the "
+                "T3D expression at\nm = 512, p = 64 gives %.2f ms "
+                "(text: 2.86 ms); this fit gives %.2f ms.\n",
+                model::paper::expression("T3D", op).evalUs(512, 64) /
+                    1000.0,
+                fit.evalUs(512, 64) / 1000.0);
+
+    // The trade-off study the paper's abstract promises: pick the
+    // node count minimizing predicted total time for a fixed job
+    // (compute divides by p, the corner turn's per-pair message
+    // shrinks as 1/p but its startup grows with p).
+    model::MachineModel paper_model =
+        model::MachineModel::fromPaper("T3D");
+    std::printf("\nTrade-off study (paper Table 3 model): 2 s of "
+                "divided compute +\n100 alltoall corner turns of a "
+                "4 MB cube (per-pair messages stay\ninside the "
+                "fitted m <= 64 KB envelope)\n\n");
+    TableWriter tt;
+    tt.header({"p", "compute", "communication", "total", "comm %"});
+    for (int p : {8, 16, 32, 64, 128}) {
+        std::vector<model::AppStep> script = {
+            model::AppStep::compute(2.0e6 / p),
+            model::AppStep::collective(
+                machine::Coll::Alltoall,
+                (4 * MiB) / (static_cast<Bytes>(p) * p), 100),
+        };
+        auto pred = model::predictApp(paper_model, script, p);
+        tt.row({std::to_string(p),
+                formatTime(microseconds(pred.compute_us)),
+                formatTime(microseconds(pred.comm_us)),
+                formatTime(microseconds(pred.total_us)),
+                formatF(pred.commPercent(), 1)});
+    }
+    tt.print(std::cout);
+    std::printf("\nThe knee of the total column is the node count "
+                "worth asking the\ncenter for — computed without a "
+                "single additional run.\n");
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * STAP corner turn: the workload behind the paper.
+ *
+ * The timing data in the paper came from STAP (space-time adaptive
+ * processing) radar benchmarks.  The communication heart of STAP is
+ * the CORNER TURN: a distributed matrix transpose between the
+ * Doppler-processing phase (each node holds complete range gates)
+ * and the beamforming phase (each node needs complete pulse
+ * vectors).  A corner turn is exactly MPI_Alltoall, and its cost
+ * relative to the per-node FFT compute decides how many nodes are
+ * worth using — the paper's "trade-offs between divided computation
+ * and collective communication".
+ *
+ * This example runs a two-phase STAP sketch on all three machines:
+ *
+ *   phase 1: per-node Doppler FFTs       (compute, scales as 1/p)
+ *   corner turn: alltoall of the cube    (communication)
+ *   phase 2: per-node beamforming        (compute, scales as 1/p)
+ *   detection: allreduce of target score (communication)
+ *
+ * and reports, per machine and node count, the total time and the
+ * fraction spent communicating — showing where adding nodes stops
+ * paying on each machine.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "machine/machine.hh"
+#include "machine/machine_config.hh"
+#include "mpi/comm.hh"
+#include "util/table.hh"
+
+using namespace ccsim;
+using namespace ccsim::time_literals;
+
+namespace {
+
+struct StapResult
+{
+    Time total = 0;
+    Time comm = 0;
+};
+
+/**
+ * One rank of the STAP sketch.
+ * @param cube_bytes    total data cube size across the machine
+ * @param flop_time     single-node time for the full FFT workload
+ */
+sim::Task<void>
+stapRank(machine::Machine &mach, int rank, Bytes cube_bytes,
+         Time flop_time, StapResult *out)
+{
+    mpi::Comm comm(mach, rank);
+    int p = comm.size();
+
+    co_await comm.barrier();
+    Time start = mach.sim().now();
+    Time comm_time = 0;
+
+    // Phase 1: Doppler FFTs over my slab of the cube.
+    co_await comm.compute(flop_time / p);
+
+    // Corner turn: my slab is re-partitioned across all nodes; each
+    // pair exchanges cube / p^2 bytes.
+    Bytes m = cube_bytes / (static_cast<Bytes>(p) * p);
+    Time t0 = mach.sim().now();
+    co_await comm.alltoall(m);
+    comm_time += mach.sim().now() - t0;
+
+    // Phase 2: beamforming on the transposed data.
+    co_await comm.compute(flop_time / (2 * p));
+
+    // Detection: combine per-node target scores.
+    t0 = mach.sim().now();
+    co_await comm.allreduce(256);
+    comm_time += mach.sim().now() - t0;
+
+    if (rank == 0) {
+        out->total = mach.sim().now() - start;
+        out->comm = comm_time;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    // A 64 MB data cube and ~0.5 s of single-node FFT work —
+    // mid-90s STAP scale.
+    const Bytes cube = 64 * MiB;
+    const Time flops = 500 * MS;
+
+    std::printf("STAP corner-turn sketch: 64 MB cube, 0.5 s "
+                "single-node compute\n\n");
+
+    for (const auto &cfg : machine::paperMachines()) {
+        TableWriter t;
+        t.header({"p", "total", "communication", "comm %",
+                  "speedup vs p=2"});
+        double base_total = 0;
+        for (int p : {2, 4, 8, 16, 32, 64}) {
+            machine::Machine mach(cfg, p);
+            StapResult res;
+            for (int r = 0; r < p; ++r)
+                mach.sim().spawn(
+                    stapRank(mach, r, cube, flops, &res));
+            mach.run();
+
+            double total_ms = toMillis(res.total);
+            if (p == 2)
+                base_total = total_ms;
+            double frac = res.total > 0
+                              ? 100.0 * static_cast<double>(res.comm) /
+                                    static_cast<double>(res.total)
+                              : 0.0;
+            t.row({std::to_string(p), formatTime(res.total),
+                   formatTime(res.comm), formatF(frac, 1),
+                   formatF(2.0 * base_total / total_ms, 2) + "x"});
+        }
+        std::printf("--- %s ---\n", cfg.name.c_str());
+        t.print(std::cout);
+        std::printf("\n");
+    }
+    std::printf("Reading: the machine whose corner turn saturates "
+                "first stops scaling\nfirst — the computation/"
+                "communication trade-off the paper was built to\n"
+                "let application writers predict.\n");
+    return 0;
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * SUMMA block matrix multiply on a process grid — the classic
+ * collective-heavy kernel (van de Geijn & Watts), built entirely
+ * from the library's sub-communicators and broadcasts.
+ *
+ * C = A x B on a sqrt(p) x sqrt(p) grid: in step k, the owner of
+ * A's k-th block-column broadcasts it along its process ROW, the
+ * owner of B's k-th block-row broadcasts along its process COLUMN,
+ * and every rank multiplies the panels locally.  Per-step traffic is
+ * two broadcasts of n^2/p elements inside sqrt(p)-rank subgroups —
+ * a workout for Comm::subgroup() and the broadcast algorithms.
+ *
+ * The example verifies the numerical result against a serial
+ * multiply on a small matrix, then reports simulated time and
+ * parallel efficiency for a large matrix on all three machines.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "mpi/comm.hh"
+#include "util/table.hh"
+
+using namespace ccsim;
+using namespace ccsim::time_literals;
+
+namespace {
+
+/** Row-major n x n matrix. */
+using Matrix = std::vector<double>;
+
+Matrix
+makeMatrix(int n, int seed)
+{
+    Matrix m(static_cast<size_t>(n) * n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            m[static_cast<size_t>(i) * n + j] =
+                0.01 * ((i * 31 + j * 17 + seed) % 100) - 0.5;
+    return m;
+}
+
+Matrix
+serialMultiply(const Matrix &a, const Matrix &b, int n)
+{
+    Matrix c(static_cast<size_t>(n) * n, 0.0);
+    for (int i = 0; i < n; ++i)
+        for (int k = 0; k < n; ++k)
+            for (int j = 0; j < n; ++j)
+                c[static_cast<size_t>(i) * n + j] +=
+                    a[static_cast<size_t>(i) * n + k] *
+                    b[static_cast<size_t>(k) * n + j];
+    return c;
+}
+
+/** Extract the (br, bc) block of size nb from an n x n matrix. */
+Matrix
+blockOf(const Matrix &m, int n, int nb, int br, int bc)
+{
+    Matrix out(static_cast<size_t>(nb) * nb);
+    for (int i = 0; i < nb; ++i)
+        for (int j = 0; j < nb; ++j)
+            out[static_cast<size_t>(i) * nb + j] =
+                m[static_cast<size_t>(br * nb + i) * n + bc * nb + j];
+    return out;
+}
+
+struct SummaResult
+{
+    Time elapsed = 0;
+    double max_error = 0.0;
+};
+
+/**
+ * One rank of SUMMA.  @p verify carries the full A and B for the
+ * numerical check (small n only); when null, the multiply is
+ * simulated with compute time only (flop-rate model).
+ */
+sim::Task<void>
+summaRank(machine::Machine &mach, int rank, int q, int n,
+          const Matrix *a_full, const Matrix *b_full,
+          double flops_per_us, SummaResult *out)
+{
+    mpi::Comm world(mach, rank);
+    int row = rank / q;
+    int col = rank % q;
+    int nb = n / q;
+
+    // Row and column communicators.
+    std::vector<int> row_members;
+    std::vector<int> col_members;
+    for (int i = 0; i < q; ++i) {
+        row_members.push_back(row * q + i);
+        col_members.push_back(i * q + col);
+    }
+    mpi::Comm row_comm = world.subgroup(row_members);
+    mpi::Comm col_comm = world.subgroup(col_members);
+
+    bool carry = a_full != nullptr;
+    Matrix a_blk =
+        carry ? blockOf(*a_full, n, nb, row, col) : Matrix();
+    Matrix b_blk =
+        carry ? blockOf(*b_full, n, nb, row, col) : Matrix();
+    Matrix c_blk(carry ? static_cast<size_t>(nb) * nb : 0, 0.0);
+
+    co_await world.barrier();
+    Time start = mach.sim().now();
+
+    Bytes panel_bytes =
+        static_cast<Bytes>(nb) * nb * static_cast<Bytes>(sizeof(double));
+    for (int k = 0; k < q; ++k) {
+        Matrix a_panel;
+        Matrix b_panel;
+        if (carry) {
+            Matrix a_in = col == k ? a_blk : Matrix(a_blk.size(), 0.0);
+            a_panel = co_await row_comm.bcastData(a_in, k);
+            Matrix b_in = row == k ? b_blk : Matrix(b_blk.size(), 0.0);
+            b_panel = co_await col_comm.bcastData(b_in, k);
+        } else {
+            co_await row_comm.bcast(panel_bytes, k);
+            co_await col_comm.bcast(panel_bytes, k);
+        }
+
+        // Local panel multiply: 2 nb^3 flops.
+        double flops = 2.0 * nb * nb * static_cast<double>(nb);
+        co_await world.compute(microseconds(flops / flops_per_us));
+        if (carry)
+            for (int i = 0; i < nb; ++i)
+                for (int kk = 0; kk < nb; ++kk)
+                    for (int j = 0; j < nb; ++j)
+                        c_blk[static_cast<size_t>(i) * nb + j] +=
+                            a_panel[static_cast<size_t>(i) * nb + kk] *
+                            b_panel[static_cast<size_t>(kk) * nb + j];
+    }
+    co_await world.barrier();
+
+    if (rank == 0)
+        out->elapsed = mach.sim().now() - start;
+    if (carry) {
+        Matrix ref = serialMultiply(*a_full, *b_full, n);
+        Matrix ref_blk = blockOf(ref, n, nb, row, col);
+        double err = 0;
+        for (std::size_t i = 0; i < c_blk.size(); ++i)
+            err = std::max(err, std::fabs(c_blk[i] - ref_blk[i]));
+        out->max_error = std::max(out->max_error, err);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    // Part 1: numerical verification on a 12x12 matrix, 2x2 grid.
+    {
+        const int n = 12;
+        const int q = 2;
+        Matrix a = makeMatrix(n, 1);
+        Matrix b = makeMatrix(n, 2);
+        machine::Machine m(machine::t3dConfig(), q * q);
+        SummaResult res;
+        for (int r = 0; r < q * q; ++r)
+            m.sim().spawn(summaRank(m, r, q, n, &a, &b, 50.0, &res));
+        m.run();
+        std::printf("verification: %dx%d SUMMA on %dx%d grid, max "
+                    "|error| = %.2e %s\n\n",
+                    n, n, q, q, res.max_error,
+                    res.max_error < 1e-9 ? "(exact)" : "(FAILED)");
+        if (res.max_error >= 1e-9)
+            return 1;
+    }
+
+    // Part 2: performance model for n = 2048 across machines and
+    // grids (50 Mflop/s per node, a mid-90s sustained DGEMM rate).
+    const int n = 2048;
+    const double flops_per_us = 50.0;
+    std::printf("SUMMA C = A x B, n = %d, 50 Mflop/s nodes "
+                "[simulated]\n\n", n);
+    for (const auto &cfg : machine::paperMachines()) {
+        TableWriter t;
+        t.header({"grid", "p", "time", "efficiency"});
+        double serial_us = 2.0 * n * n * static_cast<double>(n) /
+                           flops_per_us;
+        for (int q : {2, 4, 8}) {
+            machine::Machine m(cfg, q * q);
+            SummaResult res;
+            for (int r = 0; r < q * q; ++r)
+                m.sim().spawn(summaRank(m, r, q, n, nullptr, nullptr,
+                                        flops_per_us, &res));
+            m.run();
+            double eff = serial_us /
+                         (toMicros(res.elapsed) * q * q) * 100.0;
+            t.row({std::to_string(q) + "x" + std::to_string(q),
+                   std::to_string(q * q), formatTime(res.elapsed),
+                   formatF(eff, 1) + "%"});
+        }
+        std::printf("--- %s ---\n", cfg.name.c_str());
+        t.print(std::cout);
+        std::printf("\n");
+    }
+    std::printf("Efficiency falls fastest on the machine whose "
+                "broadcast is weakest —\nthe collective/compute "
+                "trade-off the paper quantifies.\n");
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The paper's measurement procedure (Section 2), reproduced:
+ *
+ * @verbatim
+ *     barrier synchronization
+ *     get start-time
+ *     for (i = 0; i < k; i++)
+ *         the-collective-routine-being-measured
+ *     get end-time
+ *     local-time = (end-time - start-time) / k
+ *     communication-time = maximum-reduce(local-time)
+ * @endverbatim
+ *
+ * The program is executed repeatedly (paper: >22 runs, k = 20, five
+ * repetitions per machine size); the first runs are discarded as
+ * warm-up; the minimal, maximal, and mean times over all processes
+ * are collected and the MAXIMUM is what the paper reports, "because
+ * it reflects the condition that all processes involved in the
+ * machine have finished the operation."
+ *
+ * Because the simulator is deterministic, the default options use a
+ * smaller k and fewer repetitions than the paper — the numbers are
+ * identical, only cheaper to produce.  paperFaithful() restores the
+ * full procedure (including per-node clock-skew injection, which the
+ * paper lists among its accuracy caveats).
+ */
+
+#ifndef CCSIM_HARNESS_MEASURE_HH
+#define CCSIM_HARNESS_MEASURE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "model/predictor.hh"
+#include "mpi/comm.hh"
+#include "util/units.hh"
+
+namespace ccsim::harness {
+
+/** Knobs of the Section 2 procedure. */
+struct MeasureOptions
+{
+    int iterations = 5;   //!< k: timed calls per repetition
+    int repetitions = 2;  //!< timed repetitions
+    int warmup = 1;       //!< untimed leading calls (cold caches)
+    Time max_skew = 0;    //!< per-rank clock-skew injection bound
+    std::uint64_t seed = 12345; //!< skew RNG seed
+
+    /** The paper's full procedure: k = 20, 5 reps, 2 warm-up runs. */
+    static MeasureOptions
+    paperFaithful()
+    {
+        MeasureOptions o;
+        o.iterations = 20;
+        o.repetitions = 5;
+        o.warmup = 2;
+        using namespace time_literals;
+        o.max_skew = 10 * US;
+        return o;
+    }
+};
+
+/** One measured (machine, operation, m, p) point. */
+struct Measurement
+{
+    std::string machine;
+    machine::Coll op = machine::Coll::Barrier;
+    machine::Algo algo = machine::Algo::Default;
+    Bytes m = 0;
+    int p = 0;
+
+    Time max_time = 0;  //!< max over ranks, averaged over reps (paper's
+                        //!< reported number)
+    Time min_time = 0;  //!< min over ranks, averaged over reps
+    Time mean_time = 0; //!< mean over ranks, averaged over reps
+
+    /** The headline number (the paper reports the maximum). */
+    Time time() const { return max_time; }
+
+    /** Convenience: time in microseconds. */
+    double us() const { return toMicros(max_time); }
+};
+
+/** A rank program measured by the harness: one collective call. */
+using CollectiveCall =
+    std::function<sim::Task<void>(mpi::Comm &, Bytes)>;
+
+/**
+ * Run the Section 2 procedure for one collective on one machine.
+ *
+ * @param cfg   machine description (instantiated fresh)
+ * @param p     number of nodes
+ * @param op    which collective (root defaults to rank 0)
+ * @param m     message length in bytes (per node pair)
+ * @param algo  algorithm override (Default = machine's choice)
+ * @param opt   procedure knobs
+ */
+Measurement measureCollective(const machine::MachineConfig &cfg, int p,
+                              machine::Coll op, Bytes m,
+                              machine::Algo algo = machine::Algo::Default,
+                              const MeasureOptions &opt = {});
+
+/**
+ * Startup latency T0(p): the collective messaging time of the
+ * shortest message the machine accepts (the paper approximates T0 by
+ * a zero-byte or short message; we use m = 4, one MPI_FLOAT... /4).
+ */
+Measurement measureStartup(const machine::MachineConfig &cfg, int p,
+                           machine::Coll op,
+                           machine::Algo algo = machine::Algo::Default,
+                           const MeasureOptions &opt = {});
+
+/** Message length used for the startup-latency approximation. */
+constexpr Bytes kStartupMessageBytes = 4;
+
+/** The paper's standard sweeps. */
+std::vector<int> paperMachineSizes(const std::string &machine_name);
+std::vector<Bytes> paperMessageLengths();
+
+/**
+ * Aggregated message length f(m, p) of Section 3: m (p - 1) for the
+ * one-to-many / many-to-one / reduction operations, m p (p - 1) for
+ * total exchange, 0 for barrier.
+ */
+Bytes aggregatedLength(machine::Coll op, Bytes m, int p);
+
+/**
+ * Fit a model::MachineModel for @p cfg by sweeping the Section 2
+ * procedure over the given machine sizes and message lengths for
+ * every operation in @p ops, then running the paper-style two-stage
+ * fit per operation.  Empty sweep vectors use the paper's standard
+ * sweeps (capped at @p max_p when positive, to bound cost).
+ */
+model::MachineModel fitMachineModel(
+    const machine::MachineConfig &cfg,
+    const std::vector<machine::Coll> &ops = {},
+    std::vector<int> sizes = {}, std::vector<Bytes> lengths = {},
+    const MeasureOptions &opt = {});
+
+/**
+ * Point-to-point ping-pong between two nodes of a machine: rank 0
+ * sends m bytes to rank 1, which sends m bytes back; repeated
+ * @p opt.iterations times after warm-up.  Returns the mean ONE-WAY
+ * time (round trip / 2) in the Measurement's max_time.  The
+ * distance between the two nodes is the topology's default for
+ * adjacent ranks (0 and 1).
+ */
+Measurement measurePingPong(const machine::MachineConfig &cfg, Bytes m,
+                            const MeasureOptions &opt = {});
+
+} // namespace ccsim::harness
+
+#endif // CCSIM_HARNESS_MEASURE_HH

@@ -1,0 +1,73 @@
+#include "machine/collective_types.hh"
+
+#include "util/logging.hh"
+
+namespace ccsim::machine {
+
+std::string
+collName(Coll c)
+{
+    switch (c) {
+      case Coll::Barrier:
+        return "barrier";
+      case Coll::Bcast:
+        return "broadcast";
+      case Coll::Gather:
+        return "gather";
+      case Coll::Scatter:
+        return "scatter";
+      case Coll::Allgather:
+        return "allgather";
+      case Coll::Alltoall:
+        return "total exchange";
+      case Coll::Reduce:
+        return "reduce";
+      case Coll::Allreduce:
+        return "allreduce";
+      case Coll::ReduceScatter:
+        return "reduce-scatter";
+      case Coll::Scan:
+        return "scan";
+      default:
+        panic("collName: bad collective %d", static_cast<int>(c));
+    }
+}
+
+std::string
+algoName(Algo a)
+{
+    switch (a) {
+      case Algo::Default:
+        return "default";
+      case Algo::Linear:
+        return "linear";
+      case Algo::Binomial:
+        return "binomial";
+      case Algo::Dissemination:
+        return "dissemination";
+      case Algo::Pairwise:
+        return "pairwise";
+      case Algo::Ring:
+        return "ring";
+      case Algo::Bruck:
+        return "bruck";
+      case Algo::RecursiveDoubling:
+        return "recursive-doubling";
+      case Algo::ScatterAllgather:
+        return "scatter-allgather";
+      case Algo::ReduceBcast:
+        return "reduce-bcast";
+      case Algo::RecursiveHalving:
+        return "recursive-halving";
+      case Algo::Rabenseifner:
+        return "rabenseifner";
+      case Algo::Pipelined:
+        return "pipelined";
+      case Algo::Hardware:
+        return "hardware";
+      default:
+        panic("algoName: bad algorithm %d", static_cast<int>(a));
+    }
+}
+
+} // namespace ccsim::machine

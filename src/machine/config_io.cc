@@ -1,0 +1,346 @@
+#include "machine/config_io.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ccsim::machine {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        double d = std::stod(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing");
+        return d;
+    } catch (const std::exception &) {
+        fatal("config: bad numeric value '%s' for key '%s'",
+              value.c_str(), key.c_str());
+    }
+}
+
+long long
+parseInt(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        long long v = std::stoll(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing");
+        return v;
+    } catch (const std::exception &) {
+        fatal("config: bad integer value '%s' for key '%s'",
+              value.c_str(), key.c_str());
+    }
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    fatal("config: bad boolean value '%s' for key '%s'", value.c_str(),
+          key.c_str());
+}
+
+const std::map<std::string, Coll> &
+collKeys()
+{
+    static const std::map<std::string, Coll> keys = {
+        {"barrier", Coll::Barrier},
+        {"bcast", Coll::Bcast},
+        {"gather", Coll::Gather},
+        {"scatter", Coll::Scatter},
+        {"allgather", Coll::Allgather},
+        {"alltoall", Coll::Alltoall},
+        {"reduce", Coll::Reduce},
+        {"allreduce", Coll::Allreduce},
+        {"reduce_scatter", Coll::ReduceScatter},
+        {"scan", Coll::Scan},
+    };
+    return keys;
+}
+
+/** Apply one top-level setting; fatal on unknown keys. */
+void
+applyGlobal(MachineConfig &cfg, const std::string &key,
+            const std::string &value)
+{
+    if (key == "name")
+        cfg.name = value;
+    else if (key == "topology")
+        cfg.topology = topologyKindByName(value);
+    else if (key == "switch_radix")
+        cfg.switch_radix = static_cast<int>(parseInt(key, value));
+    else if (key == "link_bandwidth_mbs")
+        cfg.network.link_bandwidth_mbs = parseDouble(key, value);
+    else if (key == "hop_latency_ns")
+        cfg.network.hop_latency = nanoseconds(parseDouble(key, value));
+    else if (key == "packet_overhead")
+        cfg.network.packet_overhead = parseInt(key, value);
+    else if (key == "contention")
+        cfg.network.contention = parseBool(key, value);
+    else if (key == "send_overhead_us")
+        cfg.transport.send_overhead =
+            microseconds(parseDouble(key, value));
+    else if (key == "recv_overhead_us")
+        cfg.transport.recv_overhead =
+            microseconds(parseDouble(key, value));
+    else if (key == "copy_bandwidth_mbs")
+        cfg.transport.copy_bandwidth_mbs = parseDouble(key, value);
+    else if (key == "eager_threshold")
+        cfg.transport.eager_threshold = parseInt(key, value);
+    else if (key == "rendezvous_overhead_us")
+        cfg.transport.rendezvous_overhead =
+            microseconds(parseDouble(key, value));
+    else if (key == "coprocessor_overlap")
+        cfg.transport.coprocessor_overlap = parseDouble(key, value);
+    else if (key == "blt_enabled")
+        cfg.transport.blt_enabled = parseBool(key, value);
+    else if (key == "blt_threshold")
+        cfg.transport.blt_threshold = parseInt(key, value);
+    else if (key == "blt_setup_us")
+        cfg.transport.blt_setup = microseconds(parseDouble(key, value));
+    else if (key == "reduce_bandwidth_mbs")
+        cfg.reduce_bandwidth_mbs = parseDouble(key, value);
+    else if (key == "hardware_barrier")
+        cfg.hardware_barrier = parseBool(key, value);
+    else if (key == "hardware_barrier_latency_us")
+        cfg.hardware_barrier_latency =
+            microseconds(parseDouble(key, value));
+    else
+        fatal("config: unknown key '%s'", key.c_str());
+}
+
+/** Apply one <op>.<field> setting. */
+void
+applyCollective(MachineConfig &cfg, Coll op, const std::string &field,
+                const std::string &key, const std::string &value)
+{
+    CollCosts &costs = cfg.costsFor(op);
+    if (field == "algorithm")
+        cfg.setAlgorithm(op, algoByName(value));
+    else if (field == "entry_us")
+        costs.entry = microseconds(parseDouble(key, value));
+    else if (field == "per_stage_us")
+        costs.per_stage = microseconds(parseDouble(key, value));
+    else if (field == "per_stage_ns_per_byte")
+        costs.per_stage_ns_per_byte = parseDouble(key, value);
+    else if (field == "reduce_bandwidth_override_mbs")
+        costs.reduce_bandwidth_override_mbs = parseDouble(key, value);
+    else if (field == "send_overhead_override_us")
+        costs.send_overhead_override =
+            microseconds(parseDouble(key, value));
+    else if (field == "recv_overhead_override_us")
+        costs.recv_overhead_override =
+            microseconds(parseDouble(key, value));
+    else
+        fatal("config: unknown collective field '%s'", key.c_str());
+}
+
+} // namespace
+
+std::string
+collKey(Coll op)
+{
+    for (const auto &[key, c] : collKeys())
+        if (c == op)
+            return key;
+    panic("collKey: bad collective %d", static_cast<int>(op));
+}
+
+Algo
+algoByName(const std::string &name)
+{
+    for (int i = 0; i <= static_cast<int>(Algo::Hardware); ++i) {
+        Algo a = static_cast<Algo>(i);
+        if (algoName(a) == name)
+            return a;
+    }
+    fatal("config: unknown algorithm '%s'", name.c_str());
+}
+
+TopologyKind
+topologyKindByName(const std::string &name)
+{
+    for (TopologyKind k :
+         {TopologyKind::Mesh2D, TopologyKind::Torus3D,
+          TopologyKind::Omega, TopologyKind::Hypercube,
+          TopologyKind::FullyConnected}) {
+        if (topologyKindName(k) == name)
+            return k;
+    }
+    fatal("config: unknown topology '%s'", name.c_str());
+}
+
+MachineConfig
+presetByName(const std::string &name)
+{
+    if (name == "SP2")
+        return sp2Config();
+    if (name == "T3D")
+        return t3dConfig();
+    if (name == "Paragon")
+        return paragonConfig();
+    if (name == "Ideal")
+        return idealConfig();
+    fatal("config: unknown preset '%s' (SP2, T3D, Paragon, Ideal)",
+          name.c_str());
+}
+
+void
+saveConfig(const MachineConfig &cfg, std::ostream &os)
+{
+    os.precision(12); // lossless round trip for all calibrations
+    os << "# ccsim machine configuration\n";
+    os << "name = " << cfg.name << "\n";
+    os << "topology = " << topologyKindName(cfg.topology) << "\n";
+    os << "switch_radix = " << cfg.switch_radix << "\n";
+    os << "link_bandwidth_mbs = " << cfg.network.link_bandwidth_mbs
+       << "\n";
+    os << "hop_latency_ns = " << toNanos(cfg.network.hop_latency)
+       << "\n";
+    os << "packet_overhead = " << cfg.network.packet_overhead << "\n";
+    os << "contention = " << (cfg.network.contention ? "true" : "false")
+       << "\n";
+    os << "send_overhead_us = " << toMicros(cfg.transport.send_overhead)
+       << "\n";
+    os << "recv_overhead_us = " << toMicros(cfg.transport.recv_overhead)
+       << "\n";
+    os << "copy_bandwidth_mbs = " << cfg.transport.copy_bandwidth_mbs
+       << "\n";
+    os << "eager_threshold = " << cfg.transport.eager_threshold << "\n";
+    os << "rendezvous_overhead_us = "
+       << toMicros(cfg.transport.rendezvous_overhead) << "\n";
+    os << "coprocessor_overlap = " << cfg.transport.coprocessor_overlap
+       << "\n";
+    os << "blt_enabled = "
+       << (cfg.transport.blt_enabled ? "true" : "false") << "\n";
+    os << "blt_threshold = " << cfg.transport.blt_threshold << "\n";
+    os << "blt_setup_us = " << toMicros(cfg.transport.blt_setup)
+       << "\n";
+    os << "reduce_bandwidth_mbs = " << cfg.reduce_bandwidth_mbs << "\n";
+    os << "hardware_barrier = "
+       << (cfg.hardware_barrier ? "true" : "false") << "\n";
+    os << "hardware_barrier_latency_us = "
+       << toMicros(cfg.hardware_barrier_latency) << "\n";
+
+    for (Coll op : kAllColls) {
+        const CollCosts &c = cfg.costsFor(op);
+        std::string k = collKey(op);
+        os << "\n" << k << ".algorithm = "
+           << algoName(cfg.algorithmFor(op)) << "\n";
+        os << k << ".entry_us = " << toMicros(c.entry) << "\n";
+        os << k << ".per_stage_us = " << toMicros(c.per_stage) << "\n";
+        os << k << ".per_stage_ns_per_byte = "
+           << c.per_stage_ns_per_byte << "\n";
+        if (c.reduce_bandwidth_override_mbs > 0)
+            os << k << ".reduce_bandwidth_override_mbs = "
+               << c.reduce_bandwidth_override_mbs << "\n";
+        if (c.send_overhead_override >= 0)
+            os << k << ".send_overhead_override_us = "
+               << toMicros(c.send_overhead_override) << "\n";
+        if (c.recv_overhead_override >= 0)
+            os << k << ".recv_overhead_override_us = "
+               << toMicros(c.recv_overhead_override) << "\n";
+    }
+}
+
+void
+saveConfigFile(const MachineConfig &cfg, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("config: cannot write '%s'", path.c_str());
+    saveConfig(cfg, out);
+}
+
+MachineConfig
+loadConfig(std::istream &is)
+{
+    MachineConfig cfg = idealConfig();
+    cfg.name = "custom";
+
+    std::string line;
+    int lineno = 0;
+    bool first_setting = true;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string s = line;
+        auto hash = s.find('#');
+        if (hash != std::string::npos)
+            s = s.substr(0, hash);
+        s = trim(s);
+        if (s.empty())
+            continue;
+
+        auto eq = s.find('=');
+        if (eq == std::string::npos)
+            fatal("config line %d: expected 'key = value', got '%s'",
+                  lineno, line.c_str());
+        std::string key = trim(s.substr(0, eq));
+        std::string value = trim(s.substr(eq + 1));
+        if (key.empty() || value.empty())
+            fatal("config line %d: empty key or value", lineno);
+
+        if (key == "base") {
+            if (!first_setting)
+                fatal("config line %d: 'base' must be the first "
+                      "setting", lineno);
+            std::string name = cfg.name;
+            cfg = presetByName(value);
+            cfg.name = name;
+            first_setting = false;
+            continue;
+        }
+        first_setting = false;
+
+        auto dot = key.find('.');
+        if (dot == std::string::npos) {
+            applyGlobal(cfg, key, value);
+        } else {
+            std::string op_key = key.substr(0, dot);
+            std::string field = key.substr(dot + 1);
+            auto it = collKeys().find(op_key);
+            if (it == collKeys().end())
+                fatal("config line %d: unknown collective '%s'",
+                      lineno, op_key.c_str());
+            applyCollective(cfg, it->second, field, key, value);
+        }
+    }
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+loadConfigFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("config: cannot read '%s'", path.c_str());
+    return loadConfig(in);
+}
+
+} // namespace ccsim::machine

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MachineConfig serialization: a simple `key = value` text format so
+ * downstream users can define their own machines (or perturb the
+ * calibrated presets) without recompiling.
+ *
+ * Format: one `key = value` per line; `#` starts a comment; a
+ * `base = SP2|T3D|Paragon|Ideal` line (first, optional) starts from
+ * a preset instead of the ideal defaults.  Per-collective keys are
+ * scoped as `<op>.<field>`, e.g.
+ *
+ * @verbatim
+ *     name = MyCluster
+ *     base = SP2
+ *     link_bandwidth_mbs = 100
+ *     bcast.algorithm = scatter-allgather
+ *     bcast.per_stage_us = 12
+ * @endverbatim
+ *
+ * saveConfig() emits a complete round-trippable file; loadConfig()
+ * is strict — unknown keys, malformed values, or out-of-range
+ * settings are user errors (fatal()).
+ */
+
+#ifndef CCSIM_MACHINE_CONFIG_IO_HH
+#define CCSIM_MACHINE_CONFIG_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "machine/machine_config.hh"
+
+namespace ccsim::machine {
+
+/** Write @p cfg as a complete key = value document. */
+void saveConfig(const MachineConfig &cfg, std::ostream &os);
+
+/** saveConfig() to a file (fatal on I/O failure). */
+void saveConfigFile(const MachineConfig &cfg, const std::string &path);
+
+/** Parse a config document (see file comment for the format). */
+MachineConfig loadConfig(std::istream &is);
+
+/** loadConfig() from a file (fatal if unreadable). */
+MachineConfig loadConfigFile(const std::string &path);
+
+/** Preset lookup by name ("SP2", "T3D", "Paragon", "Ideal"). */
+MachineConfig presetByName(const std::string &name);
+
+/** Key-name slug of a collective ("alltoall", "reduce_scatter"...). */
+std::string collKey(Coll op);
+
+/** Inverse of algoName(); fatal on unknown names. */
+Algo algoByName(const std::string &name);
+
+/** Inverse of topologyKindName(); fatal on unknown names. */
+TopologyKind topologyKindByName(const std::string &name);
+
+} // namespace ccsim::machine
+
+#endif // CCSIM_MACHINE_CONFIG_IO_HH

@@ -1,0 +1,43 @@
+#include "machine/machine.hh"
+
+#include "util/logging.hh"
+
+namespace ccsim::machine {
+
+Machine::Machine(MachineConfig config, int p)
+    : config_(std::move(config)), size_(p)
+{
+    config_.validate();
+    if (p < 1)
+        fatal("Machine: need at least one node, got %d", p);
+    network_ = std::make_unique<net::Network>(config_.makeTopology(p),
+                                              config_.network);
+    fabric_ = std::make_unique<msg::Fabric>(sim_, *network_, p,
+                                            config_.transport, &trace_);
+    if (config_.hardware_barrier)
+        hw_barrier_ = std::make_unique<HardwareBarrier>(
+            sim_, p, config_.hardware_barrier_latency);
+}
+
+int
+Machine::contextFor(const std::vector<int> &global_ranks)
+{
+    if (global_ranks.empty())
+        fatal("Machine::contextFor: empty rank list");
+    for (int r : global_ranks)
+        if (r < 0 || r >= size_)
+            fatal("Machine::contextFor: rank %d outside machine of %d",
+                  r, size_);
+    auto [it, inserted] = context_registry_.try_emplace(
+        global_ranks, static_cast<int>(context_registry_.size()) + 1);
+    return it->second;
+}
+
+void
+Machine::spawnAll(const std::function<sim::Task<void>(int)> &factory)
+{
+    for (int rank = 0; rank < size_; ++rank)
+        sim_.spawn(factory(rank));
+}
+
+} // namespace ccsim::machine

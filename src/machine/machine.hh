@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Machine: one instantiated multicomputer — simulator, network,
+ * per-node transports, and special hardware services — built from a
+ * MachineConfig for a given node count.
+ *
+ * A Machine owns everything a run needs:
+ * @code
+ *     machine::Machine m(machine::t3dConfig(), 64);
+ *     m.spawnAll([&](int rank) -> sim::Task<void> { ... });
+ *     m.run();
+ * @endcode
+ */
+
+#ifndef CCSIM_MACHINE_MACHINE_HH
+#define CCSIM_MACHINE_MACHINE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "machine/hw_barrier.hh"
+#include "machine/machine_config.hh"
+#include "msg/transport.hh"
+#include "net/network.hh"
+#include "sim/simulator.hh"
+#include "sim/trace.hh"
+
+namespace ccsim::machine {
+
+/** A ready-to-run simulated multicomputer. */
+class Machine
+{
+  public:
+    /** Instantiate @p config for @p p nodes (validates the config). */
+    Machine(MachineConfig config, int p);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Number of nodes. */
+    int size() const { return size_; }
+
+    /** The configuration this machine was built from. */
+    const MachineConfig &config() const { return config_; }
+
+    sim::Simulator &sim() { return sim_; }
+    net::Network &network() { return *network_; }
+    msg::Fabric &fabric() { return *fabric_; }
+
+    /** Transport endpoint of node @p rank. */
+    msg::Transport &node(int rank) { return fabric_->node(rank); }
+
+    /** Barrier tree, or nullptr when the machine has none. */
+    HardwareBarrier *hwBarrier() { return hw_barrier_.get(); }
+
+    /** Activity-trace sink (enable() it before running). */
+    sim::Trace &trace() { return trace_; }
+
+    /** Spawn one rank program per node (rank passed to the factory). */
+    void spawnAll(const std::function<sim::Task<void>(int)> &factory);
+
+    /** Run the event loop to completion. */
+    void run() { sim_.run(); }
+
+    /**
+     * Deterministic communicator-context allocation: the same global
+     * rank list always maps to the same context id, so every member
+     * of a new communicator derives the identical id without
+     * coordination.  Id 0 is the world communicator.
+     */
+    int contextFor(const std::vector<int> &global_ranks);
+
+  private:
+    MachineConfig config_;
+    int size_;
+    sim::Simulator sim_;
+    sim::Trace trace_;
+    std::unique_ptr<net::Network> network_;
+    std::unique_ptr<msg::Fabric> fabric_;
+    std::unique_ptr<HardwareBarrier> hw_barrier_;
+    std::map<std::vector<int>, int> context_registry_;
+};
+
+} // namespace ccsim::machine
+
+#endif // CCSIM_MACHINE_MACHINE_HH

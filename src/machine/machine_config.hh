@@ -1,0 +1,145 @@
+/**
+ * @file
+ * MachineConfig: the complete parameter set describing one
+ * message-passing multicomputer, plus calibrated presets for the
+ * paper's three machines.
+ *
+ * Everything the simulator knows about a machine is in this plain
+ * struct — topology family, physical link parameters, messaging
+ * software overheads, special hardware (barrier tree, block-transfer
+ * engine, message coprocessor), per-collective algorithm defaults
+ * and software costs — so ablations are one-field edits and new
+ * machines are pure data.
+ *
+ * Calibration notes and the residuals against the paper's Table 3
+ * live in EXPERIMENTS.md.
+ */
+
+#ifndef CCSIM_MACHINE_MACHINE_CONFIG_HH
+#define CCSIM_MACHINE_MACHINE_CONFIG_HH
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "machine/collective_types.hh"
+#include "msg/transport.hh"
+#include "net/network.hh"
+#include "net/topology.hh"
+
+namespace ccsim::machine {
+
+/** Topology family a machine instantiates for a given node count. */
+enum class TopologyKind
+{
+    Mesh2D,         //!< Paragon-style 2-D mesh
+    Torus3D,        //!< T3D-style 3-D torus
+    Omega,          //!< SP2-style multistage switch
+    Hypercube,      //!< nCUBE/iPSC-style binary hypercube
+    FullyConnected, //!< ideal crossbar baseline
+};
+
+/** Printable topology-family name. */
+std::string topologyKindName(TopologyKind k);
+
+/** Full description of one simulated multicomputer. */
+struct MachineConfig
+{
+    std::string name = "unnamed";
+
+    TopologyKind topology = TopologyKind::FullyConnected;
+
+    /** Switch radix (Omega topology only). */
+    int switch_radix = 4;
+
+    /** Physical network parameters. */
+    net::NetworkParams network;
+
+    /** Messaging software/protocol parameters. */
+    msg::TransportParams transport;
+
+    /** Dedicated barrier network (T3D's hardwired AND tree). */
+    bool hardware_barrier = false;
+
+    /** Latency of a hardware barrier once all ranks have arrived. */
+    Time hardware_barrier_latency = 0;
+
+    /** Rate at which a node combines operands in reduce/scan/
+     *  allreduce (models FPU + memory system), MB/s. */
+    double reduce_bandwidth_mbs = 100.0;
+
+    /** Algorithm the vendor MPI uses per collective. */
+    std::array<Algo, kNumColl> algorithms{};
+
+    /** Per-collective software calibration. */
+    std::array<CollCosts, kNumColl> costs{};
+
+    /** Accessors by collective. */
+    Algo
+    algorithmFor(Coll c) const
+    {
+        return algorithms[static_cast<size_t>(c)];
+    }
+
+    const CollCosts &
+    costsFor(Coll c) const
+    {
+        return costs[static_cast<size_t>(c)];
+    }
+
+    CollCosts &
+    costsFor(Coll c)
+    {
+        return costs[static_cast<size_t>(c)];
+    }
+
+    void
+    setAlgorithm(Coll c, Algo a)
+    {
+        algorithms[static_cast<size_t>(c)] = a;
+    }
+
+    /** Instantiate this config's topology for @p p nodes. */
+    std::unique_ptr<net::Topology> makeTopology(int p) const;
+
+    /** Sanity-check all fields; fatal() on user error. */
+    void validate() const;
+};
+
+/**
+ * IBM SP2 (MHPCC configuration): POWER2 thin nodes on a multistage
+ * Vulcan switch.  ~40 MB/s links, 125 ns per hop, MPICH-derived MPI
+ * with heavyweight collective layering (the measured SP2 barrier
+ * costs ~123 us per dissemination round).
+ */
+MachineConfig sp2Config();
+
+/**
+ * Cray T3D (Eagan configuration): Alpha 21064 nodes on a 3-D torus.
+ * ~300 MB/s links, 20 ns per hop, hardwired barrier tree (~3 us),
+ * block-transfer engine for long messages, low-overhead fast
+ * messaging (prefetch queue / remote stores).
+ */
+MachineConfig t3dConfig();
+
+/**
+ * Intel Paragon (SDSC configuration): i860 nodes on a 2-D mesh with
+ * a dedicated i860 message coprocessor per node.  ~175 MB/s links,
+ * 40 ns per hop, NX messaging with expensive per-message software —
+ * especially in the NX gather / total-exchange collectives — but a
+ * kernel fast path for scan.
+ */
+MachineConfig paragonConfig();
+
+/**
+ * An idealized machine: fully-connected contention-free network,
+ * zero software overhead beyond copies.  Baseline for ablations.
+ */
+MachineConfig idealConfig();
+
+/** The paper's three machines, in its presentation order. */
+std::array<MachineConfig, 3> paperMachines();
+
+} // namespace ccsim::machine
+
+#endif // CCSIM_MACHINE_MACHINE_CONFIG_HH

@@ -1,0 +1,218 @@
+#include "model/fit.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "model/linalg.hh"
+#include "util/logging.hh"
+
+namespace ccsim::model {
+
+namespace {
+
+constexpr Growth kGrowths[2] = {Growth::Linear, Growth::Log2};
+
+void
+checkSamples(const std::vector<Sample> &samples, std::size_t need)
+{
+    if (samples.size() < need)
+        fatal("fit: %zu samples, need at least %zu", samples.size(),
+              need);
+    for (const auto &s : samples)
+        if (s.p < 1 || s.m < 0)
+            fatal("fit: bad sample (m=%lld, p=%d)",
+                  static_cast<long long>(s.m), s.p);
+}
+
+} // namespace
+
+TimingExpression
+fitFull(const std::vector<Sample> &samples, Growth t0_growth,
+        Growth d_growth)
+{
+    checkSamples(samples, 4);
+    Matrix a(samples.size(), 4);
+    std::vector<double> b(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        double g1 = growthTerm(t0_growth, s.p);
+        double g2 = growthTerm(d_growth, s.p);
+        double m = static_cast<double>(s.m);
+        a.at(i, 0) = g1;
+        a.at(i, 1) = 1.0;
+        a.at(i, 2) = g2 * m;
+        a.at(i, 3) = m;
+        b[i] = s.t_us;
+    }
+    std::vector<double> x = leastSquares(a, b);
+    TimingExpression e;
+    e.t0_growth = t0_growth;
+    e.d_growth = d_growth;
+    e.a = x[0];
+    e.b = x[1];
+    e.c = x[2];
+    e.d = x[3];
+    return e;
+}
+
+TimingExpression
+fitFullAuto(const std::vector<Sample> &samples)
+{
+    TimingExpression best;
+    double best_err = -1;
+    for (Growth g1 : kGrowths) {
+        for (Growth g2 : kGrowths) {
+            TimingExpression e = fitFull(samples, g1, g2);
+            double err = relRmsError(e, samples);
+            if (best_err < 0 || err < best_err) {
+                best_err = err;
+                best = e;
+            }
+        }
+    }
+    return best;
+}
+
+TimingExpression
+fitStartup(const std::vector<Sample> &samples, Growth growth)
+{
+    checkSamples(samples, 2);
+    Matrix a(samples.size(), 2);
+    std::vector<double> b(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        a.at(i, 0) = growthTerm(growth, samples[i].p);
+        a.at(i, 1) = 1.0;
+        b[i] = samples[i].t_us;
+    }
+    std::vector<double> x = leastSquares(a, b);
+    TimingExpression e;
+    e.t0_growth = growth;
+    e.d_growth = growth;
+    e.a = x[0];
+    e.b = x[1];
+    return e;
+}
+
+TimingExpression
+fitStartupAuto(const std::vector<Sample> &samples)
+{
+    TimingExpression best;
+    double best_err = -1;
+    for (Growth g : kGrowths) {
+        TimingExpression e = fitStartup(samples, g);
+        double err = relRmsError(e, samples);
+        if (best_err < 0 || err < best_err) {
+            best_err = err;
+            best = e;
+        }
+    }
+    return best;
+}
+
+TimingExpression
+fitPaperStyle(const std::vector<Sample> &samples, Growth t0_growth,
+              Growth d_growth)
+{
+    checkSamples(samples, 4);
+
+    // Partition the samples by machine size.
+    std::map<int, std::vector<Sample>> by_p;
+    for (const Sample &s : samples)
+        by_p[s.p].push_back(s);
+
+    // Stage 1: startup latency from the shortest message per p.
+    std::vector<Sample> startup;
+    // Stage 2 data: per-byte slope between the two longest messages.
+    std::vector<Sample> slopes; // t_us holds the slope (us/B)
+    for (auto &[p, group] : by_p) {
+        std::sort(group.begin(), group.end(),
+                  [](const Sample &x, const Sample &y) {
+                      return x.m < y.m;
+                  });
+        startup.push_back(group.front());
+        if (group.size() >= 2) {
+            const Sample &hi = group.back();
+            const Sample &lo = group[group.size() - 2];
+            if (hi.m > lo.m) {
+                Sample sl;
+                sl.p = p;
+                sl.m = 0;
+                sl.t_us = (hi.t_us - lo.t_us) /
+                          static_cast<double>(hi.m - lo.m);
+                slopes.push_back(sl);
+            }
+        }
+    }
+    if (startup.size() < 2 || slopes.size() < 2)
+        fatal("fitPaperStyle: need at least two machine sizes with two "
+              "message lengths each");
+
+    TimingExpression t0 = fitStartup(startup, t0_growth);
+
+    Matrix a(slopes.size(), 2);
+    std::vector<double> b(slopes.size());
+    for (std::size_t i = 0; i < slopes.size(); ++i) {
+        a.at(i, 0) = growthTerm(d_growth, slopes[i].p);
+        a.at(i, 1) = 1.0;
+        b[i] = slopes[i].t_us;
+    }
+    std::vector<double> x = leastSquares(a, b);
+
+    TimingExpression e;
+    e.t0_growth = t0_growth;
+    e.d_growth = d_growth;
+    e.a = t0.a;
+    e.b = t0.b;
+    e.c = x[0];
+    e.d = x[1];
+    return e;
+}
+
+TimingExpression
+fitPaperStyleAuto(const std::vector<Sample> &samples)
+{
+    TimingExpression best;
+    double best_err = -1;
+    for (Growth g1 : kGrowths) {
+        for (Growth g2 : kGrowths) {
+            TimingExpression e = fitPaperStyle(samples, g1, g2);
+            double err = relRmsError(e, samples);
+            if (best_err < 0 || err < best_err) {
+                best_err = err;
+                best = e;
+            }
+        }
+    }
+    return best;
+}
+
+double
+rmsErrorUs(const TimingExpression &e, const std::vector<Sample> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0;
+    for (const Sample &s : samples) {
+        double diff = e.evalUs(s.m, s.p) - s.t_us;
+        sum += diff * diff;
+    }
+    return std::sqrt(sum / static_cast<double>(samples.size()));
+}
+
+double
+relRmsError(const TimingExpression &e, const std::vector<Sample> &samples)
+{
+    double sum = 0;
+    std::size_t n = 0;
+    for (const Sample &s : samples) {
+        if (s.t_us <= 0)
+            continue;
+        double rel = (e.evalUs(s.m, s.p) - s.t_us) / s.t_us;
+        sum += rel * rel;
+        ++n;
+    }
+    return n ? std::sqrt(sum / static_cast<double>(n)) : 0.0;
+}
+
+} // namespace ccsim::model

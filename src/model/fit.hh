@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Curve fitting of measured collective times to the paper's closed
+ * form T(m, p) = (a g1(p) + b) + (c g2(p) + d) m.
+ *
+ * Two fitting procedures:
+ *
+ *  - fitFull(): one least-squares solve over the 4-term basis
+ *    {1, g1(p), m, g2(p) m} for fixed growth families;
+ *
+ *  - fitPaperStyle(): the two-stage procedure the authors describe —
+ *    the startup part is fitted to the shortest-message column
+ *    (T0(p) ~ T(m_min, p)), then the per-byte part is fitted to the
+ *    finite-difference slope of the longest-message columns.  This
+ *    keeps the startup coefficients meaningful even though long-
+ *    message samples dominate the raw sum of squares.
+ *
+ * The *Auto variants try every growth-family combination and keep
+ * the one with the smallest relative RMS error, reproducing the
+ * paper's split (log p for barrier/bcast/reduce/scan startup, p for
+ * gather/scatter/total exchange).
+ */
+
+#ifndef CCSIM_MODEL_FIT_HH
+#define CCSIM_MODEL_FIT_HH
+
+#include <vector>
+
+#include "model/timing_expr.hh"
+#include "util/units.hh"
+
+namespace ccsim::model {
+
+/** One (m, p, time) observation. */
+struct Sample
+{
+    Bytes m = 0;
+    int p = 0;
+    double t_us = 0.0;
+};
+
+/** Least squares over {1, g1, m, g2 m} with fixed growth families. */
+TimingExpression fitFull(const std::vector<Sample> &samples,
+                         Growth t0_growth, Growth d_growth);
+
+/** fitFull over all growth combinations; best relative RMS wins. */
+TimingExpression fitFullAuto(const std::vector<Sample> &samples);
+
+/** Two-stage fit (startup from min-m, slope from the largest m). */
+TimingExpression fitPaperStyle(const std::vector<Sample> &samples,
+                               Growth t0_growth, Growth d_growth);
+
+/** fitPaperStyle over all growth combinations. */
+TimingExpression fitPaperStyleAuto(const std::vector<Sample> &samples);
+
+/** Startup-only fit: T0(p) = a g(p) + b from (p, t) pairs. */
+TimingExpression fitStartup(const std::vector<Sample> &samples,
+                            Growth growth);
+
+/** Startup-only fit with automatic growth selection. */
+TimingExpression fitStartupAuto(const std::vector<Sample> &samples);
+
+/** Root-mean-square absolute error of @p e over @p samples (us). */
+double rmsErrorUs(const TimingExpression &e,
+                  const std::vector<Sample> &samples);
+
+/** RMS of relative errors (dimensionless; samples with t <= 0
+ *  are skipped). */
+double relRmsError(const TimingExpression &e,
+                   const std::vector<Sample> &samples);
+
+} // namespace ccsim::model
+
+#endif // CCSIM_MODEL_FIT_HH

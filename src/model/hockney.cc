@@ -1,0 +1,65 @@
+#include "model/hockney.hh"
+
+#include <cstdio>
+
+#include "model/linalg.hh"
+#include "util/logging.hh"
+
+namespace ccsim::model {
+
+double
+HockneyModel::evalUs(Bytes m) const
+{
+    if (r_inf_mbs <= 0)
+        return t0_us;
+    return t0_us + static_cast<double>(m) / r_inf_mbs;
+}
+
+double
+HockneyModel::bandwidthAtMBs(Bytes m) const
+{
+    double t = evalUs(m);
+    return t > 0 ? static_cast<double>(m) / t : 0.0;
+}
+
+std::string
+HockneyModel::str() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "t0 = %.1f us, r_inf = %.1f MB/s, n_1/2 = %.0f B",
+                  t0_us, r_inf_mbs, n_half_bytes);
+    return buf;
+}
+
+HockneyModel
+fitHockney(const std::vector<PingPongSample> &samples)
+{
+    if (samples.size() < 2)
+        fatal("fitHockney: need at least two samples, got %zu",
+              samples.size());
+    bool distinct = false;
+    for (const auto &s : samples)
+        if (s.m != samples.front().m)
+            distinct = true;
+    if (!distinct)
+        fatal("fitHockney: all samples share one message length");
+
+    // t = t0 + s m with s = 1 / r_inf.
+    Matrix a(samples.size(), 2);
+    std::vector<double> b(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        a.at(i, 0) = static_cast<double>(samples[i].m);
+        a.at(i, 1) = 1.0;
+        b[i] = samples[i].t_us;
+    }
+    auto x = leastSquares(a, b);
+
+    HockneyModel h;
+    h.t0_us = x[1];
+    h.r_inf_mbs = x[0] > 0 ? 1.0 / x[0] : 0.0;
+    h.n_half_bytes = h.t0_us * h.r_inf_mbs;
+    return h;
+}
+
+} // namespace ccsim::model

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Hockney's point-to-point communication model.
+ *
+ * The paper (Section 9) argues that Hockney's asymptotic model
+ *
+ *     t(m) = t0 + m / r_inf
+ *
+ * "is only effective in characterizing point-to-point
+ * communications", which is why it introduces the aggregated
+ * bandwidth metric for collectives.  To make that comparison
+ * concrete, this module fits Hockney's parameters — the asymptotic
+ * bandwidth r_inf, the startup time t0, and the half-performance
+ * message length n_1/2 = t0 * r_inf (the m at which half of r_inf
+ * is achieved) — from ping-pong measurements.
+ */
+
+#ifndef CCSIM_MODEL_HOCKNEY_HH
+#define CCSIM_MODEL_HOCKNEY_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace ccsim::model {
+
+/** One (message length, one-way time) observation. */
+struct PingPongSample
+{
+    Bytes m = 0;
+    double t_us = 0.0;
+};
+
+/** Hockney's (t0, r_inf) characterization of a pt-2-pt channel. */
+struct HockneyModel
+{
+    double t0_us = 0.0;       //!< startup (zero-byte) latency
+    double r_inf_mbs = 0.0;   //!< asymptotic bandwidth, MB/s
+    double n_half_bytes = 0.0; //!< half-performance message length
+
+    /** Predicted one-way time for an m-byte message (us). */
+    double evalUs(Bytes m) const;
+
+    /** Achieved bandwidth m / t(m) in MB/s. */
+    double bandwidthAtMBs(Bytes m) const;
+
+    /** "t0 = 55.0 us, r_inf = 38.2 MB/s, n_1/2 = 2101 B" */
+    std::string str() const;
+};
+
+/**
+ * Least-squares fit of t(m) = t0 + m / r_inf over the samples
+ * (requires at least two distinct message lengths; fatal otherwise).
+ * A non-increasing time curve yields r_inf = 0 (degenerate fit).
+ */
+HockneyModel fitHockney(const std::vector<PingPongSample> &samples);
+
+} // namespace ccsim::model
+
+#endif // CCSIM_MODEL_HOCKNEY_HH

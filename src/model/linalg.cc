@@ -1,0 +1,109 @@
+#include "model/linalg.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ccsim::model {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+    if (rows == 0 || cols == 0)
+        panic("Matrix: zero dimension %zux%zu", rows, cols);
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(%zu, %zu) outside %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(%zu, %zu) outside %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+std::vector<double>
+solve(Matrix a, std::vector<double> b)
+{
+    std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        panic("solve: shape mismatch (%zux%zu, b %zu)", a.rows(),
+              a.cols(), b.size());
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        double best = std::fabs(a.at(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double v = std::fabs(a.at(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-12)
+            panic("solve: singular system (pivot %g at column %zu)",
+                  best, col);
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a.at(pivot, c), a.at(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+        // Eliminate below.
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double f = a.at(r, col) / a.at(col, col);
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a.at(r, c) -= f * a.at(col, c);
+            b[r] -= f * b[col];
+        }
+    }
+
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            sum -= a.at(i, c) * x[c];
+        x[i] = sum / a.at(i, i);
+    }
+    return x;
+}
+
+std::vector<double>
+leastSquares(const Matrix &a, const std::vector<double> &b)
+{
+    std::size_t rows = a.rows();
+    std::size_t cols = a.cols();
+    if (b.size() != rows)
+        panic("leastSquares: %zu rows vs %zu targets", rows, b.size());
+    if (rows < cols)
+        panic("leastSquares: underdetermined (%zu rows, %zu unknowns)",
+              rows, cols);
+
+    Matrix ata(cols, cols);
+    std::vector<double> atb(cols, 0.0);
+    for (std::size_t i = 0; i < cols; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            double s = 0;
+            for (std::size_t r = 0; r < rows; ++r)
+                s += a.at(r, i) * a.at(r, j);
+            ata.at(i, j) = s;
+        }
+        double s = 0;
+        for (std::size_t r = 0; r < rows; ++r)
+            s += a.at(r, i) * b[r];
+        atb[i] = s;
+    }
+    return solve(std::move(ata), std::move(atb));
+}
+
+} // namespace ccsim::model

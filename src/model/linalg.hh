@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small dense linear algebra for the curve-fitting pipeline: solving
+ * the normal equations of a least-squares fit needs nothing more
+ * than Gaussian elimination with partial pivoting on matrices of
+ * rank 2-4.
+ */
+
+#ifndef CCSIM_MODEL_LINALG_HH
+#define CCSIM_MODEL_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ccsim::model {
+
+/** Dense row-major matrix. */
+class Matrix
+{
+  public:
+    /** rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve A x = b by Gaussian elimination with partial pivoting.
+ * A must be square with b.size() == A.rows().  Panics on a singular
+ * (or numerically singular) system.
+ */
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/**
+ * Ordinary least squares: find x minimizing |A x - b|^2 via the
+ * normal equations (A^T A) x = A^T b.  A is tall (rows >= cols).
+ */
+std::vector<double> leastSquares(const Matrix &a,
+                                 const std::vector<double> &b);
+
+} // namespace ccsim::model
+
+#endif // CCSIM_MODEL_LINALG_HH

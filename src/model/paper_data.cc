@@ -1,0 +1,145 @@
+#include "model/paper_data.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace ccsim::model::paper {
+
+namespace {
+
+using machine::Coll;
+
+TimingExpression
+expr(Growth t0_g, double a, double b, Growth d_g, double c, double d)
+{
+    TimingExpression e;
+    e.t0_growth = t0_g;
+    e.d_growth = d_g;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.d = d;
+    return e;
+}
+
+constexpr Growth L = Growth::Linear;
+constexpr Growth G = Growth::Log2;
+
+/** Table 3, transcribed row by row (times in microseconds). */
+const std::map<std::pair<std::string, Coll>, TimingExpression> &
+table3()
+{
+    static const std::map<std::pair<std::string, Coll>,
+                          TimingExpression>
+        t = {
+            // Barrier
+            {{"SP2", Coll::Barrier}, expr(G, 123, -90, G, 0, 0)},
+            {{"T3D", Coll::Barrier}, expr(G, 0.011, 3, G, 0, 0)},
+            {{"Paragon", Coll::Barrier}, expr(G, 147, -66, G, 0, 0)},
+            // Broadcast
+            {{"SP2", Coll::Bcast}, expr(G, 55, 30, G, 0.014, 0.053)},
+            {{"T3D", Coll::Bcast}, expr(G, 23, 12, G, 0.013, -0.0071)},
+            {{"Paragon", Coll::Bcast},
+             expr(G, 52, 15, G, 0.019, -0.022)},
+            // Scan (log-p startup, linear-p per-byte)
+            {{"SP2", Coll::Scan}, expr(G, 100, -43, L, 0.0010, 0.23)},
+            {{"T3D", Coll::Scan}, expr(G, 28, 41, L, 0.0046, 0.12)},
+            {{"Paragon", Coll::Scan},
+             expr(G, 10, 73, L, 0.0033, 0.28)},
+            // Total exchange
+            {{"SP2", Coll::Alltoall}, expr(L, 24, 90, L, 0.082, -0.29)},
+            {{"T3D", Coll::Alltoall},
+             expr(L, 26, 8.6, L, 0.038, -0.12)},
+            {{"Paragon", Coll::Alltoall},
+             expr(L, 97, 82, L, 0.073, -0.10)},
+            // Gather
+            {{"SP2", Coll::Gather},
+             expr(L, 3.7, 128, L, 0.022, -0.011)},
+            {{"T3D", Coll::Gather},
+             expr(L, 5.3, 30, L, 0.0047, 0.0084)},
+            {{"Paragon", Coll::Gather},
+             expr(L, 48, 15, L, 0.0081, 0.039)},
+            // Scatter
+            {{"SP2", Coll::Scatter},
+             expr(L, 5.8, 77, L, 0.039, -0.12)},
+            {{"T3D", Coll::Scatter},
+             expr(L, 4.3, 67, L, 0.0057, 0.16)},
+            {{"Paragon", Coll::Scatter},
+             expr(L, 18, 78, L, 0.0031, 0.039)},
+            // Reduce
+            {{"SP2", Coll::Reduce},
+             expr(G, 63, 26, G, 0.016, 0.071)},
+            {{"T3D", Coll::Reduce},
+             expr(G, 34, 49, G, 0.061, -0.00035)},
+            {{"Paragon", Coll::Reduce},
+             expr(G, 77, 3.6, G, 0.16, -0.028)},
+        };
+    return t;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+machineNames()
+{
+    static const std::vector<std::string> names = {"SP2", "T3D",
+                                                   "Paragon"};
+    return names;
+}
+
+bool
+hasExpression(const std::string &machine, Coll op)
+{
+    return table3().count({machine, op}) > 0;
+}
+
+const TimingExpression &
+expression(const std::string &machine, Coll op)
+{
+    auto it = table3().find({machine, op});
+    if (it == table3().end())
+        fatal("paper::expression: Table 3 has no row for %s / %s",
+              machine.c_str(), machine::collName(op).c_str());
+    return it->second;
+}
+
+double
+alltoallBandwidth64MBs(const std::string &machine)
+{
+    // Abstract: "For total exchange with 64 nodes, the T3D, Paragon,
+    // and SP2 achieved an aggregated bandwidth of 1.745, 0.879, and
+    // 0.818 GBytes/s, respectively."
+    if (machine == "T3D")
+        return 1745.0;
+    if (machine == "Paragon")
+        return 879.0;
+    if (machine == "SP2")
+        return 818.0;
+    fatal("paper::alltoallBandwidth64MBs: unknown machine '%s'",
+          machine.c_str());
+}
+
+double
+t3dStartup64Us(Coll op)
+{
+    switch (op) {
+      case Coll::Bcast:
+        return 150.0;
+      case Coll::Alltoall:
+        return 1700.0;
+      case Coll::Scatter:
+        return 298.0;
+      case Coll::Gather:
+        return 365.0;
+      case Coll::Scan:
+        return 209.0;
+      case Coll::Reduce:
+        return 253.0;
+      default:
+        fatal("paper::t3dStartup64Us: no quoted value for %s",
+              machine::collName(op).c_str());
+    }
+}
+
+} // namespace ccsim::model::paper

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The paper's published numbers, digitized.
+ *
+ * Table 3 gives curve-fitted timing expressions (microseconds) for
+ * seven collectives on the three machines; the text quotes several
+ * spot values (startup latencies on the 64-node T3D, the 64-node
+ * total-exchange aggregated bandwidths of the abstract, the SP2
+ * 64 KB / 64-node total-exchange time).  Every bench prints paper
+ * vs simulated side by side from this table, and the test suite
+ * checks the paper's own self-consistency claims against it (e.g.
+ * Section 8's worked example: T3D total exchange, m = 512, p = 64
+ * -> 2.86 ms).
+ */
+
+#ifndef CCSIM_MODEL_PAPER_DATA_HH
+#define CCSIM_MODEL_PAPER_DATA_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/collective_types.hh"
+#include "model/timing_expr.hh"
+
+namespace ccsim::model::paper {
+
+/** Machines in the paper's presentation order. */
+const std::vector<std::string> &machineNames();
+
+/** True when Table 3 has a row for (machine, op). */
+bool hasExpression(const std::string &machine, machine::Coll op);
+
+/** The Table 3 closed form for (machine, op); fatal if absent. */
+const TimingExpression &expression(const std::string &machine,
+                                   machine::Coll op);
+
+/** Abstract: aggregated bandwidth of 64-node total exchange, MB/s. */
+double alltoallBandwidth64MBs(const std::string &machine);
+
+/**
+ * Section 4: measured startup latencies on the 64-node T3D in
+ * microseconds (broadcast 150, total exchange 1700, scatter 298,
+ * gather 365, scan 209, reduce 253).
+ */
+double t3dStartup64Us(machine::Coll op);
+
+} // namespace ccsim::model::paper
+
+#endif // CCSIM_MODEL_PAPER_DATA_HH

@@ -1,0 +1,86 @@
+#include "model/predictor.hh"
+
+#include <algorithm>
+
+#include "model/paper_data.hh"
+#include "util/logging.hh"
+
+namespace ccsim::model {
+
+MachineModel::MachineModel(std::string name) : name_(std::move(name)) {}
+
+MachineModel
+MachineModel::fromPaper(const std::string &machine)
+{
+    MachineModel m(machine + " (paper Table 3)");
+    for (machine::Coll op : machine::kPaperColls)
+        m.set(op, paper::expression(machine, op));
+    return m;
+}
+
+bool
+MachineModel::has(machine::Coll op) const
+{
+    return exprs_[static_cast<size_t>(op)].has_value();
+}
+
+void
+MachineModel::set(machine::Coll op, const TimingExpression &e)
+{
+    exprs_[static_cast<size_t>(op)] = e;
+}
+
+const TimingExpression &
+MachineModel::expression(machine::Coll op) const
+{
+    const auto &slot = exprs_[static_cast<size_t>(op)];
+    if (!slot)
+        fatal("MachineModel %s: no expression for %s", name_.c_str(),
+              machine::collName(op).c_str());
+    return *slot;
+}
+
+double
+MachineModel::predictUs(machine::Coll op, Bytes m, int p) const
+{
+    if (m < 0 || p < 1)
+        fatal("MachineModel::predictUs: bad (m=%lld, p=%d)",
+              static_cast<long long>(m), p);
+    return expression(op).evalUs(m, p);
+}
+
+double
+MachineModel::predictBandwidthMBs(machine::Coll op, int p) const
+{
+    return expression(op).aggregatedBandwidthMBs(op, p);
+}
+
+AppPrediction
+predictApp(const MachineModel &model, const std::vector<AppStep> &steps,
+           int p)
+{
+    if (p < 1)
+        fatal("predictApp: bad node count %d", p);
+    AppPrediction out;
+    for (const AppStep &s : steps) {
+        if (s.repeat < 0)
+            fatal("predictApp: negative repeat count");
+        // Fitted expressions can go (slightly) negative outside
+        // the measured envelope — the paper's own T3D alltoall row
+        // does at p = 2.  Clamp: a collective never takes negative
+        // time.
+        double per = s.is_compute
+                         ? s.compute_us
+                         : std::max(0.0,
+                                    model.predictUs(s.op, s.m, p));
+        double total = per * static_cast<double>(s.repeat);
+        if (s.is_compute)
+            out.compute_us += total;
+        else
+            out.comm_us += total;
+    }
+    out.total_us = out.comm_us + out.compute_us;
+    return out;
+}
+
+} // namespace ccsim::model

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * MachineModel: the paper's end product as an API.
+ *
+ * Section 8: "These formulas assist us in quantifying the total
+ * execution time of different optimization strategies in parallel
+ * program development."  A MachineModel holds one fitted
+ * TimingExpression per collective for one machine — either digitized
+ * from the paper's Table 3 or refit from simulator sweeps
+ * (harness::fitMachineModel) — and predicts the communication time
+ * of whole application phases without running anything.
+ */
+
+#ifndef CCSIM_MODEL_PREDICTOR_HH
+#define CCSIM_MODEL_PREDICTOR_HH
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/collective_types.hh"
+#include "model/timing_expr.hh"
+
+namespace ccsim::model {
+
+/** Per-machine set of fitted collective timing expressions. */
+class MachineModel
+{
+  public:
+    /** Empty model named @p name. */
+    explicit MachineModel(std::string name = "unnamed");
+
+    /** Digitize the paper's Table 3 for "SP2" / "T3D" / "Paragon"
+     *  (seven operations). */
+    static MachineModel fromPaper(const std::string &machine);
+
+    const std::string &name() const { return name_; }
+
+    /** True when an expression for @p op has been set. */
+    bool has(machine::Coll op) const;
+
+    /** Install/replace the expression for @p op. */
+    void set(machine::Coll op, const TimingExpression &e);
+
+    /** Expression for @p op; fatal if absent. */
+    const TimingExpression &expression(machine::Coll op) const;
+
+    /** Predicted collective time in microseconds; fatal if absent. */
+    double predictUs(machine::Coll op, Bytes m, int p) const;
+
+    /** Predicted aggregated bandwidth R_inf(p) in MB/s. */
+    double predictBandwidthMBs(machine::Coll op, int p) const;
+
+  private:
+    std::string name_;
+    std::array<std::optional<TimingExpression>,
+               machine::kNumColl> exprs_;
+};
+
+/** One step of an application's communication script. */
+struct AppStep
+{
+    /** A collective phase: op with per-pair message length m. */
+    static AppStep
+    collective(machine::Coll op, Bytes m, int repeat = 1)
+    {
+        AppStep s;
+        s.is_compute = false;
+        s.op = op;
+        s.m = m;
+        s.repeat = repeat;
+        return s;
+    }
+
+    /** A local computation phase of @p us microseconds. */
+    static AppStep
+    compute(double us, int repeat = 1)
+    {
+        AppStep s;
+        s.is_compute = true;
+        s.compute_us = us;
+        s.repeat = repeat;
+        return s;
+    }
+
+    bool is_compute = false;
+    machine::Coll op = machine::Coll::Barrier;
+    Bytes m = 0;
+    double compute_us = 0.0;
+    int repeat = 1;
+};
+
+/** Predicted breakdown of a script on p nodes. */
+struct AppPrediction
+{
+    double total_us = 0.0;
+    double comm_us = 0.0;
+    double compute_us = 0.0;
+
+    /** Communication share in percent. */
+    double
+    commPercent() const
+    {
+        return total_us > 0 ? 100.0 * comm_us / total_us : 0.0;
+    }
+};
+
+/**
+ * Predict the per-node wall time of a bulk-synchronous script (all
+ * steps executed by every rank in order) on @p p nodes.  The
+ * paper's trade-off analysis — "possible combinations of (m, p)
+ * should be tested to achieve a shorter execution time" — in one
+ * call.
+ */
+AppPrediction predictApp(const MachineModel &model,
+                         const std::vector<AppStep> &steps, int p);
+
+} // namespace ccsim::model
+
+#endif // CCSIM_MODEL_PREDICTOR_HH

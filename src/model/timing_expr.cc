@@ -1,0 +1,110 @@
+#include "model/timing_expr.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ccsim::model {
+
+std::string
+growthName(Growth g)
+{
+    return g == Growth::Linear ? "p" : "log p";
+}
+
+double
+growthTerm(Growth g, int p)
+{
+    if (p < 1)
+        panic("growthTerm: bad machine size %d", p);
+    if (g == Growth::Linear)
+        return static_cast<double>(p);
+    return std::log2(static_cast<double>(p));
+}
+
+double
+TimingExpression::startupUs(int p) const
+{
+    return a * growthTerm(t0_growth, p) + b;
+}
+
+double
+TimingExpression::perByteUs(int p) const
+{
+    return c * growthTerm(d_growth, p) + d;
+}
+
+double
+TimingExpression::delayUs(Bytes m, int p) const
+{
+    return perByteUs(p) * static_cast<double>(m);
+}
+
+double
+TimingExpression::evalUs(Bytes m, int p) const
+{
+    return startupUs(p) + delayUs(m, p);
+}
+
+double
+aggregationFactor(machine::Coll op, int p)
+{
+    double dp = static_cast<double>(p);
+    switch (op) {
+      case machine::Coll::Barrier:
+        return 0.0;
+      case machine::Coll::Alltoall:
+      case machine::Coll::Allgather:
+        return dp * (dp - 1.0);
+      default:
+        return dp - 1.0;
+    }
+}
+
+double
+TimingExpression::aggregatedBandwidthMBs(machine::Coll op, int p) const
+{
+    double per_byte = perByteUs(p);
+    if (per_byte <= 0.0)
+        return 0.0;
+    // bytes / us == MB/s (decimal).
+    return aggregationFactor(op, p) / per_byte;
+}
+
+namespace {
+
+/** Two-significant-digit coefficient formatting, paper style. */
+std::string
+coeff(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+TimingExpression::startupStr() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s %s %s %s", coeff(a).c_str(),
+                  growthName(t0_growth).c_str(), b < 0 ? "-" : "+",
+                  coeff(std::fabs(b)).c_str());
+    return buf;
+}
+
+std::string
+TimingExpression::str() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "(%s %s %s %s) + (%s %s %s %s) m",
+                  coeff(a).c_str(), growthName(t0_growth).c_str(),
+                  b < 0 ? "-" : "+", coeff(std::fabs(b)).c_str(),
+                  coeff(c).c_str(), growthName(d_growth).c_str(),
+                  d < 0 ? "-" : "+", coeff(std::fabs(d)).c_str());
+    return buf;
+}
+
+} // namespace ccsim::model

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * TimingExpression: the paper's closed-form collective model
+ *
+ *     T(m, p) = T0(p) + D(m, p)
+ *             = (a g(p) + b) + (c g(p) + d) m      [microseconds]
+ *
+ * with growth term g(p) = p for the O(p) operations (gather,
+ * scatter, total exchange) and g(p) = log2 p for the O(log p) ones
+ * (barrier, broadcast, reduce, scan).  From it derive the paper's
+ * four metrics (Table 2): startup latency T0(p), transmission delay
+ * D(m, p), collective messaging time T(m, p), and aggregated
+ * bandwidth
+ *
+ *     R_inf(p) = lim_{m->inf} f(m, p) / D(m, p) = F(p) / (c g(p) + d)
+ *
+ * where the aggregated message length is f(m, p) = F(p) m (Eq. 4).
+ */
+
+#ifndef CCSIM_MODEL_TIMING_EXPR_HH
+#define CCSIM_MODEL_TIMING_EXPR_HH
+
+#include <string>
+
+#include "machine/collective_types.hh"
+#include "util/units.hh"
+
+namespace ccsim::model {
+
+/** Growth family of the p-dependent terms. */
+enum class Growth
+{
+    Linear, //!< g(p) = p
+    Log2,   //!< g(p) = log2 p
+};
+
+/** Printable growth-term name ("p" or "log p"). */
+std::string growthName(Growth g);
+
+/** Evaluate g(p). */
+double growthTerm(Growth g, int p);
+
+/**
+ * The fitted closed form for one (machine, collective) pair.  The
+ * startup and per-byte parts may use different growth families —
+ * the paper's scan rows, for instance, fit a log2 p startup with a
+ * linear-p per-byte term.
+ */
+struct TimingExpression
+{
+    Growth t0_growth = Growth::Log2; //!< growth of the startup part
+    Growth d_growth = Growth::Log2;  //!< growth of the per-byte part
+    double a = 0; //!< us per g(p), startup
+    double b = 0; //!< us, startup constant
+    double c = 0; //!< us per byte per g(p)
+    double d = 0; //!< us per byte
+
+    /** Startup latency T0(p) in microseconds. */
+    double startupUs(int p) const;
+
+    /** Transmission delay D(m, p) in microseconds. */
+    double delayUs(Bytes m, int p) const;
+
+    /** Collective messaging time T(m, p) in microseconds. */
+    double evalUs(Bytes m, int p) const;
+
+    /** Per-byte cost c g(p) + d in microseconds. */
+    double perByteUs(int p) const;
+
+    /**
+     * Aggregated bandwidth R_inf(p) in MB/s for operation @p op
+     * (which fixes F(p)); 0 when the per-byte cost is non-positive
+     * (a fit artifact on nearly-flat data).
+     */
+    double aggregatedBandwidthMBs(machine::Coll op, int p) const;
+
+    /** Render in the paper's Table 3 style, e.g.
+     *  "(26 p + 8.6) + (0.038 p - 0.12) m". */
+    std::string str() const;
+
+    /** Render just the startup part, e.g. "123 log p - 90". */
+    std::string startupStr() const;
+};
+
+/** F(p): aggregated message length per byte of m (Section 3). */
+double aggregationFactor(machine::Coll op, int p);
+
+} // namespace ccsim::model
+
+#endif // CCSIM_MODEL_TIMING_EXPR_HH

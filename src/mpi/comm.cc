@@ -1,0 +1,253 @@
+#include "mpi/comm.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ccsim::mpi {
+
+namespace {
+
+/** Point-to-point traffic uses even contexts, collectives odd. */
+int
+ptpContext(int ctx_id)
+{
+    return ctx_id * 2;
+}
+
+int
+collContext(int ctx_id)
+{
+    return ctx_id * 2 + 1;
+}
+
+} // namespace
+
+Comm::Comm(machine::Machine &mach, int rank)
+    : mach_(&mach), rank_(rank), size_(mach.size()), group_(nullptr),
+      ctx_id_(0)
+{
+    if (rank < 0 || rank >= size_)
+        fatal("Comm: rank %d outside machine of %d nodes", rank, size_);
+}
+
+Comm::Comm(machine::Machine &mach, int rank, int size,
+           std::shared_ptr<const std::vector<int>> group, int ctx_id)
+    : mach_(&mach), rank_(rank), size_(size), group_(std::move(group)),
+      ctx_id_(ctx_id)
+{
+}
+
+int
+Comm::globalRank(int r) const
+{
+    if (r < 0 || r >= size_)
+        panic("Comm::globalRank: rank %d outside communicator of %d", r,
+              size_);
+    return group_ ? (*group_)[static_cast<size_t>(r)] : r;
+}
+
+msg::Transport &
+Comm::transport() const
+{
+    return mach_->node(globalRank(rank_));
+}
+
+Comm
+Comm::subgroup(const std::vector<int> &members) const
+{
+    if (members.empty())
+        fatal("Comm::subgroup: empty member list");
+
+    std::vector<int> globals;
+    globals.reserve(members.size());
+    int my_new_rank = -1;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        int r = members[i];
+        if (r < 0 || r >= size_)
+            fatal("Comm::subgroup: member %d outside communicator of %d",
+                  r, size_);
+        if (r == rank_)
+            my_new_rank = static_cast<int>(i);
+        globals.push_back(globalRank(r));
+    }
+    // Duplicate check without disturbing member order.
+    std::vector<int> sorted = globals;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+        fatal("Comm::subgroup: duplicate member");
+    if (my_new_rank < 0)
+        fatal("Comm::subgroup: calling rank %d is not a member", rank_);
+
+    int ctx = mach_->contextFor(globals);
+    int new_size = static_cast<int>(globals.size());
+    auto group = std::make_shared<const std::vector<int>>(
+        std::move(globals));
+    return Comm(*mach_, my_new_rank, new_size, std::move(group), ctx);
+}
+
+sim::Task<void>
+Comm::send(int dst, int tag, Bytes bytes, msg::PayloadPtr payload) const
+{
+    return transport().send(globalRank(dst), tag, ptpContext(ctx_id_),
+                            bytes, std::move(payload));
+}
+
+sim::Task<msg::Message>
+Comm::recv(int src, int tag) const
+{
+    int g = src == msg::kAnySource ? src : globalRank(src);
+    return transport().recv(g, tag, ptpContext(ctx_id_));
+}
+
+msg::Request
+Comm::isend(int dst, int tag, Bytes bytes, msg::PayloadPtr payload) const
+{
+    return transport().isend(globalRank(dst), tag, ptpContext(ctx_id_),
+                             bytes, std::move(payload));
+}
+
+msg::Request
+Comm::irecv(int src, int tag) const
+{
+    int g = src == msg::kAnySource ? src : globalRank(src);
+    return transport().irecv(g, tag, ptpContext(ctx_id_));
+}
+
+sim::Task<msg::Message>
+Comm::wait(msg::Request req) const
+{
+    return transport().wait(std::move(req));
+}
+
+sim::Task<msg::Message>
+Comm::sendrecv(int dst, int send_tag, Bytes bytes, int src, int recv_tag,
+               msg::PayloadPtr payload) const
+{
+    return transport().sendrecv(globalRank(dst), send_tag, bytes,
+                                globalRank(src), recv_tag,
+                                ptpContext(ctx_id_), std::move(payload));
+}
+
+sim::Task<void>
+Comm::compute(Time t) const
+{
+    msg::Transport &tp = transport();
+    Time start = mach_->sim().now();
+    co_await tp.busy(t);
+    if (tp.trace() && tp.trace()->enabled())
+        tp.trace()->record(sim::Span{globalRank(rank_),
+                                     sim::SpanKind::Compute, start,
+                                     mach_->sim().now(), 0, -1});
+}
+
+CollCtx
+Comm::makeCtx(Coll op, Algo &algo, Combiner combiner)
+{
+    const machine::MachineConfig &cfg = mach_->config();
+    if (algo == Algo::Default)
+        algo = cfg.algorithmFor(op);
+
+    CollCtx ctx;
+    ctx.mach = mach_;
+    ctx.tp = &transport();
+    ctx.rank = rank_;
+    ctx.size = size_;
+    ctx.group = group_;
+    ctx.context = collContext(ctx_id_);
+    ctx.tag = coll_seq_++;
+    ctx.costs = cfg.costsFor(op);
+    ctx.ov = msg::CostOverride{ctx.costs.send_overhead_override,
+                               ctx.costs.recv_overhead_override};
+    ctx.reduce_bw = cfg.reduce_bandwidth_mbs;
+    ctx.combiner = std::move(combiner);
+    return ctx;
+}
+
+sim::Task<void>
+Comm::barrier(Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::Barrier, algo, {});
+    co_await barrierImpl(ctx, algo);
+}
+
+sim::Task<void>
+Comm::bcast(Bytes m, int root, Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::Bcast, algo, {});
+    co_await bcastImpl(ctx, algo, m, root, nullptr);
+}
+
+sim::Task<void>
+Comm::gather(Bytes m, int root, Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::Gather, algo, {});
+    co_await gatherImpl(ctx, algo, m, root, nullptr);
+}
+
+sim::Task<void>
+Comm::scatter(Bytes m, int root, Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
+    co_await scatterImpl(ctx, algo, m, root, nullptr);
+}
+
+sim::Task<void>
+Comm::allgather(Bytes m, Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::Allgather, algo, {});
+    co_await allgatherImpl(ctx, algo, m, nullptr);
+}
+
+sim::Task<void>
+Comm::gatherv(const std::vector<Bytes> &counts, int root)
+{
+    Algo algo = Algo::Linear;
+    CollCtx ctx = makeCtx(Coll::Gather, algo, {});
+    co_await gathervImpl(ctx, counts, root, nullptr);
+}
+
+sim::Task<void>
+Comm::scatterv(const std::vector<Bytes> &counts, int root)
+{
+    Algo algo = Algo::Linear;
+    CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
+    co_await scattervImpl(ctx, counts, root, nullptr);
+}
+
+sim::Task<void>
+Comm::alltoall(Bytes m, Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::Alltoall, algo, {});
+    co_await alltoallImpl(ctx, algo, m, nullptr);
+}
+
+sim::Task<void>
+Comm::reduce(Bytes m, int root, Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::Reduce, algo, {});
+    co_await reduceImpl(ctx, algo, m, root, nullptr);
+}
+
+sim::Task<void>
+Comm::allreduce(Bytes m, Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::Allreduce, algo, {});
+    co_await allreduceImpl(ctx, algo, m, nullptr);
+}
+
+sim::Task<void>
+Comm::reduceScatter(Bytes m, Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::ReduceScatter, algo, {});
+    co_await reduceScatterImpl(ctx, algo, m, nullptr);
+}
+
+sim::Task<void>
+Comm::scan(Bytes m, Algo algo)
+{
+    CollCtx ctx = makeCtx(Coll::Scan, algo, {});
+    co_await scanImpl(ctx, algo, m, nullptr);
+}
+
+} // namespace ccsim::mpi

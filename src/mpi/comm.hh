@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Comm: the MPI-style communicator and the library's public API.
+ *
+ * One Comm object exists per participating rank (exactly like an
+ * MPI_Comm handle inside one process).  Rank programs are C++20
+ * coroutines:
+ *
+ * @code
+ *     sim::Task<void> program(machine::Machine &m, int rank) {
+ *         mpi::Comm comm(m, rank);
+ *         co_await comm.barrier();
+ *         co_await comm.bcast(1024, 0);           // size-only
+ *         auto v = co_await comm.allreduceData<float>(
+ *             {1.0f, 2.0f}, mpi::ReduceOp::Sum);  // data-carrying
+ *     }
+ * @endcode
+ *
+ * Size-only collectives move no payload bytes (the simulator charges
+ * the time a real payload would take); the *Data variants carry and
+ * transform real element buffers so results can be checked.
+ *
+ * MPI semantics respected: collective calls must be made by every
+ * rank of the communicator in the same order; tags/contexts keep
+ * distinct calls and distinct communicators from interfering.
+ */
+
+#ifndef CCSIM_MPI_COMM_HH
+#define CCSIM_MPI_COMM_HH
+
+#include <memory>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "mpi/coll_ctx.hh"
+#include "mpi/collectives.hh"
+#include "mpi/datatype.hh"
+#include "mpi/reduce_op.hh"
+#include "msg/transport.hh"
+#include "sim/task.hh"
+
+namespace ccsim::mpi {
+
+using machine::Algo;
+using machine::Coll;
+
+/** Per-rank communicator handle. */
+class Comm
+{
+  public:
+    /** World communicator for @p rank on @p mach. */
+    Comm(machine::Machine &mach, int rank);
+
+    /** This rank within the communicator. */
+    int rank() const { return rank_; }
+
+    /** Communicator size. */
+    int size() const { return size_; }
+
+    /** Global node id of communicator rank @p r. */
+    int globalRank(int r) const;
+
+    machine::Machine &machine() const { return *mach_; }
+
+    /** The underlying transport endpoint of this rank. */
+    msg::Transport &transport() const;
+
+    /**
+     * Derive a sub-communicator from the given *communicator* ranks
+     * (strictly increasing is not required; order defines new rank
+     * numbering).  The calling rank must be a member.  Deterministic:
+     * every member derives the same context without communication.
+     */
+    Comm subgroup(const std::vector<int> &members) const;
+
+    // ---- point-to-point ------------------------------------------------
+
+    sim::Task<void> send(int dst, int tag, Bytes bytes,
+                         msg::PayloadPtr payload = nullptr) const;
+    sim::Task<msg::Message> recv(int src, int tag) const;
+    msg::Request isend(int dst, int tag, Bytes bytes,
+                       msg::PayloadPtr payload = nullptr) const;
+    msg::Request irecv(int src, int tag) const;
+    sim::Task<msg::Message> wait(msg::Request req) const;
+    sim::Task<msg::Message> sendrecv(int dst, int send_tag, Bytes bytes,
+                                     int src, int recv_tag,
+                                     msg::PayloadPtr payload
+                                     = nullptr) const;
+
+    /** Occupy this rank's CPU for @p t (models local computation). */
+    sim::Task<void> compute(Time t) const;
+
+    // ---- collectives, size-only (benchmark form) -----------------------
+    // m is the paper's "message length": bytes exchanged per node
+    // pair (per-operand bytes for reduce/scan).
+
+    sim::Task<void> barrier(Algo algo = Algo::Default);
+    sim::Task<void> bcast(Bytes m, int root = 0,
+                          Algo algo = Algo::Default);
+    sim::Task<void> gather(Bytes m, int root = 0,
+                           Algo algo = Algo::Default);
+    sim::Task<void> scatter(Bytes m, int root = 0,
+                            Algo algo = Algo::Default);
+    sim::Task<void> allgather(Bytes m, Algo algo = Algo::Default);
+    sim::Task<void> gatherv(const std::vector<Bytes> &counts,
+                            int root = 0);
+    sim::Task<void> scatterv(const std::vector<Bytes> &counts,
+                             int root = 0);
+    sim::Task<void> alltoall(Bytes m, Algo algo = Algo::Default);
+    sim::Task<void> reduce(Bytes m, int root = 0,
+                           Algo algo = Algo::Default);
+    sim::Task<void> allreduce(Bytes m, Algo algo = Algo::Default);
+    sim::Task<void> reduceScatter(Bytes m, Algo algo = Algo::Default);
+    sim::Task<void> scan(Bytes m, Algo algo = Algo::Default);
+
+    // ---- collectives, data-carrying ------------------------------------
+
+    /** Broadcast root's vector; every rank returns it.  All ranks
+     *  pass a vector of the broadcast length (contents matter only
+     *  at the root). */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    bcastData(std::vector<T> v, int root = 0, Algo algo = Algo::Default)
+    {
+        Bytes m = byteSize(v);
+        CollCtx ctx = makeCtx(Coll::Bcast, algo, {});
+        msg::PayloadPtr data =
+            rank_ == root ? msg::makePayload(v) : nullptr;
+        msg::PayloadPtr out =
+            co_await bcastImpl(ctx, algo, m, root, std::move(data));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** Gather everyone's vector at the root (rank-order concat).
+     *  Non-roots return an empty vector. */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    gatherData(const std::vector<T> &mine, int root = 0,
+               Algo algo = Algo::Default)
+    {
+        CollCtx ctx = makeCtx(Coll::Gather, algo, {});
+        msg::PayloadPtr out = co_await gatherImpl(
+            ctx, algo, byteSize(mine), root, msg::makePayload(mine));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** Scatter root's p*count vector; every rank returns its count
+     *  elements.  Non-roots may pass an empty vector. */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    scatterData(const std::vector<T> &all, int count, int root = 0,
+                Algo algo = Algo::Default)
+    {
+        Bytes m = static_cast<Bytes>(count) *
+                  static_cast<Bytes>(sizeof(T));
+        CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
+        msg::PayloadPtr data =
+            rank_ == root ? msg::makePayload(all) : nullptr;
+        msg::PayloadPtr out =
+            co_await scatterImpl(ctx, algo, m, root, std::move(data));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** gatherv: ragged gather; rank i contributes counts[i]
+     *  elements; root returns the concatenation, others empty. */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    gathervData(const std::vector<T> &mine,
+                const std::vector<int> &counts, int root = 0)
+    {
+        Algo algo = Algo::Linear;
+        CollCtx ctx = makeCtx(Coll::Gather, algo, {});
+        msg::PayloadPtr out = co_await gathervImpl(
+            ctx, toByteCounts<T>(counts), root, msg::makePayload(mine));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** scatterv: ragged scatter; rank i returns counts[i] elements
+     *  of root's concatenated buffer. */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    scattervData(const std::vector<T> &all,
+                 const std::vector<int> &counts, int root = 0)
+    {
+        Algo algo = Algo::Linear;
+        CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
+        msg::PayloadPtr data =
+            rank_ == root ? msg::makePayload(all) : nullptr;
+        msg::PayloadPtr out = co_await scattervImpl(
+            ctx, toByteCounts<T>(counts), root, std::move(data));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** Allgather: everyone returns the rank-order concatenation. */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    allgatherData(const std::vector<T> &mine, Algo algo = Algo::Default)
+    {
+        CollCtx ctx = makeCtx(Coll::Allgather, algo, {});
+        msg::PayloadPtr out = co_await allgatherImpl(
+            ctx, algo, byteSize(mine), msg::makePayload(mine));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** Total exchange: pass p blocks of count elements (block i to
+     *  rank i); returns p blocks (block i from rank i). */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    alltoallData(const std::vector<T> &mine, Algo algo = Algo::Default)
+    {
+        if (mine.size() % static_cast<size_t>(size_) != 0)
+            fatal("alltoallData: %zu elements not divisible by %d "
+                  "ranks", mine.size(), size_);
+        Bytes m = byteSize(mine) / size_;
+        CollCtx ctx = makeCtx(Coll::Alltoall, algo, {});
+        msg::PayloadPtr out = co_await alltoallImpl(
+            ctx, algo, m, msg::makePayload(mine));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** Elementwise reduction to the root; non-roots return empty. */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    reduceData(const std::vector<T> &mine, ReduceOp op, int root = 0,
+               Algo algo = Algo::Default)
+    {
+        CollCtx ctx = makeCtx(Coll::Reduce, algo,
+                              makeCombiner(op, datatypeOf<T>()));
+        msg::PayloadPtr out = co_await reduceImpl(
+            ctx, algo, byteSize(mine), root, msg::makePayload(mine));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** Elementwise reduction; everyone returns the result. */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    allreduceData(const std::vector<T> &mine, ReduceOp op,
+                  Algo algo = Algo::Default)
+    {
+        CollCtx ctx = makeCtx(Coll::Allreduce, algo,
+                              makeCombiner(op, datatypeOf<T>()));
+        msg::PayloadPtr out = co_await allreduceImpl(
+            ctx, algo, byteSize(mine), msg::makePayload(mine));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** Reduce-scatter: pass p blocks of count elements; returns
+     *  block rank() of the elementwise fold. */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    reduceScatterData(const std::vector<T> &mine, ReduceOp op,
+                      Algo algo = Algo::Default)
+    {
+        if (mine.size() % static_cast<size_t>(size_) != 0)
+            fatal("reduceScatterData: %zu elements not divisible by "
+                  "%d ranks", mine.size(), size_);
+        Bytes m = byteSize(mine) / size_;
+        CollCtx ctx = makeCtx(Coll::ReduceScatter, algo,
+                              makeCombiner(op, datatypeOf<T>()));
+        msg::PayloadPtr out = co_await reduceScatterImpl(
+            ctx, algo, m, msg::makePayload(mine));
+        co_return msg::payloadAs<T>(out);
+    }
+
+    /** Inclusive prefix reduction in rank order. */
+    template <typename T>
+    sim::Task<std::vector<T>>
+    scanData(const std::vector<T> &mine, ReduceOp op,
+             Algo algo = Algo::Default)
+    {
+        CollCtx ctx = makeCtx(Coll::Scan, algo,
+                              makeCombiner(op, datatypeOf<T>()));
+        msg::PayloadPtr out = co_await scanImpl(
+            ctx, algo, byteSize(mine), msg::makePayload(mine));
+        co_return msg::payloadAs<T>(out);
+    }
+
+  private:
+    Comm(machine::Machine &mach, int rank, int size,
+         std::shared_ptr<const std::vector<int>> group, int ctx_id);
+
+    /** Resolve Algo::Default and assemble the per-call context. */
+    CollCtx makeCtx(Coll op, Algo &algo, Combiner combiner);
+
+    template <typename T>
+    static std::vector<Bytes>
+    toByteCounts(const std::vector<int> &counts)
+    {
+        std::vector<Bytes> out;
+        out.reserve(counts.size());
+        for (int c : counts)
+            out.push_back(static_cast<Bytes>(c) *
+                          static_cast<Bytes>(sizeof(T)));
+        return out;
+    }
+
+    template <typename T>
+    static Bytes
+    byteSize(const std::vector<T> &v)
+    {
+        return static_cast<Bytes>(v.size()) *
+               static_cast<Bytes>(sizeof(T));
+    }
+
+    machine::Machine *mach_;
+    int rank_;
+    int size_;
+    std::shared_ptr<const std::vector<int>> group_; // null = world
+    int ctx_id_;
+    int coll_seq_ = 0;
+};
+
+} // namespace ccsim::mpi
+
+#endif // CCSIM_MPI_COMM_HH

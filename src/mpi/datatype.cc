@@ -1,0 +1,45 @@
+#include "mpi/datatype.hh"
+
+#include "util/logging.hh"
+
+namespace ccsim::mpi {
+
+Bytes
+datatypeSize(Datatype d)
+{
+    switch (d) {
+      case Datatype::F32:
+        return 4;
+      case Datatype::F64:
+        return 8;
+      case Datatype::I32:
+        return 4;
+      case Datatype::I64:
+        return 8;
+      case Datatype::U8:
+        return 1;
+      default:
+        panic("datatypeSize: bad datatype %d", static_cast<int>(d));
+    }
+}
+
+std::string
+datatypeName(Datatype d)
+{
+    switch (d) {
+      case Datatype::F32:
+        return "float32";
+      case Datatype::F64:
+        return "float64";
+      case Datatype::I32:
+        return "int32";
+      case Datatype::I64:
+        return "int64";
+      case Datatype::U8:
+        return "byte";
+      default:
+        panic("datatypeName: bad datatype %d", static_cast<int>(d));
+    }
+}
+
+} // namespace ccsim::mpi

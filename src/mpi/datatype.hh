@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Elementary datatypes for the MPI subset.
+ *
+ * The paper's experiments use MPI_FLOAT throughout; the library
+ * supports the usual elementary types so reductions can be verified
+ * exactly (integer ops) as well as realistically (floats).
+ */
+
+#ifndef CCSIM_MPI_DATATYPE_HH
+#define CCSIM_MPI_DATATYPE_HH
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "util/units.hh"
+
+namespace ccsim::mpi {
+
+/** Elementary datatypes. */
+enum class Datatype
+{
+    F32, //!< MPI_FLOAT (the paper's element type)
+    F64, //!< MPI_DOUBLE
+    I32, //!< MPI_INT
+    I64, //!< MPI_LONG_LONG
+    U8,  //!< MPI_BYTE
+};
+
+/** Size in bytes of one element. */
+Bytes datatypeSize(Datatype d);
+
+/** Printable name. */
+std::string datatypeName(Datatype d);
+
+/** Map a C++ element type to its Datatype tag. */
+template <typename T>
+constexpr Datatype
+datatypeOf()
+{
+    if constexpr (std::is_same_v<T, float>)
+        return Datatype::F32;
+    else if constexpr (std::is_same_v<T, double>)
+        return Datatype::F64;
+    else if constexpr (std::is_same_v<T, std::int32_t>)
+        return Datatype::I32;
+    else if constexpr (std::is_same_v<T, std::int64_t>)
+        return Datatype::I64;
+    else if constexpr (std::is_same_v<T, std::uint8_t>)
+        return Datatype::U8;
+    else
+        static_assert(!sizeof(T *), "unsupported element type");
+}
+
+} // namespace ccsim::mpi
+
+#endif // CCSIM_MPI_DATATYPE_HH

@@ -1,0 +1,106 @@
+#include "mpi/reduce_op.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace ccsim::mpi {
+
+std::string
+reduceOpName(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::Sum:
+        return "sum";
+      case ReduceOp::Prod:
+        return "prod";
+      case ReduceOp::Min:
+        return "min";
+      case ReduceOp::Max:
+        return "max";
+      default:
+        panic("reduceOpName: bad op %d", static_cast<int>(op));
+    }
+}
+
+namespace {
+
+template <typename T>
+msg::PayloadPtr
+combineTyped(ReduceOp op, const msg::PayloadPtr &a,
+             const msg::PayloadPtr &b)
+{
+    std::size_t n = a->size() / sizeof(T);
+    auto out = std::make_shared<std::vector<std::byte>>(a->size());
+    const std::byte *pa = a->data();
+    const std::byte *pb = b->data();
+    std::byte *po = out->data();
+    for (std::size_t i = 0; i < n; ++i) {
+        T x, y;
+        std::memcpy(&x, pa + i * sizeof(T), sizeof(T));
+        std::memcpy(&y, pb + i * sizeof(T), sizeof(T));
+        T r;
+        switch (op) {
+          case ReduceOp::Sum:
+            r = x + y;
+            break;
+          case ReduceOp::Prod:
+            r = x * y;
+            break;
+          case ReduceOp::Min:
+            r = std::min(x, y);
+            break;
+          case ReduceOp::Max:
+            r = std::max(x, y);
+            break;
+          default:
+            panic("combine: bad op %d", static_cast<int>(op));
+        }
+        std::memcpy(po + i * sizeof(T), &r, sizeof(T));
+    }
+    return out;
+}
+
+} // namespace
+
+msg::PayloadPtr
+combine(ReduceOp op, Datatype dtype, const msg::PayloadPtr &a,
+        const msg::PayloadPtr &b)
+{
+    if (!a && !b)
+        return nullptr;
+    if (!a || !b)
+        panic("combine: one payload null, the other not");
+    if (a->size() != b->size())
+        panic("combine: payload sizes differ (%zu vs %zu)", a->size(),
+              b->size());
+    if (a->size() % static_cast<size_t>(datatypeSize(dtype)) != 0)
+        panic("combine: payload size %zu not a multiple of %s",
+              a->size(), datatypeName(dtype).c_str());
+
+    switch (dtype) {
+      case Datatype::F32:
+        return combineTyped<float>(op, a, b);
+      case Datatype::F64:
+        return combineTyped<double>(op, a, b);
+      case Datatype::I32:
+        return combineTyped<std::int32_t>(op, a, b);
+      case Datatype::I64:
+        return combineTyped<std::int64_t>(op, a, b);
+      case Datatype::U8:
+        return combineTyped<std::uint8_t>(op, a, b);
+      default:
+        panic("combine: bad datatype %d", static_cast<int>(dtype));
+    }
+}
+
+Combiner
+makeCombiner(ReduceOp op, Datatype dtype)
+{
+    return [op, dtype](const msg::PayloadPtr &a, const msg::PayloadPtr &b) {
+        return combine(op, dtype, a, b);
+    };
+}
+
+} // namespace ccsim::mpi

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reduction operators and payload combiners.
+ *
+ * combine() folds two equally-sized typed buffers elementwise; the
+ * collectives carry a Combiner closure so the same tree algorithm
+ * both moves the bytes and computes the result.  In size-only
+ * benchmark runs the Combiner is empty and only the arithmetic
+ * *time* is charged.
+ */
+
+#ifndef CCSIM_MPI_REDUCE_OP_HH
+#define CCSIM_MPI_REDUCE_OP_HH
+
+#include <functional>
+#include <string>
+
+#include "mpi/datatype.hh"
+#include "msg/message.hh"
+
+namespace ccsim::mpi {
+
+/** Elementwise reduction operators (all associative, commutative). */
+enum class ReduceOp
+{
+    Sum,
+    Prod,
+    Min,
+    Max,
+};
+
+/** Printable operator name. */
+std::string reduceOpName(ReduceOp op);
+
+/**
+ * Folds two payloads a (+) b into a fresh payload.  Both inputs may
+ * be null (size-only mode), in which case the result is null.
+ */
+using Combiner = std::function<msg::PayloadPtr(const msg::PayloadPtr &,
+                                               const msg::PayloadPtr &)>;
+
+/**
+ * Elementwise a (+) b for payloads of @p dtype elements.  Panics on
+ * size mismatch.  Null inputs yield a null result.
+ */
+msg::PayloadPtr combine(ReduceOp op, Datatype dtype,
+                        const msg::PayloadPtr &a,
+                        const msg::PayloadPtr &b);
+
+/** Bind (op, dtype) into a reusable Combiner. */
+Combiner makeCombiner(ReduceOp op, Datatype dtype);
+
+} // namespace ccsim::mpi
+
+#endif // CCSIM_MPI_REDUCE_OP_HH

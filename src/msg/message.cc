@@ -1,0 +1,16 @@
+#include "msg/message.hh"
+
+#include <cstring>
+
+namespace ccsim::msg {
+
+PayloadPtr
+makePayload(const void *data, std::size_t size)
+{
+    auto buf = std::make_shared<std::vector<std::byte>>(size);
+    if (size > 0)
+        std::memcpy(buf->data(), data, size);
+    return buf;
+}
+
+} // namespace ccsim::msg

@@ -1,0 +1,377 @@
+#include "msg/transport.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ccsim::msg {
+
+namespace {
+
+/** Fraction of a duration, rounded to the picosecond. */
+Time
+scaleTime(Time t, double f)
+{
+    return static_cast<Time>(std::llround(static_cast<double>(t) * f));
+}
+
+} // namespace
+
+Transport::Transport(sim::Simulator &sim, net::Network &net, Fabric &fabric,
+                     int node, const TransportParams &params,
+                     sim::Trace *trace)
+    : sim_(sim), net_(net), fabric_(fabric), node_(node),
+      params_(params), trace_(trace)
+{
+    if (params_.send_overhead < 0 || params_.recv_overhead < 0 ||
+        params_.rendezvous_overhead < 0 || params_.blt_setup < 0)
+        fatal("Transport: negative software overhead");
+    if (params_.copy_bandwidth_mbs <= 0)
+        fatal("Transport: copy bandwidth must be positive, got %g",
+              params_.copy_bandwidth_mbs);
+    if (params_.eager_threshold < 0 || params_.blt_threshold < 0)
+        fatal("Transport: negative protocol threshold");
+    if (params_.coprocessor_overlap < 0 || params_.coprocessor_overlap > 1)
+        fatal("Transport: coprocessor overlap %g outside [0,1]",
+              params_.coprocessor_overlap);
+}
+
+sim::Task<void>
+Transport::busy(Time cost)
+{
+    if (cost < 0)
+        panic("Transport::busy: negative cost");
+    Time start = std::max(sim_.now(), cpu_free_);
+    Time end = start + cost;
+    cpu_free_ = end;
+    if (end > sim_.now())
+        co_await sim_.delay(end - sim_.now());
+}
+
+bool
+Transport::matches(int want_src, int want_tag, int want_ctx,
+                   int src, int tag, int ctx) const
+{
+    return want_ctx == ctx &&
+           (want_src == kAnySource || want_src == src) &&
+           (want_tag == kAnyTag || want_tag == tag);
+}
+
+Time
+Transport::injectAt(int dst, Bytes bytes, Time when)
+{
+    return net_.transfer(node_, dst, bytes, when);
+}
+
+sim::Task<void>
+Transport::send(int dst, int tag, int context, Bytes bytes,
+                PayloadPtr payload, CostOverride ov)
+{
+    const Time o_send =
+        ov.send >= 0 ? ov.send : params_.send_overhead;
+    if (dst < 0 || dst >= fabric_.size())
+        panic("Transport::send: destination %d out of range", dst);
+    if (bytes < 0)
+        panic("Transport::send: negative size");
+    if (payload && static_cast<Bytes>(payload->size()) != bytes)
+        panic("Transport::send: payload size %zu != declared %lld",
+              payload->size(), static_cast<long long>(bytes));
+
+    ++sends_;
+    bytes_sent_ += bytes;
+    const Time span_start = sim_.now();
+
+    Time copy = transferTime(bytes, params_.copy_bandwidth_mbs);
+
+    if (dst == node_) {
+        // Buffered local delivery: full copy on the sending side,
+        // nothing touches the network.
+        co_await busy(o_send + copy);
+        Message m{node_, dst, tag, context, bytes, std::move(payload),
+                  sim_.now(), 0};
+        deliverEager(std::move(m));
+        traceSpan(sim::SpanKind::Send, span_start, bytes, dst);
+        co_return;
+    }
+
+    Transport *peer = &fabric_.node(dst);
+
+    if (bytes <= params_.eager_threshold) {
+        co_await busy(o_send);
+        // The injection copy runs on the coprocessor/DMA timeline;
+        // the main CPU is held only for its (1 - overlap) share.
+        Time copy_start = std::max(sim_.now(), copro_free_);
+        Time inject_done = copy_start + copy;
+        copro_free_ = inject_done;
+        Time arrival = injectAt(dst, bytes, inject_done);
+        Message m{node_, dst, tag, context, bytes, std::move(payload),
+                  arrival, 0};
+        sim_.scheduleAt(arrival, [peer, m = std::move(m)]() mutable {
+            peer->deliverEager(std::move(m));
+        });
+        co_await busy(
+            scaleTime(copy, 1.0 - params_.coprocessor_overlap));
+        traceSpan(sim::SpanKind::Send, span_start, bytes, dst);
+        co_return;
+    }
+
+    // Rendezvous: RTS -> CTS -> DATA.
+    co_await busy(o_send + params_.rendezvous_overhead);
+    auto hs = std::make_shared<Handshake>(sim_);
+    Rts rts{node_, tag, context, bytes, payload, hs, 0};
+    Time rts_arrival = injectAt(dst, 0, sim_.now());
+    sim_.scheduleAt(rts_arrival, [peer, rts = std::move(rts)]() mutable {
+        peer->deliverRts(std::move(rts));
+    });
+
+    co_await hs->cts.wait();
+
+    Message m{node_, dst, tag, context, bytes, std::move(payload), 0, 0};
+    bool use_blt = params_.blt_enabled && bytes >= params_.blt_threshold;
+    if (use_blt) {
+        // Block-transfer engine: descriptor setup instead of a
+        // memory copy; the engine streams straight from user memory.
+        co_await busy(params_.blt_setup);
+        Time arrival = injectAt(dst, bytes, sim_.now());
+        m.arrival = arrival;
+        hs->msg = std::move(m);
+        sim_.scheduleAt(arrival, [hs] { hs->data.fire(); });
+    } else {
+        Time copy_start = std::max(sim_.now(), copro_free_);
+        Time inject_done = copy_start + copy;
+        copro_free_ = inject_done;
+        Time arrival = injectAt(dst, bytes, inject_done);
+        m.arrival = arrival;
+        hs->msg = std::move(m);
+        sim_.scheduleAt(arrival, [hs] { hs->data.fire(); });
+        co_await busy(
+            scaleTime(copy, 1.0 - params_.coprocessor_overlap));
+    }
+    traceSpan(sim::SpanKind::Send, span_start, bytes, dst);
+}
+
+sim::Task<Message>
+Transport::recv(int src, int tag, int context, CostOverride ov)
+{
+    const Time o_recv =
+        ov.recv >= 0 ? ov.recv : params_.recv_overhead;
+    if (src != kAnySource && (src < 0 || src >= fabric_.size()))
+        panic("Transport::recv: source %d out of range", src);
+    const Time span_start = sim_.now();
+
+    // Earliest matching arrival across the eager and RTS queues.
+    auto eit = unexpected_.end();
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+        if (matches(src, tag, context, it->src, it->tag, it->context)) {
+            eit = it;
+            break;
+        }
+    }
+    auto rit = pending_rts_.end();
+    for (auto it = pending_rts_.begin(); it != pending_rts_.end(); ++it) {
+        if (matches(src, tag, context, it->src, it->tag, it->context)) {
+            rit = it;
+            break;
+        }
+    }
+
+    bool have_eager = eit != unexpected_.end();
+    bool have_rts = rit != pending_rts_.end();
+    if (have_eager && have_rts) {
+        // Non-overtaking: take whichever arrived first.
+        if (eit->seq < rit->seq)
+            have_rts = false;
+        else
+            have_eager = false;
+    }
+
+    if (have_eager) {
+        Message m = std::move(*eit);
+        unexpected_.erase(eit);
+        co_await busy(o_recv +
+                      transferTime(m.bytes, params_.copy_bandwidth_mbs));
+        ++recvs_;
+        traceSpan(sim::SpanKind::Recv, span_start, m.bytes, m.src);
+        co_return m;
+    }
+    if (have_rts) {
+        Rts rts = std::move(*rit);
+        pending_rts_.erase(rit);
+        Message m = co_await recvRendezvous(std::move(rts), ov);
+        traceSpan(sim::SpanKind::Recv, span_start, m.bytes, m.src);
+        co_return m;
+    }
+
+    // Nothing has arrived yet: park until a matching delivery.
+    PendingRecv pr;
+    pr.src = src;
+    pr.tag = tag;
+    pr.context = context;
+    co_await sim::suspendWith([&](std::coroutine_handle<> h) {
+        pr.handle = h;
+        pending_recvs_.push_back(&pr);
+    });
+
+    if (pr.eager) {
+        Message m = std::move(*pr.eager);
+        co_await busy(o_recv +
+                      transferTime(m.bytes, params_.copy_bandwidth_mbs));
+        ++recvs_;
+        traceSpan(sim::SpanKind::Recv, span_start, m.bytes, m.src);
+        co_return m;
+    }
+    if (!pr.rts)
+        panic("Transport::recv: woken with nothing delivered");
+    {
+        Message m = co_await recvRendezvous(std::move(*pr.rts), ov);
+        traceSpan(sim::SpanKind::Recv, span_start, m.bytes, m.src);
+        co_return m;
+    }
+}
+
+sim::Task<Message>
+Transport::recvRendezvous(Rts rts, CostOverride ov)
+{
+    const Time o_recv =
+        ov.recv >= 0 ? ov.recv : params_.recv_overhead;
+    // Process the RTS and return the clear-to-send.
+    co_await busy(params_.rendezvous_overhead);
+    Time cts_arrival = injectAt(rts.src, 0, sim_.now());
+    sim_.scheduleAt(cts_arrival, [hs = rts.hs] { hs->cts.fire(); });
+
+    co_await rts.hs->data.wait();
+    // Direct deposit into the user buffer: completion cost only.
+    co_await busy(o_recv);
+    ++recvs_;
+    co_return std::move(rts.hs->msg);
+}
+
+void
+Transport::deliverEager(Message m)
+{
+    m.seq = arrival_seq_++;
+    for (auto it = pending_recvs_.begin(); it != pending_recvs_.end();
+         ++it) {
+        PendingRecv *pr = *it;
+        if (matches(pr->src, pr->tag, pr->context, m.src, m.tag,
+                    m.context)) {
+            pending_recvs_.erase(it);
+            pr->eager = std::move(m);
+            sim_.resumeNow(pr->handle);
+            return;
+        }
+    }
+    unexpected_.push_back(std::move(m));
+}
+
+void
+Transport::deliverRts(Rts rts)
+{
+    rts.seq = arrival_seq_++;
+    for (auto it = pending_recvs_.begin(); it != pending_recvs_.end();
+         ++it) {
+        PendingRecv *pr = *it;
+        if (matches(pr->src, pr->tag, pr->context, rts.src, rts.tag,
+                    rts.context)) {
+            pending_recvs_.erase(it);
+            pr->rts = std::move(rts);
+            sim_.resumeNow(pr->handle);
+            return;
+        }
+    }
+    pending_rts_.push_back(std::move(rts));
+}
+
+sim::Task<void>
+Transport::runSend(std::shared_ptr<ReqState> st, int dst, int tag,
+                   int context, Bytes bytes, PayloadPtr payload,
+                   CostOverride ov)
+{
+    try {
+        co_await send(dst, tag, context, bytes, std::move(payload), ov);
+    } catch (...) {
+        st->exc = std::current_exception();
+    }
+    st->done.fire();
+}
+
+sim::Task<void>
+Transport::runRecv(std::shared_ptr<ReqState> st, int src, int tag,
+                   int context, CostOverride ov)
+{
+    try {
+        st->msg = co_await recv(src, tag, context, ov);
+    } catch (...) {
+        st->exc = std::current_exception();
+    }
+    st->done.fire();
+}
+
+Request
+Transport::isend(int dst, int tag, int context, Bytes bytes,
+                 PayloadPtr payload, CostOverride ov)
+{
+    auto st = std::make_shared<ReqState>(sim_);
+    sim_.spawn(runSend(st, dst, tag, context, bytes, std::move(payload),
+                       ov));
+    return Request{st};
+}
+
+Request
+Transport::irecv(int src, int tag, int context, CostOverride ov)
+{
+    auto st = std::make_shared<ReqState>(sim_);
+    sim_.spawn(runRecv(st, src, tag, context, ov));
+    return Request{st};
+}
+
+sim::Task<Message>
+Transport::wait(Request req)
+{
+    if (!req.state)
+        panic("Transport::wait: empty request");
+    if (!req.state->done.fired())
+        co_await req.state->done.wait();
+    if (req.state->exc)
+        std::rethrow_exception(req.state->exc);
+    if (req.state->msg)
+        co_return std::move(*req.state->msg);
+    co_return Message{};
+}
+
+sim::Task<Message>
+Transport::sendrecv(int dst, int send_tag, Bytes bytes, int src,
+                    int recv_tag, int context, PayloadPtr payload,
+                    CostOverride ov)
+{
+    Request sreq = isend(dst, send_tag, context, bytes,
+                         std::move(payload), ov);
+    Message m = co_await recv(src, recv_tag, context, ov);
+    co_await wait(sreq);
+    co_return m;
+}
+
+Fabric::Fabric(sim::Simulator &sim, net::Network &net, int n,
+               const TransportParams &params, sim::Trace *trace)
+{
+    if (n < 1)
+        fatal("Fabric: need at least one node, got %d", n);
+    if (n > net.topology().numNodes())
+        fatal("Fabric: %d nodes exceed the %d-node topology", n,
+              net.topology().numNodes());
+    nodes_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        nodes_.push_back(std::make_unique<Transport>(sim, net, *this,
+                                                     i, params, trace));
+}
+
+Transport &
+Fabric::node(int i)
+{
+    if (i < 0 || i >= size())
+        panic("Fabric::node: %d out of range [0, %d)", i, size());
+    return *nodes_[static_cast<size_t>(i)];
+}
+
+} // namespace ccsim::msg

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Transport: one node's message-passing endpoint.
+ *
+ * Implements MPI point-to-point semantics over the simulated
+ * network: envelope matching on (source, tag, context) with FIFO
+ * non-overtaking per pair, an unexpected-message queue, and two wire
+ * protocols:
+ *
+ *  - eager: the payload is pushed immediately; the receiver copies
+ *    it out of system buffers (per-byte copy cost on both sides);
+ *  - rendezvous (above the eager threshold): RTS -> CTS handshake,
+ *    then the payload lands directly in the user buffer (no receive
+ *    copy) — this is why long-message behaviour differs so sharply
+ *    from short-message behaviour on the real machines.
+ *
+ * Three pieces of mid-90s hardware are modelled explicitly because
+ * the paper attributes its headline results to them:
+ *
+ *  - a message COPROCESSOR (Intel Paragon's i860 MP): a fraction of
+ *    the injection copy runs off the main processor, shrinking the
+ *    per-message gap for pipelined long-message traffic;
+ *  - a BLOCK TRANSFER ENGINE (Cray T3D's BLT): transfers at or above
+ *    the BLT threshold replace both memory copies with a one-off
+ *    descriptor-setup cost and stream at full link rate;
+ *  - per-message SOFTWARE overhead (send/receive), the dominant term
+ *    in every startup latency the paper measures.
+ *
+ * All software costs serialize on the owning node's CPU timeline, so
+ * a root gathering from 63 children pays 63 receive overheads
+ * back-to-back, exactly like the real thing.
+ */
+
+#ifndef CCSIM_MSG_TRANSPORT_HH
+#define CCSIM_MSG_TRANSPORT_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "msg/message.hh"
+#include "net/network.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "sim/trace.hh"
+#include "util/units.hh"
+
+namespace ccsim::msg {
+
+/** Wildcard tag for receives (matches any tag). */
+constexpr int kAnyTag = -1;
+
+/** Software/protocol parameters of a node's messaging system. */
+struct TransportParams
+{
+    /** CPU cost to initiate any send (the o_s of LogP). */
+    Time send_overhead = 0;
+
+    /** CPU cost to complete any receive (the o_r of LogP). */
+    Time recv_overhead = 0;
+
+    /** Memory-copy bandwidth into/out of system buffers, MB/s. */
+    double copy_bandwidth_mbs = 400.0;
+
+    /** Payloads strictly larger than this go rendezvous. */
+    Bytes eager_threshold = 4 * KiB;
+
+    /** Extra CPU cost per side for the rendezvous handshake. */
+    Time rendezvous_overhead = 0;
+
+    /** Fraction [0,1] of the injection copy offloaded to a message
+     *  coprocessor (0 = none, Paragon ~0.9). */
+    double coprocessor_overlap = 0.0;
+
+    /** Block-transfer engine present (T3D). */
+    bool blt_enabled = false;
+
+    /** Rendezvous payloads at or above this use the BLT. */
+    Bytes blt_threshold = 16 * KiB;
+
+    /** BLT descriptor setup cost (sender CPU). */
+    Time blt_setup = 0;
+};
+
+class Fabric;
+
+/**
+ * Per-call software-overhead override.  Vendor MPI implementations
+ * sometimes bypass the normal messaging layers inside specific
+ * collectives (e.g.\ the Paragon NX scan fast path); a collective
+ * passes an override to model that.  Negative fields keep the
+ * machine defaults.
+ */
+struct CostOverride
+{
+    Time send = -1;
+    Time recv = -1;
+};
+
+/** Completion state shared between a nonblocking op and its waiter. */
+struct ReqState
+{
+    explicit ReqState(sim::Simulator &s) : done(s) {}
+
+    sim::Trigger done;
+    std::optional<Message> msg; // set for receives
+    std::exception_ptr exc;
+};
+
+/** Handle for a nonblocking send/receive. */
+struct Request
+{
+    std::shared_ptr<ReqState> state;
+
+    /** True once the operation has completed (or failed). */
+    bool test() const { return state && state->done.fired(); }
+};
+
+/** One node's messaging endpoint. */
+class Transport
+{
+  public:
+    Transport(sim::Simulator &sim, net::Network &net, Fabric &fabric,
+              int node, const TransportParams &params,
+              sim::Trace *trace = nullptr);
+
+    Transport(const Transport &) = delete;
+    Transport &operator=(const Transport &) = delete;
+
+    /** This endpoint's node id. */
+    int node() const { return node_; }
+
+    const TransportParams &params() const { return params_; }
+
+    /**
+     * Blocking send.  Completes when the local resources are free to
+     * reuse (eager: after local injection; rendezvous: after the
+     * receiver's CTS and the data injection).  Self-sends are
+     * buffered locally and never deadlock.
+     */
+    sim::Task<void> send(int dst, int tag, int context, Bytes bytes,
+                         PayloadPtr payload = nullptr,
+                         CostOverride ov = {});
+
+    /**
+     * Blocking receive matching (@p src | kAnySource,
+     * @p tag | kAnyTag, @p context).  Returns the matched message.
+     */
+    sim::Task<Message> recv(int src, int tag, int context,
+                            CostOverride ov = {});
+
+    /** Nonblocking send; pair with wait(). */
+    Request isend(int dst, int tag, int context, Bytes bytes,
+                  PayloadPtr payload = nullptr, CostOverride ov = {});
+
+    /** Nonblocking receive; pair with wait(). */
+    Request irecv(int src, int tag, int context, CostOverride ov = {});
+
+    /**
+     * Wait for a request; returns the message for receives (an empty
+     * Message for sends) and rethrows any failure.
+     */
+    sim::Task<Message> wait(Request req);
+
+    /**
+     * Combined send + receive, both in flight at once (the primitive
+     * that keeps pairwise/ring/recursive-doubling exchanges from
+     * deadlocking under the rendezvous protocol).
+     */
+    sim::Task<Message> sendrecv(int dst, int send_tag, Bytes bytes,
+                                int src, int recv_tag, int context,
+                                PayloadPtr payload = nullptr,
+                                CostOverride ov = {});
+
+    /**
+     * Occupy this node's CPU for @p cost, serialized after any
+     * earlier software activity on the node.  Exposed so collectives
+     * can charge reduction arithmetic and per-call entry costs.
+     */
+    sim::Task<void> busy(Time cost);
+
+    /** Messages sent (including self-sends). */
+    std::uint64_t sendsStarted() const { return sends_; }
+
+    /** Messages received (matched and completed). */
+    std::uint64_t recvsCompleted() const { return recvs_; }
+
+    /** Payload bytes sent. */
+    Bytes bytesSent() const { return bytes_sent_; }
+
+    /** Trace sink (may be null / disabled). */
+    sim::Trace *trace() const { return trace_; }
+
+  private:
+    friend class Fabric;
+
+    /** Rendezvous handshake state, shared sender <-> receiver. */
+    struct Handshake
+    {
+        explicit Handshake(sim::Simulator &s) : cts(s), data(s) {}
+
+        sim::Trigger cts;  // fired at the sender when CTS arrives
+        sim::Trigger data; // fired at the receiver at data arrival
+        Message msg;       // filled by the sender for the data phase
+    };
+
+    using HandshakePtr = std::shared_ptr<Handshake>;
+
+    /** An RTS awaiting a matching receive. */
+    struct Rts
+    {
+        int src = 0;
+        int tag = 0;
+        int context = 0;
+        Bytes bytes = 0;
+        PayloadPtr payload;
+        HandshakePtr hs;
+        std::uint64_t seq = 0;
+    };
+
+    /** A parked receive awaiting a matching arrival. */
+    struct PendingRecv
+    {
+        int src = 0;
+        int tag = 0;
+        int context = 0;
+        std::coroutine_handle<> handle;
+        std::optional<Message> eager;
+        std::optional<Rts> rts;
+    };
+
+    bool matches(int want_src, int want_tag, int want_ctx,
+                 int src, int tag, int ctx) const;
+
+    /** Eager payload (or self-send) arrival at this node. */
+    void deliverEager(Message m);
+
+    /** RTS arrival at this node. */
+    void deliverRts(Rts rts);
+
+    /** Receiver side of the rendezvous protocol. */
+    sim::Task<Message> recvRendezvous(Rts rts, CostOverride ov);
+
+    /** Inject one wire message; returns its arrival time at dst. */
+    Time injectAt(int dst, Bytes bytes, Time when);
+
+    sim::Task<void> runSend(std::shared_ptr<ReqState> st, int dst,
+                            int tag, int context, Bytes bytes,
+                            PayloadPtr payload, CostOverride ov);
+    sim::Task<void> runRecv(std::shared_ptr<ReqState> st, int src,
+                            int tag, int context, CostOverride ov);
+
+    /** Record a span if tracing is enabled. */
+    void
+    traceSpan(sim::SpanKind kind, Time start, Bytes bytes, int peer)
+    {
+        if (trace_ && trace_->enabled())
+            trace_->record(sim::Span{node_, kind, start, sim_.now(),
+                                     bytes, peer});
+    }
+
+    sim::Simulator &sim_;
+    net::Network &net_;
+    Fabric &fabric_;
+    int node_;
+    TransportParams params_;
+    sim::Trace *trace_ = nullptr;
+
+    Time cpu_free_ = 0;   // node CPU timeline
+    Time copro_free_ = 0; // message coprocessor / DMA timeline
+
+    std::uint64_t arrival_seq_ = 0;
+    std::deque<Message> unexpected_;
+    std::deque<Rts> pending_rts_;
+    std::vector<PendingRecv *> pending_recvs_;
+
+    std::uint64_t sends_ = 0;
+    std::uint64_t recvs_ = 0;
+    Bytes bytes_sent_ = 0;
+};
+
+/** Owns the Transport of every node on one machine. */
+class Fabric
+{
+  public:
+    /** Build @p n transports sharing one network and parameter set;
+     *  @p trace (optional) receives activity spans from every node. */
+    Fabric(sim::Simulator &sim, net::Network &net, int n,
+           const TransportParams &params, sim::Trace *trace = nullptr);
+
+    /** Endpoint of node @p i. */
+    Transport &node(int i);
+
+    /** Number of endpoints. */
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+  private:
+    std::vector<std::unique_ptr<Transport>> nodes_;
+};
+
+} // namespace ccsim::msg
+
+#endif // CCSIM_MSG_TRANSPORT_HH

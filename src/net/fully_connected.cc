@@ -1,0 +1,39 @@
+#include "net/fully_connected.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+FullyConnected::FullyConnected(int num_nodes) : num_nodes_(num_nodes)
+{
+    if (num_nodes < 1)
+        fatal("FullyConnected: need at least 1 node, got %d", num_nodes);
+}
+
+std::size_t
+FullyConnected::numLinks() const
+{
+    return static_cast<std::size_t>(num_nodes_) * num_nodes_;
+}
+
+void
+FullyConnected::route(int src, int dst, std::vector<LinkId> &out) const
+{
+    checkNode(src);
+    checkNode(dst);
+    if (src == dst)
+        return;
+    out.push_back(static_cast<LinkId>(src * num_nodes_ + dst));
+}
+
+std::string
+FullyConnected::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "fully-connected %d-node", num_nodes_);
+    return buf;
+}
+
+} // namespace ccsim::net

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * FullyConnected: an ideal crossbar with a dedicated directed link
+ * between every ordered pair of nodes.  Messages between different
+ * pairs never contend; it is the contention-free baseline used by
+ * ablation benches to isolate how much of a result is topology.
+ */
+
+#ifndef CCSIM_NET_FULLY_CONNECTED_HH
+#define CCSIM_NET_FULLY_CONNECTED_HH
+
+#include "net/topology.hh"
+
+namespace ccsim::net {
+
+/** Ideal all-to-all wiring; every route is a single private link. */
+class FullyConnected : public Topology
+{
+  public:
+    /** Construct with @p num_nodes >= 1 attached nodes. */
+    explicit FullyConnected(int num_nodes);
+
+    int numNodes() const override { return num_nodes_; }
+    std::size_t numLinks() const override;
+    void route(int src, int dst, std::vector<LinkId> &out) const override;
+    std::string name() const override;
+
+  private:
+    int num_nodes_;
+};
+
+} // namespace ccsim::net
+
+#endif // CCSIM_NET_FULLY_CONNECTED_HH

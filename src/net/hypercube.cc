@@ -1,0 +1,54 @@
+#include "net/hypercube.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+Hypercube::Hypercube(int num_nodes) : num_nodes_(num_nodes)
+{
+    if (num_nodes < 1 || (num_nodes & (num_nodes - 1)) != 0)
+        fatal("Hypercube: node count %d is not a power of two",
+              num_nodes);
+    dims_ = 0;
+    while ((1 << dims_) < num_nodes)
+        ++dims_;
+    if (dims_ == 0)
+        dims_ = 1; // single node still gets one link slot
+}
+
+std::size_t
+Hypercube::numLinks() const
+{
+    return static_cast<std::size_t>(num_nodes_) *
+           static_cast<std::size_t>(dims_);
+}
+
+void
+Hypercube::route(int src, int dst, std::vector<LinkId> &out) const
+{
+    checkNode(src);
+    checkNode(dst);
+    // e-cube routing: correct differing bits from dimension 0 up.
+    int cur = src;
+    for (int d = 0; d < dims_; ++d) {
+        if (((cur ^ dst) >> d) & 1) {
+            out.push_back(linkFrom(cur, d));
+            cur ^= 1 << d;
+        }
+    }
+    if (cur != dst)
+        panic("Hypercube: route from %d ended at %d, wanted %d", src,
+              cur, dst);
+}
+
+std::string
+Hypercube::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "hypercube %d-cube", dims_);
+    return buf;
+}
+
+} // namespace ccsim::net

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary hypercube topology with e-cube (dimension-order) routing —
+ * the interconnect of the era's other multicomputer family (nCUBE-2,
+ * Intel iPSC/860).  Included so topology studies can compare the
+ * paper's three networks against the hypercube road not taken:
+ * log2 p diameter and p log2 p / 2 links, at the cost of O(log p)
+ * ports per node.
+ */
+
+#ifndef CCSIM_NET_HYPERCUBE_HH
+#define CCSIM_NET_HYPERCUBE_HH
+
+#include "net/topology.hh"
+
+namespace ccsim::net {
+
+/** 2^dim nodes; node ids are corner coordinates. */
+class Hypercube : public Topology
+{
+  public:
+    /** Construct a hypercube with @p num_nodes = power of two. */
+    explicit Hypercube(int num_nodes);
+
+    int numNodes() const override { return num_nodes_; }
+    std::size_t numLinks() const override;
+    void route(int src, int dst, std::vector<LinkId> &out) const override;
+    std::string name() const override;
+
+    /** Number of dimensions (log2 of the node count). */
+    int dimensions() const { return dims_; }
+
+  private:
+    // One directed link slot per (node, dimension).
+    LinkId
+    linkFrom(int node, int dim) const
+    {
+        return static_cast<LinkId>(node * dims_ + dim);
+    }
+
+    int num_nodes_;
+    int dims_;
+};
+
+} // namespace ccsim::net
+
+#endif // CCSIM_NET_HYPERCUBE_HH

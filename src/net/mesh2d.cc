@@ -1,0 +1,77 @@
+#include "net/mesh2d.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+Mesh2D::Mesh2D(int rows, int cols) : rows_(rows), cols_(cols)
+{
+    if (rows < 1 || cols < 1)
+        fatal("Mesh2D: invalid dimensions %dx%d", rows, cols);
+}
+
+std::size_t
+Mesh2D::numLinks() const
+{
+    return static_cast<std::size_t>(numNodes()) * 4;
+}
+
+std::pair<int, int>
+Mesh2D::coords(int node) const
+{
+    checkNode(node);
+    return {node / cols_, node % cols_};
+}
+
+int
+Mesh2D::nodeAt(int row, int col) const
+{
+    if (row < 0 || row >= rows_ || col < 0 || col >= cols_)
+        panic("Mesh2D: coordinates (%d, %d) outside %dx%d",
+              row, col, rows_, cols_);
+    return row * cols_ + col;
+}
+
+void
+Mesh2D::route(int src, int dst, std::vector<LinkId> &out) const
+{
+    checkNode(src);
+    checkNode(dst);
+    auto [row, col] = coords(src);
+    auto [drow, dcol] = coords(dst);
+
+    // X first: correct the column.
+    while (col != dcol) {
+        int node = nodeAt(row, col);
+        if (col < dcol) {
+            out.push_back(linkFrom(node, PosX));
+            ++col;
+        } else {
+            out.push_back(linkFrom(node, NegX));
+            --col;
+        }
+    }
+    // Then Y: correct the row.
+    while (row != drow) {
+        int node = nodeAt(row, col);
+        if (row < drow) {
+            out.push_back(linkFrom(node, PosY));
+            ++row;
+        } else {
+            out.push_back(linkFrom(node, NegY));
+            --row;
+        }
+    }
+}
+
+std::string
+Mesh2D::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "mesh2d %dx%d", rows_, cols_);
+    return buf;
+}
+
+} // namespace ccsim::net

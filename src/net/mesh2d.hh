@@ -1,0 +1,54 @@
+/**
+ * @file
+ * 2-D mesh topology with dimension-order (X-then-Y) routing — the
+ * Intel Paragon's interconnect.  No wraparound links; messages first
+ * correct their column, then their row, which is deadlock-free and
+ * matches the Paragon's hardware router.
+ */
+
+#ifndef CCSIM_NET_MESH2D_HH
+#define CCSIM_NET_MESH2D_HH
+
+#include "net/topology.hh"
+
+namespace ccsim::net {
+
+/** rows x cols mesh; node id = row * cols + col. */
+class Mesh2D : public Topology
+{
+  public:
+    /** Construct a mesh with the given positive dimensions. */
+    Mesh2D(int rows, int cols);
+
+    int numNodes() const override { return rows_ * cols_; }
+    std::size_t numLinks() const override;
+    void route(int src, int dst, std::vector<LinkId> &out) const override;
+    std::string name() const override;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    /** Grid coordinates of @p node as (row, col). */
+    std::pair<int, int> coords(int node) const;
+
+    /** Node id at (row, col). */
+    int nodeAt(int row, int col) const;
+
+  private:
+    // Four directed link slots per node: +x, -x, +y, -y.  Edge slots
+    // exist as ids but are never routed over.
+    enum Dir { PosX = 0, NegX = 1, PosY = 2, NegY = 3 };
+
+    LinkId
+    linkFrom(int node, Dir d) const
+    {
+        return static_cast<LinkId>(node * 4 + d);
+    }
+
+    int rows_;
+    int cols_;
+};
+
+} // namespace ccsim::net
+
+#endif // CCSIM_NET_MESH2D_HH

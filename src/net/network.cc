@@ -1,0 +1,91 @@
+#include "net/network.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+Network::Network(std::unique_ptr<Topology> topo, const NetworkParams &params)
+    : topo_(std::move(topo)), params_(params)
+{
+    if (!topo_)
+        panic("Network: null topology");
+    if (params_.link_bandwidth_mbs <= 0)
+        fatal("Network: link bandwidth must be positive, got %g MB/s",
+              params_.link_bandwidth_mbs);
+    if (params_.hop_latency < 0 || params_.packet_overhead < 0)
+        fatal("Network: negative hop latency or packet overhead");
+    link_free_.assign(topo_->numLinks(), 0);
+}
+
+Time
+Network::transfer(int src, int dst, Bytes bytes, Time now)
+{
+    if (src == dst)
+        panic("Network::transfer: self-send on node %d must not touch "
+              "the network", src);
+    if (bytes < 0)
+        panic("Network::transfer: negative size %lld",
+              static_cast<long long>(bytes));
+
+    scratch_path_.clear();
+    topo_->route(src, dst, scratch_path_);
+    if (scratch_path_.empty())
+        panic("Network::transfer: empty route from %d to %d", src, dst);
+
+    Bytes wire = bytes + params_.packet_overhead;
+    Time ser = transferTime(wire, params_.link_bandwidth_mbs);
+
+    Time start = now;
+    if (params_.contention) {
+        for (LinkId l : scratch_path_)
+            start = std::max(start, link_free_[static_cast<size_t>(l)]);
+        for (LinkId l : scratch_path_)
+            link_free_[static_cast<size_t>(l)] = start + ser;
+    }
+
+    ++messages_;
+    total_bytes_ += bytes;
+    total_link_busy_ += ser * static_cast<Time>(scratch_path_.size());
+
+    Time hops_delay =
+        params_.hop_latency * static_cast<Time>(scratch_path_.size());
+    return start + hops_delay + ser;
+}
+
+Network::Utilization
+Network::utilization(Time horizon) const
+{
+    Utilization u;
+    if (horizon <= 0)
+        return u;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < link_free_.size(); ++i) {
+        Time busy = std::min(link_free_[i], horizon);
+        if (busy <= 0)
+            continue;
+        ++u.links_used;
+        double frac = static_cast<double>(busy) /
+                      static_cast<double>(horizon);
+        sum += frac;
+        if (frac > u.max) {
+            u.max = frac;
+            u.hottest = static_cast<LinkId>(i);
+        }
+    }
+    if (!link_free_.empty())
+        u.mean = sum / static_cast<double>(link_free_.size());
+    return u;
+}
+
+void
+Network::reset()
+{
+    std::fill(link_free_.begin(), link_free_.end(), 0);
+    messages_ = 0;
+    total_bytes_ = 0;
+    total_link_busy_ = 0;
+}
+
+} // namespace ccsim::net

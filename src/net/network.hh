@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Network: per-link occupancy on top of a Topology.
+ *
+ * The model is virtual cut-through with path reservation — the
+ * coarsest model that still produces the three network effects the
+ * paper's results hinge on:
+ *
+ *  1. serialisation: two messages crossing the same wire take twice
+ *     as long as one;
+ *  2. topology bisection: a 2-D mesh saturates before a 3-D torus of
+ *     the same size under total exchange;
+ *  3. distance: per-hop router latency scales with route length.
+ *
+ * A transfer of b bytes from src to dst starts when every link on
+ * its dimension-order route is free, holds each for the wire
+ * serialisation time (b + packet overhead at the link bandwidth),
+ * and is fully received hops * hop_latency + serialisation after it
+ * starts.  Contention can be disabled for ablation studies.
+ */
+
+#ifndef CCSIM_NET_NETWORK_HH
+#define CCSIM_NET_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hh"
+#include "util/units.hh"
+
+namespace ccsim::net {
+
+/** Physical-layer parameters of an interconnect. */
+struct NetworkParams
+{
+    /** Per-link bandwidth in MB/s (paper: SP2 40, Paragon 175,
+     *  T3D 300). */
+    double link_bandwidth_mbs = 100.0;
+
+    /** Router latency per hop (paper: SP2 125 ns, Paragon 40 ns,
+     *  T3D 20 ns). */
+    Time hop_latency = 0;
+
+    /** Header/envelope bytes added to each message on the wire. */
+    Bytes packet_overhead = 0;
+
+    /** Model link contention (disable for ablation). */
+    bool contention = true;
+};
+
+/** An interconnect instance: topology + link occupancy + stats. */
+class Network
+{
+  public:
+    Network(std::unique_ptr<Topology> topo, const NetworkParams &params);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /**
+     * Move @p bytes from @p src to @p dst starting no earlier than
+     * @p now; returns the absolute time the last byte arrives at the
+     * destination's network interface.  src must differ from dst
+     * (self-sends never touch the network).
+     */
+    Time transfer(int src, int dst, Bytes bytes, Time now);
+
+    const Topology &topology() const { return *topo_; }
+    const NetworkParams &params() const { return params_; }
+
+    /** Total messages injected. */
+    std::uint64_t messages() const { return messages_; }
+
+    /** Total payload bytes moved (excluding packet overhead). */
+    Bytes totalBytes() const { return total_bytes_; }
+
+    /** Sum over links of busy time (for utilization reports). */
+    Time totalLinkBusy() const { return total_link_busy_; }
+
+    /** Forget all link occupancy and stats (fresh measurement run). */
+    void reset();
+
+    /** Utilization summary over a time horizon. */
+    struct Utilization
+    {
+        double mean = 0.0;     //!< mean busy fraction over all links
+        double max = 0.0;      //!< busiest link's fraction
+        LinkId hottest = -1;   //!< id of the busiest link
+        int links_used = 0;    //!< links that carried any traffic
+    };
+
+    /**
+     * Busy fractions up to @p horizon (e.g.\ the simulator's final
+     * time).  Approximates each link's busy time by its last
+     * reservation end clamped to the horizon — exact when traffic is
+     * back-to-back, an upper bound otherwise; intended for relative
+     * comparisons (which links are hot), not absolute accounting.
+     */
+    Utilization utilization(Time horizon) const;
+
+  private:
+    std::unique_ptr<Topology> topo_;
+    NetworkParams params_;
+    std::vector<Time> link_free_;
+    std::vector<LinkId> scratch_path_;
+    std::uint64_t messages_ = 0;
+    Bytes total_bytes_ = 0;
+    Time total_link_busy_ = 0;
+};
+
+} // namespace ccsim::net
+
+#endif // CCSIM_NET_NETWORK_HH

@@ -1,0 +1,83 @@
+#include "net/omega.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+Omega::Omega(int num_nodes, int radix)
+    : num_nodes_(num_nodes), radix_(radix)
+{
+    if (num_nodes < 2)
+        fatal("Omega: need at least 2 nodes, got %d", num_nodes);
+    if (radix < 2)
+        fatal("Omega: radix must be >= 2, got %d", radix);
+    stages_ = 1;
+    long long ports = radix;
+    while (ports < num_nodes) {
+        ports *= radix;
+        ++stages_;
+        if (ports > (1 << 24))
+            fatal("Omega: %d nodes at radix %d is unreasonably large",
+                  num_nodes, radix);
+    }
+    ports_ = static_cast<int>(ports);
+}
+
+std::size_t
+Omega::numLinks() const
+{
+    // Injection links + one output wire per (stage, port position).
+    return static_cast<std::size_t>(num_nodes_) +
+           static_cast<std::size_t>(stages_) * ports_;
+}
+
+int
+Omega::shuffle(int w) const
+{
+    // Rotate the base-radix digit string of w left by one digit.
+    return (w * radix_) % ports_ + (w * radix_) / ports_;
+}
+
+void
+Omega::route(int src, int dst, std::vector<LinkId> &out) const
+{
+    checkNode(src);
+    checkNode(dst);
+    if (src == dst)
+        return;
+
+    // Injection link from the node into its network input port.
+    out.push_back(static_cast<LinkId>(src));
+
+    int w = src;
+    // Destination digits, most significant first.
+    int div = ports_ / radix_;
+    for (int stage = 0; stage < stages_; ++stage) {
+        w = shuffle(w);
+        int digit = (dst / div) % radix_;
+        div /= radix_;
+        if (div == 0)
+            div = 1;
+        w = w - (w % radix_) + digit;
+        // Output wire of this stage at position w (the final stage's
+        // wire doubles as the ejection link).
+        out.push_back(static_cast<LinkId>(
+            num_nodes_ + stage * ports_ + w));
+    }
+    if (w != dst)
+        panic("Omega: route from %d ended at port %d, wanted %d",
+              src, w, dst);
+}
+
+std::string
+Omega::name() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "omega %d-node radix-%d (%d stages)",
+                  num_nodes_, radix_, stages_);
+    return buf;
+}
+
+} // namespace ccsim::net

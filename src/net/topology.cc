@@ -1,0 +1,78 @@
+#include "net/topology.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+int
+Topology::hops(int src, int dst) const
+{
+    std::vector<LinkId> p;
+    route(src, dst, p);
+    return static_cast<int>(p.size());
+}
+
+int
+Topology::diameter() const
+{
+    int d = 0;
+    int n = numNodes();
+    for (int s = 0; s < n; ++s)
+        for (int t = 0; t < n; ++t)
+            if (s != t)
+                d = std::max(d, hops(s, t));
+    return d;
+}
+
+void
+Topology::checkNode(int node) const
+{
+    if (node < 0 || node >= numNodes())
+        panic("topology %s: node %d out of range [0, %d)",
+              name().c_str(), node, numNodes());
+}
+
+namespace {
+
+bool
+isPowerOfTwo(int p)
+{
+    return p > 0 && (p & (p - 1)) == 0;
+}
+
+} // namespace
+
+std::pair<int, int>
+meshDimsFor(int p)
+{
+    if (!isPowerOfTwo(p))
+        fatal("meshDimsFor: %d is not a power of two", p);
+    // Split the exponent as evenly as possible; wider than tall,
+    // matching how Paragon cabinets were laid out.
+    int e = 0;
+    while ((1 << e) < p)
+        ++e;
+    int ce = (e + 1) / 2; // cols exponent (the larger half)
+    int re = e - ce;
+    return {1 << re, 1 << ce};
+}
+
+std::array<int, 3>
+torusDimsFor(int p)
+{
+    if (!isPowerOfTwo(p))
+        fatal("torusDimsFor: %d is not a power of two", p);
+    int e = 0;
+    while ((1 << e) < p)
+        ++e;
+    // Distribute the exponent across z, y, x as evenly as possible,
+    // giving the extra factors to x first (e.g. 128 -> 8x4x4).
+    int ex = (e + 2) / 3;
+    int ey = (e - ex + 1) / 2;
+    int ez = e - ex - ey;
+    return {1 << ex, 1 << ey, 1 << ez};
+}
+
+} // namespace ccsim::net

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Topology: the wiring and routing of an interconnection network.
+ *
+ * A topology knows how many nodes it connects, how many directed
+ * links it contains, and — via a deterministic routing function —
+ * the exact sequence of directed links a message from src to dst
+ * traverses.  Link identifiers index the Network's per-link occupancy
+ * table, so two routes that share a LinkId contend for that wire.
+ *
+ * Concrete topologies: Mesh2D (Intel Paragon), Torus3D (Cray T3D),
+ * Omega multistage (IBM SP2 Vulcan switch fabric), FullyConnected
+ * (an ideal contention-free baseline).
+ */
+
+#ifndef CCSIM_NET_TOPOLOGY_HH
+#define CCSIM_NET_TOPOLOGY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccsim::net {
+
+/** Index of a directed physical link within a topology. */
+using LinkId = std::int32_t;
+
+/** Abstract interconnect wiring + routing. */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Number of attached processing nodes. */
+    virtual int numNodes() const = 0;
+
+    /** Total directed links (valid LinkIds are [0, numLinks())). */
+    virtual std::size_t numLinks() const = 0;
+
+    /**
+     * Append the directed links of the route from @p src to @p dst to
+     * @p out.  Routing is deterministic and minimal for the direct
+     * topologies.  src == dst yields an empty path.  Panics on
+     * out-of-range node ids.
+     */
+    virtual void route(int src, int dst, std::vector<LinkId> &out) const = 0;
+
+    /** Human-readable name, e.g.\ "mesh2d 8x4". */
+    virtual std::string name() const = 0;
+
+    /** Number of hops (links) from src to dst. */
+    int hops(int src, int dst) const;
+
+    /** Maximum hop count over all ordered pairs (brute force). */
+    int diameter() const;
+
+  protected:
+    /** Panic unless @p node is a valid node id. */
+    void checkNode(int node) const;
+};
+
+/**
+ * Pick near-square 2-D mesh dimensions (rows x cols) for @p p nodes.
+ * p must be a power of two (the only machine sizes the paper uses).
+ */
+std::pair<int, int> meshDimsFor(int p);
+
+/** Pick near-cubic 3-D torus dimensions for @p p (power of two). */
+std::array<int, 3> torusDimsFor(int p);
+
+} // namespace ccsim::net
+
+#endif // CCSIM_NET_TOPOLOGY_HH

@@ -1,0 +1,79 @@
+#include "net/torus3d.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+Torus3D::Torus3D(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz)
+{
+    if (nx < 1 || ny < 1 || nz < 1)
+        fatal("Torus3D: invalid dimensions %dx%dx%d", nx, ny, nz);
+}
+
+std::size_t
+Torus3D::numLinks() const
+{
+    return static_cast<std::size_t>(numNodes()) * 6;
+}
+
+std::array<int, 3>
+Torus3D::coords(int node) const
+{
+    checkNode(node);
+    int x = node % nx_;
+    int y = (node / nx_) % ny_;
+    int z = node / (nx_ * ny_);
+    return {x, y, z};
+}
+
+int
+Torus3D::nodeAt(int x, int y, int z) const
+{
+    if (x < 0 || x >= nx_ || y < 0 || y >= ny_ || z < 0 || z >= nz_)
+        panic("Torus3D: coordinates (%d, %d, %d) outside %dx%dx%d",
+              x, y, z, nx_, ny_, nz_);
+    return (z * ny_ + y) * nx_ + x;
+}
+
+int
+Torus3D::ringStep(int from, int to, int size)
+{
+    if (from == to)
+        return 0;
+    int fwd = (to - from + size) % size;  // hops going +
+    int bwd = size - fwd;                 // hops going -
+    return fwd <= bwd ? 1 : -1;
+}
+
+void
+Torus3D::route(int src, int dst, std::vector<LinkId> &out) const
+{
+    checkNode(src);
+    checkNode(dst);
+    auto c = coords(src);
+    auto d = coords(dst);
+    const int sizes[3] = {nx_, ny_, nz_};
+    const Dir pos[3] = {PosX, PosY, PosZ};
+    const Dir neg[3] = {NegX, NegY, NegZ};
+
+    for (int dim = 0; dim < 3; ++dim) {
+        while (c[dim] != d[dim]) {
+            int step = ringStep(c[dim], d[dim], sizes[dim]);
+            int node = nodeAt(c[0], c[1], c[2]);
+            out.push_back(linkFrom(node, step > 0 ? pos[dim] : neg[dim]));
+            c[dim] = (c[dim] + step + sizes[dim]) % sizes[dim];
+        }
+    }
+}
+
+std::string
+Torus3D::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "torus3d %dx%dx%d", nx_, ny_, nz_);
+    return buf;
+}
+
+} // namespace ccsim::net

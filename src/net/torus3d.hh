@@ -1,0 +1,59 @@
+/**
+ * @file
+ * 3-D torus topology with dimension-order routing — the Cray T3D's
+ * interconnect.  Each dimension has wraparound links; routing takes
+ * the shorter way around each ring (positive direction on ties),
+ * correcting X, then Y, then Z.
+ */
+
+#ifndef CCSIM_NET_TORUS3D_HH
+#define CCSIM_NET_TORUS3D_HH
+
+#include <array>
+
+#include "net/topology.hh"
+
+namespace ccsim::net {
+
+/** nx x ny x nz torus; node id = (z * ny + y) * nx + x. */
+class Torus3D : public Topology
+{
+  public:
+    /** Construct a torus with the given positive dimensions. */
+    Torus3D(int nx, int ny, int nz);
+
+    int numNodes() const override { return nx_ * ny_ * nz_; }
+    std::size_t numLinks() const override;
+    void route(int src, int dst, std::vector<LinkId> &out) const override;
+    std::string name() const override;
+
+    /** Torus coordinates of @p node as {x, y, z}. */
+    std::array<int, 3> coords(int node) const;
+
+    /** Node id at (x, y, z). */
+    int nodeAt(int x, int y, int z) const;
+
+    /**
+     * Signed minimal ring offset from @p from to @p to on a ring of
+     * @p size (positive on ties).  Exposed for testing.
+     */
+    static int ringStep(int from, int to, int size);
+
+  private:
+    // Six directed link slots per node: +/- in each dimension.
+    enum Dir { PosX = 0, NegX = 1, PosY = 2, NegY = 3, PosZ = 4, NegZ = 5 };
+
+    LinkId
+    linkFrom(int node, Dir d) const
+    {
+        return static_cast<LinkId>(node * 6 + d);
+    }
+
+    int nx_;
+    int ny_;
+    int nz_;
+};
+
+} // namespace ccsim::net
+
+#endif // CCSIM_NET_TORUS3D_HH

@@ -1,0 +1,45 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ccsim::sim {
+
+void
+EventQueue::schedule(Time when, Callback cb)
+{
+    if (when < last_fired_)
+        panic("EventQueue::schedule: time %lld before current time %lld",
+              static_cast<long long>(when),
+              static_cast<long long>(last_fired_));
+    if (!cb)
+        panic("EventQueue::schedule: empty callback");
+    heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+Time
+EventQueue::nextTime() const
+{
+    if (heap_.empty())
+        panic("EventQueue::nextTime: queue is empty");
+    return heap_.top().when;
+}
+
+Time
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        panic("EventQueue::runNext: queue is empty");
+    // priority_queue::top() is const; the callback must be moved out
+    // before pop, so copy the entry (callbacks are cheap to move but
+    // top() only gives const access — use const_cast-free approach).
+    Entry e = heap_.top();
+    heap_.pop();
+    last_fired_ = e.when;
+    ++fired_;
+    e.cb();
+    return e.when;
+}
+
+} // namespace ccsim::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are (time, sequence, callback) triples kept in a binary
+ * heap.  The sequence number makes ordering *stable*: two events
+ * scheduled for the same simulated instant fire in the order they
+ * were scheduled, which keeps runs bit-reproducible regardless of
+ * heap internals.
+ */
+
+#ifndef CCSIM_SIM_EVENT_QUEUE_HH
+#define CCSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace ccsim::sim {
+
+/** Stable-ordered time-sorted event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Enqueue a callback to fire at absolute time @p when.  Scheduling
+     * in the past (before the last popped event's time) is a bug in
+     * the caller and panics.
+     */
+    void schedule(Time when, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event; queue must be non-empty. */
+    Time nextTime() const;
+
+    /**
+     * Pop and run the earliest event.  Returns the time it fired at.
+     * Queue must be non-empty.
+     */
+    Time runNext();
+
+    /** Time of the most recently fired event (0 before any fire). */
+    Time lastFired() const { return last_fired_; }
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t fired() const { return fired_; }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t fired_ = 0;
+    Time last_fired_ = 0;
+};
+
+} // namespace ccsim::sim
+
+#endif // CCSIM_SIM_EVENT_QUEUE_HH

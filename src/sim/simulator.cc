@@ -1,0 +1,82 @@
+#include "sim/simulator.hh"
+
+#include "util/logging.hh"
+
+namespace ccsim::sim {
+
+void
+DelayAwaiter::await_suspend(std::coroutine_handle<> h) const
+{
+    if (delay_ < 0)
+        panic("delay: negative duration %lld",
+              static_cast<long long>(delay_));
+    sim_.resumeAt(sim_.now() + delay_, h);
+}
+
+void
+Trigger::fire()
+{
+    if (fired_)
+        return;
+    fired_ = true;
+    for (auto h : waiters_)
+        sim_.resumeNow(h);
+    waiters_.clear();
+}
+
+void
+Trigger::Awaiter::await_suspend(std::coroutine_handle<> h)
+{
+    trigger_.waiters_.push_back(h);
+}
+
+void
+Simulator::spawn(Task<void> task)
+{
+    if (!task.valid())
+        panic("Simulator::spawn: empty task");
+    auto handle = task.handle();
+    roots_.push_back(Root{std::move(task)});
+    // Start the lazily-created coroutine; it runs until its first
+    // blocking point.
+    handle.resume();
+}
+
+void
+Simulator::run()
+{
+    while (!queue_.empty()) {
+        queue_.runNext();
+        if (event_limit_ && queue_.fired() > event_limit_)
+            panic("Simulator::run: event limit %llu exceeded",
+                  static_cast<unsigned long long>(event_limit_));
+    }
+
+    // Surface the first task failure before diagnosing deadlock: a
+    // dead rank usually strands its peers, and the root cause is the
+    // exception, not the resulting starvation.
+    for (auto &r : roots_) {
+        auto &p = r.task.handle().promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+    }
+
+    std::size_t stuck = pendingTasks();
+    if (stuck > 0)
+        panic("Simulator::run: deadlock, %zu task(s) blocked with an "
+              "empty event queue", stuck);
+
+    roots_.clear();
+}
+
+std::size_t
+Simulator::pendingTasks() const
+{
+    std::size_t n = 0;
+    for (const auto &r : roots_)
+        if (!r.task.done())
+            ++n;
+    return n;
+}
+
+} // namespace ccsim::sim

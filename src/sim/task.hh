@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Task<T>: the lazy coroutine type all simulated programs are written
+ * in.
+ *
+ * A Task is created suspended; awaiting it starts the child via
+ * symmetric transfer, and when the child finishes its final awaiter
+ * transfers control straight back to the awaiting parent.  Exceptions
+ * thrown inside a task are captured and rethrown from the parent's
+ * co_await.  Tasks are move-only and own their coroutine frame.
+ *
+ * Rank programs block by co_awaiting primitives (delays, message
+ * arrivals, barrier releases) that park the coroutine handle and
+ * resume it from a scheduled simulator event, so "time passes" for a
+ * program exactly when the event queue says it does.
+ */
+
+#ifndef CCSIM_SIM_TASK_HH
+#define CCSIM_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ccsim::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/** State shared by Task promises independent of the result type. */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) const noexcept
+        {
+            auto &p = h.promise();
+            if (p.continuation)
+                return p.continuation;
+            return std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+
+    void unhandled_exception() { exception = std::current_exception(); }
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine returning a value of type T (or void).
+ */
+template <typename T>
+class Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        std::optional<T> value;
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        template <typename U>
+        void
+        return_value(U &&v)
+        {
+            value.emplace(std::forward<U>(v));
+        }
+    };
+
+    Task() = default;
+
+    Task(Task &&other) noexcept : handle_(other.handle_)
+    {
+        other.handle_ = nullptr;
+    }
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = other.handle_;
+            other.handle_ = nullptr;
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True when this Task owns a coroutine frame. */
+    bool valid() const { return handle_ != nullptr; }
+
+    /** True once the coroutine has run to completion. */
+    bool done() const { return handle_ && handle_.done(); }
+
+    struct Awaiter
+    {
+        std::coroutine_handle<promise_type> handle;
+
+        bool await_ready() const noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) const noexcept
+        {
+            handle.promise().continuation = parent;
+            return handle; // start the child
+        }
+
+        T
+        await_resume() const
+        {
+            auto &p = handle.promise();
+            if (p.exception)
+                std::rethrow_exception(p.exception);
+            return std::move(*p.value);
+        }
+    };
+
+    Awaiter
+    operator co_await() &&
+    {
+        if (!handle_)
+            panic("co_await on an empty Task");
+        return Awaiter{handle_};
+    }
+
+    /** Raw handle access for the spawning machinery. */
+    std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+  private:
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+/** Specialization for coroutines that produce no value. */
+template <>
+class Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_void() const noexcept {}
+    };
+
+    Task() = default;
+
+    Task(Task &&other) noexcept : handle_(other.handle_)
+    {
+        other.handle_ = nullptr;
+    }
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = other.handle_;
+            other.handle_ = nullptr;
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return handle_ != nullptr; }
+    bool done() const { return handle_ && handle_.done(); }
+
+    struct Awaiter
+    {
+        std::coroutine_handle<promise_type> handle;
+
+        bool await_ready() const noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) const noexcept
+        {
+            handle.promise().continuation = parent;
+            return handle;
+        }
+
+        void
+        await_resume() const
+        {
+            auto &p = handle.promise();
+            if (p.exception)
+                std::rethrow_exception(p.exception);
+        }
+    };
+
+    Awaiter
+    operator co_await() &&
+    {
+        if (!handle_)
+            panic("co_await on an empty Task");
+        return Awaiter{handle_};
+    }
+
+    std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+  private:
+    friend class Simulator;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+} // namespace ccsim::sim
+
+#endif // CCSIM_SIM_TASK_HH

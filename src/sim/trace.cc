@@ -1,0 +1,87 @@
+#include "sim/trace.hh"
+
+#include "util/logging.hh"
+
+namespace ccsim::sim {
+
+std::string
+spanKindName(SpanKind k)
+{
+    switch (k) {
+      case SpanKind::Compute:
+        return "compute";
+      case SpanKind::Send:
+        return "send";
+      case SpanKind::Recv:
+        return "recv";
+      default:
+        panic("spanKindName: bad kind %d", static_cast<int>(k));
+    }
+}
+
+void
+Trace::record(const Span &s)
+{
+    if (!enabled_)
+        return;
+    if (s.end < s.start)
+        panic("Trace::record: span ends (%lld) before it starts (%lld)",
+              static_cast<long long>(s.end),
+              static_cast<long long>(s.start));
+    spans_.push_back(s);
+}
+
+void
+Trace::writeChromeJson(std::ostream &os) const
+{
+    os << "[";
+    bool first = true;
+    for (const Span &s : spans_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"name\": \"" << spanKindName(s.kind) << "\""
+           << ", \"ph\": \"X\""
+           << ", \"ts\": " << toMicros(s.start)
+           << ", \"dur\": " << toMicros(s.duration())
+           << ", \"pid\": 0"
+           << ", \"tid\": " << s.rank << ", \"args\": {\"bytes\": "
+           << s.bytes << ", \"peer\": " << s.peer << "}}";
+    }
+    os << "\n]\n";
+}
+
+void
+Trace::writeCsv(std::ostream &os) const
+{
+    os << "rank,kind,start_us,end_us,bytes,peer\n";
+    for (const Span &s : spans_) {
+        os << s.rank << ',' << spanKindName(s.kind) << ','
+           << toMicros(s.start) << ',' << toMicros(s.end) << ','
+           << s.bytes << ',' << s.peer << '\n';
+    }
+}
+
+std::map<int, RankSummary>
+Trace::summarize() const
+{
+    std::map<int, RankSummary> out;
+    for (const Span &s : spans_) {
+        RankSummary &r = out[s.rank];
+        ++r.spans;
+        switch (s.kind) {
+          case SpanKind::Compute:
+            r.compute += s.duration();
+            break;
+          case SpanKind::Send:
+            r.send += s.duration();
+            break;
+          case SpanKind::Recv:
+            r.recv += s.duration();
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace ccsim::sim

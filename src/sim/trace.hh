@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Execution tracing: per-rank activity spans for timeline analysis.
+ *
+ * When enabled on a Machine, the transport records one span per
+ * software activity (send issue, receive completion, CPU busy time)
+ * with start/end simulated times, byte counts, and peers.  Traces
+ * export to the Chrome trace-event JSON format (load in
+ * chrome://tracing or Perfetto to see the ladder diagrams of a
+ * collective) or to CSV, and summarize into per-rank compute /
+ * communication totals — the sort of breakdown Fig. 4 of the paper
+ * presents as stacked bars.
+ *
+ * Tracing is off by default and costs nothing when disabled.
+ */
+
+#ifndef CCSIM_SIM_TRACE_HH
+#define CCSIM_SIM_TRACE_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace ccsim::sim {
+
+/** What a span represents. */
+enum class SpanKind
+{
+    Compute, //!< CPU busy (software overheads, arithmetic)
+    Send,    //!< send issue, call to local completion
+    Recv,    //!< receive, call to completion
+};
+
+/** Printable span kind. */
+std::string spanKindName(SpanKind k);
+
+/** One recorded activity interval. */
+struct Span
+{
+    int rank = 0;
+    SpanKind kind = SpanKind::Compute;
+    Time start = 0;
+    Time end = 0;
+    Bytes bytes = 0;
+    int peer = -1; //!< other endpoint (-1: none)
+
+    Time duration() const { return end - start; }
+};
+
+/** Per-rank activity totals. */
+struct RankSummary
+{
+    Time compute = 0;
+    Time send = 0;
+    Time recv = 0;
+    int spans = 0;
+
+    Time comm() const { return send + recv; }
+};
+
+/** Span collector with export and summary. */
+class Trace
+{
+  public:
+    /** Turn recording on/off (off by default). */
+    void enable(bool on) { enabled_ = on; }
+
+    /** True while recording. */
+    bool enabled() const { return enabled_; }
+
+    /** Record a span (no-op while disabled). */
+    void record(const Span &s);
+
+    /** All recorded spans, in recording order. */
+    const std::vector<Span> &spans() const { return spans_; }
+
+    /** Drop all recorded spans. */
+    void clear() { spans_.clear(); }
+
+    /** Chrome trace-event JSON (complete "X" events; ts/dur in us;
+     *  tid = rank). */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** CSV: rank,kind,start_us,end_us,bytes,peer. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Aggregate per-rank totals. */
+    std::map<int, RankSummary> summarize() const;
+
+  private:
+    bool enabled_ = false;
+    std::vector<Span> spans_;
+};
+
+} // namespace ccsim::sim
+
+#endif // CCSIM_SIM_TRACE_HH

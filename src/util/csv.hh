@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal CSV emission for benchmark results.
+ *
+ * Bench binaries optionally dump their series as CSV (one file per
+ * figure panel) so the plots can be regenerated with any external
+ * tool.  Quoting follows RFC 4180: cells containing a comma, quote,
+ * or newline are wrapped in double quotes with embedded quotes
+ * doubled.
+ */
+
+#ifndef CCSIM_UTIL_CSV_HH
+#define CCSIM_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/** Streams rows of cells to an ostream in CSV format. */
+class CsvWriter
+{
+  public:
+    /** Bind to an output stream (not owned). */
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Write one row. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Quote a single cell per RFC 4180 if needed. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_UTIL_CSV_HH

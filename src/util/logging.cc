@@ -1,0 +1,98 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace ccsim {
+
+namespace {
+
+bool throw_on_error = false;
+bool quiet = false;
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    if (n < 0) {
+        va_end(ap2);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace
+
+bool
+throwOnError(bool enable)
+{
+    bool prev = throw_on_error;
+    throw_on_error = enable;
+    return prev;
+}
+
+bool
+quietLogging(bool enable)
+{
+    bool prev = quiet;
+    quiet = enable;
+    return prev;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quiet)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quiet)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    if (throw_on_error)
+        throw FatalError(msg);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    if (throw_on_error)
+        throw PanicError(msg);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace ccsim

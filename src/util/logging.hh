@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 convention:
+ *
+ *  - inform(): normal progress messages;
+ *  - warn():   something is off but the run can continue;
+ *  - fatal():  the *user* asked for something impossible (bad
+ *              configuration, invalid arguments) — clean exit(1);
+ *  - panic():  an internal invariant was violated (a ccsim bug) —
+ *              abort() so a core dump / debugger is available.
+ *
+ * All functions take printf-style format strings.  fatal() and
+ * panic() are [[noreturn]].  For testability, fatal/panic raise
+ * typed exceptions when throwOnError(true) has been set; the gtest
+ * suites use this to assert on error paths without dying.
+ */
+
+#ifndef CCSIM_UTIL_LOGGING_HH
+#define CCSIM_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace ccsim {
+
+/** Raised by fatal() when throwOnError(true) is active. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Raised by panic() when throwOnError(true) is active. */
+struct PanicError : std::logic_error
+{
+    using std::logic_error::logic_error;
+};
+
+/**
+ * Direct fatal()/panic() to throw FatalError/PanicError instead of
+ * terminating the process.  Returns the previous setting.  Intended
+ * for unit tests only.
+ */
+bool throwOnError(bool enable);
+
+/** Silence inform()/warn() output (for quiet benchmark runs). */
+bool quietLogging(bool enable);
+
+/** Print an informational message to stdout. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user-caused error and exit (or throw FatalError). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal bug and abort (or throw PanicError). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace ccsim
+
+#endif // CCSIM_UTIL_LOGGING_HH

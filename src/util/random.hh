@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be bit-reproducible across platforms, so we use
+ * our own splitmix64/xoshiro256** implementation rather than the
+ * standard library distributions (whose algorithms are
+ * implementation-defined).  Used for payload fill patterns, clock-skew
+ * injection, and randomized property tests.
+ */
+
+#ifndef CCSIM_UTIL_RANDOM_HH
+#define CCSIM_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace ccsim {
+
+/** xoshiro256** PRNG seeded via splitmix64. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) via Lemire reduction; bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** Bernoulli draw with probability @p prob of true. */
+    bool nextBool(double prob = 0.5);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_UTIL_RANDOM_HH

@@ -1,0 +1,102 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ccsim {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+double
+RunningStats::mean() const
+{
+    return n_ ? mean_ : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+void
+SampleStats::add(double x)
+{
+    running_.add(x);
+    samples_.push_back(x);
+    sorted_valid_ = false;
+}
+
+double
+SampleStats::percentile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        panic("SampleStats::percentile: q %g outside [0,1]", q);
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_valid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sorted_valid_ = true;
+    }
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    double pos = q * static_cast<double>(sorted_.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size())
+        return sorted_.back();
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+void
+SampleStats::reset()
+{
+    running_.reset();
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+}
+
+} // namespace ccsim

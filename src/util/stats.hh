@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small streaming and sample-based statistics helpers used by the
+ * measurement harness: min / max / mean / standard deviation and
+ * percentiles over collected samples.
+ */
+
+#ifndef CCSIM_UTIL_STATS_HH
+#define CCSIM_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ccsim {
+
+/**
+ * Welford-style streaming accumulator.  Numerically stable mean and
+ * variance without storing samples.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::size_t count() const { return n_; }
+
+    /** Smallest sample (0 if empty). */
+    double min() const;
+
+    /** Largest sample (0 if empty). */
+    double max() const;
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const;
+
+    /** Population variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Sum of all samples. */
+    double sum() const { return mean() * static_cast<double>(n_); }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Sample-retaining statistics: everything RunningStats offers plus
+ * percentiles and the median.
+ */
+class SampleStats
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    /** Number of recorded samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    double min() const { return running_.min(); }
+    double max() const { return running_.max(); }
+    double mean() const { return running_.mean(); }
+    double stddev() const { return running_.stddev(); }
+
+    /**
+     * Linear-interpolated percentile.
+     * @param q quantile in [0, 1]; 0.5 is the median.
+     */
+    double percentile(double q) const;
+
+    /** Median (50th percentile). */
+    double median() const { return percentile(0.5); }
+
+    /** Read-only access to the raw samples (insertion order). */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    RunningStats running_;
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_UTIL_STATS_HH

@@ -1,0 +1,136 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ccsim {
+
+namespace {
+
+/** True when the cell looks numeric (for right-alignment). */
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+              c == '-' || c == '+' || c == 'e' || c == 'E' || c == '%' ||
+              c == ','))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+TableWriter::header(std::vector<std::string> names)
+{
+    header_ = std::move(names);
+}
+
+void
+TableWriter::row(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() != header_.size())
+        panic("TableWriter::row: %zu cells for %zu columns",
+              cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TableWriter::separator()
+{
+    rows_.emplace_back();
+}
+
+std::size_t
+TableWriter::rows() const
+{
+    std::size_t n = 0;
+    for (const auto &r : rows_)
+        if (!r.empty())
+            ++n;
+    return n;
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    if (ncols == 0)
+        return;
+
+    std::vector<std::size_t> width(ncols, 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string cell =
+                c < cells.size() ? cells[c] : std::string();
+            bool right = looksNumeric(cell);
+            os << (c == 0 ? "" : "  ");
+            if (right)
+                os << std::string(width[c] - cell.size(), ' ') << cell;
+            else
+                os << cell << std::string(width[c] - cell.size(), ' ');
+        }
+        os << '\n';
+    };
+
+    auto print_sep = [&]() {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            os << (c == 0 ? "" : "  ");
+            os << std::string(width[c], '-');
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        print_row(header_);
+        print_sep();
+    }
+    for (const auto &r : rows_) {
+        if (r.empty())
+            print_sep();
+        else
+            print_row(r);
+    }
+}
+
+std::string
+TableWriter::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+formatG(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+    return buf;
+}
+
+std::string
+formatF(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace ccsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Monospace table rendering for benchmark reports.
+ *
+ * Every bench binary prints its figure/table in an aligned ASCII
+ * layout mirroring the rows/series of the paper.  TableWriter collects
+ * a header row plus data rows of strings and renders them with
+ * per-column widths; numeric cells are right-aligned, text cells
+ * left-aligned.
+ */
+
+#ifndef CCSIM_UTIL_TABLE_HH
+#define CCSIM_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/** Builds and renders an aligned text table. */
+class TableWriter
+{
+  public:
+    /** Set the column headers; defines the column count. */
+    void header(std::vector<std::string> names);
+
+    /** Append a data row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t rows() const;
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    // Separator rows are represented by empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits significant digits, trimmed. */
+std::string formatG(double v, int digits = 4);
+
+/** Format a double with fixed @p decimals. */
+std::string formatF(double v, int decimals = 2);
+
+} // namespace ccsim
+
+#endif // CCSIM_UTIL_TABLE_HH

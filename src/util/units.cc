@@ -1,0 +1,80 @@
+#include "util/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ccsim {
+
+Time
+transferTime(Bytes bytes, double mbytes_per_sec)
+{
+    if (bytes < 0)
+        panic("transferTime: negative byte count %lld",
+              static_cast<long long>(bytes));
+    if (mbytes_per_sec <= 0.0)
+        panic("transferTime: non-positive bandwidth %g", mbytes_per_sec);
+    if (bytes == 0)
+        return 0;
+    // ps per byte at B MB/s is 1e6 / B.
+    double ps = static_cast<double>(bytes) * (1e6 / mbytes_per_sec);
+    return static_cast<Time>(std::llround(ps));
+}
+
+double
+bandwidthMBs(Bytes bytes, Time t)
+{
+    if (t <= 0)
+        return 0.0;
+    return static_cast<double>(bytes) * 1e6 / static_cast<double>(t);
+}
+
+std::string
+formatTime(Time t)
+{
+    char buf[64];
+    double a = std::abs(static_cast<double>(t));
+    if (a < 1e3) {
+        std::snprintf(buf, sizeof(buf), "%lld ps",
+                      static_cast<long long>(t));
+    } else if (a < 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2f ns", toNanos(t));
+    } else if (a < 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", toMicros(t));
+    } else if (a < 1e12) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", toMillis(t));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3f s", toSeconds(t));
+    }
+    return buf;
+}
+
+std::string
+formatBytes(Bytes b)
+{
+    char buf[64];
+    if (b < KiB) {
+        std::snprintf(buf, sizeof(buf), "%lld B",
+                      static_cast<long long>(b));
+    } else if (b < MiB) {
+        if (b % KiB == 0) {
+            std::snprintf(buf, sizeof(buf), "%lld KB",
+                          static_cast<long long>(b / KiB));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.1f KB",
+                          static_cast<double>(b) / KiB);
+        }
+    } else {
+        if (b % MiB == 0) {
+            std::snprintf(buf, sizeof(buf), "%lld MB",
+                          static_cast<long long>(b / MiB));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.1f MB",
+                          static_cast<double>(b) / MiB);
+        }
+    }
+    return buf;
+}
+
+} // namespace ccsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Strongly-typed simulation units.
+ *
+ * The simulator counts time in integer picoseconds so that event
+ * ordering is exact and runs are bit-reproducible.  A 64-bit count of
+ * picoseconds covers roughly 106 days of simulated time, far beyond
+ * anything these benchmarks need.  Message sizes are plain byte
+ * counts.  Free helper functions convert to and from the human units
+ * used throughout the paper (microseconds, MB/s).
+ */
+
+#ifndef CCSIM_UTIL_UNITS_HH
+#define CCSIM_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ccsim {
+
+/** Simulated time in integer picoseconds. */
+using Time = std::int64_t;
+
+/** Message / buffer sizes in bytes. */
+using Bytes = std::int64_t;
+
+namespace time_literals {
+
+constexpr Time PS = 1;
+constexpr Time NS = 1000 * PS;
+constexpr Time US = 1000 * NS;
+constexpr Time MS = 1000 * US;
+constexpr Time SEC = 1000 * MS;
+
+} // namespace time_literals
+
+/** Build a Time from a (possibly fractional) count of nanoseconds. */
+constexpr Time
+nanoseconds(double ns)
+{
+    return static_cast<Time>(ns * 1e3 + (ns >= 0 ? 0.5 : -0.5));
+}
+
+/** Build a Time from a (possibly fractional) count of microseconds. */
+constexpr Time
+microseconds(double us)
+{
+    return static_cast<Time>(us * 1e6 + (us >= 0 ? 0.5 : -0.5));
+}
+
+/** Build a Time from a (possibly fractional) count of milliseconds. */
+constexpr Time
+milliseconds(double ms)
+{
+    return static_cast<Time>(ms * 1e9 + (ms >= 0 ? 0.5 : -0.5));
+}
+
+/** Convert a Time to floating-point nanoseconds. */
+constexpr double
+toNanos(Time t)
+{
+    return static_cast<double>(t) * 1e-3;
+}
+
+/** Convert a Time to floating-point microseconds. */
+constexpr double
+toMicros(Time t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+/** Convert a Time to floating-point milliseconds. */
+constexpr double
+toMillis(Time t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Convert a Time to floating-point seconds. */
+constexpr double
+toSeconds(Time t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+/**
+ * Time taken to move @p bytes at @p mbytes_per_sec (decimal MB/s, the
+ * unit the paper quotes link bandwidths in).  Returns zero time for a
+ * zero-byte transfer; bandwidth must be positive.
+ */
+Time transferTime(Bytes bytes, double mbytes_per_sec);
+
+/** Bandwidth in MB/s implied by moving @p bytes in @p t. */
+double bandwidthMBs(Bytes bytes, Time t);
+
+constexpr Bytes KiB = 1024;
+constexpr Bytes MiB = 1024 * KiB;
+
+/** Render a time with an auto-selected unit, e.g.\ "3.00 us". */
+std::string formatTime(Time t);
+
+/** Render a byte count, e.g.\ "64 KB" or "512 B". */
+std::string formatBytes(Bytes b);
+
+} // namespace ccsim
+
+#endif // CCSIM_UTIL_UNITS_HH

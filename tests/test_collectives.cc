@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Data-carrying correctness tests for every collective x algorithm,
+ * swept over communicator sizes (including non-powers-of-two and the
+ * degenerate single rank) and non-zero roots.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "mpi/comm.hh"
+#include "util/logging.hh"
+
+namespace ccsim::mpi {
+namespace {
+
+using machine::Machine;
+
+using Body = std::function<sim::Task<void>(Comm &)>;
+
+/** Spawn one Comm-equipped program per rank and run to completion. */
+void
+runProgram(Machine &m, const Body &body)
+{
+    auto driver = [&m, &body](int rank) -> sim::Task<void> {
+        Comm comm(m, rank);
+        co_await body(comm);
+    };
+    for (int r = 0; r < m.size(); ++r)
+        m.sim().spawn(driver(r));
+    m.run();
+}
+
+/** Deterministic per-rank test vector. */
+std::vector<std::int64_t>
+pattern(int rank, int count, int salt = 0)
+{
+    std::vector<std::int64_t> v(static_cast<size_t>(count));
+    for (int j = 0; j < count; ++j)
+        v[static_cast<size_t>(j)] =
+            1000 * (rank + 1) + 10 * j + salt;
+    return v;
+}
+
+class CollectivesP : public ::testing::TestWithParam<int>
+{
+  protected:
+    int p() const { return GetParam(); }
+
+    Machine
+    idealMachine() const
+    {
+        return Machine(machine::idealConfig(), p());
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesP,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST_P(CollectivesP, BcastAllAlgorithmsDeliverRootData)
+{
+    for (Algo algo : {Algo::Linear, Algo::Binomial,
+                      Algo::ScatterAllgather}) {
+        Machine m = idealMachine();
+        int root = p() > 2 ? 2 : 0;
+        int checked = 0;
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            auto in = c.rank() == root
+                          ? pattern(root, 6)
+                          : std::vector<std::int64_t>(6, 0);
+            auto out = co_await c.bcastData(in, root, algo);
+            EXPECT_EQ(out, pattern(root, 6))
+                << "algo=" << machine::algoName(algo)
+                << " rank=" << c.rank();
+            ++checked;
+        };
+        runProgram(m, body);
+        EXPECT_EQ(checked, p());
+    }
+}
+
+TEST_P(CollectivesP, GatherConcatenatesInRankOrder)
+{
+    for (Algo algo : {Algo::Linear, Algo::Binomial}) {
+        Machine m = idealMachine();
+        int root = p() > 3 ? 3 : 0;
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            auto out = co_await c.gatherData(pattern(c.rank(), 4),
+                                             root, algo);
+            if (c.rank() == root) {
+                EXPECT_EQ(out.size(), static_cast<size_t>(4 * p()));
+                for (int r = 0; r < p(); ++r) {
+                    auto expect = pattern(r, 4);
+                    for (int j = 0; j < 4; ++j)
+                        EXPECT_EQ(out[static_cast<size_t>(r * 4 + j)],
+                                  expect[static_cast<size_t>(j)])
+                            << "algo=" << machine::algoName(algo)
+                            << " r=" << r << " j=" << j;
+                }
+            } else {
+                EXPECT_TRUE(out.empty());
+            }
+        };
+        runProgram(m, body);
+    }
+}
+
+TEST_P(CollectivesP, ScatterDistributesRootBlocks)
+{
+    for (Algo algo : {Algo::Linear, Algo::Binomial}) {
+        Machine m = idealMachine();
+        int root = p() > 1 ? 1 : 0;
+        std::vector<std::int64_t> all;
+        for (int r = 0; r < p(); ++r) {
+            auto blk = pattern(r, 3, /*salt=*/7);
+            all.insert(all.end(), blk.begin(), blk.end());
+        }
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            // Named local: GCC 12 mishandles conditional-expression
+            // temporaries inside co_await arguments.
+            std::vector<std::int64_t> in;
+            if (c.rank() == root)
+                in = all;
+            auto out = co_await c.scatterData(in, 3, root, algo);
+            EXPECT_EQ(out, pattern(c.rank(), 3, 7))
+                << "algo=" << machine::algoName(algo)
+                << " rank=" << c.rank();
+        };
+        runProgram(m, body);
+    }
+}
+
+TEST_P(CollectivesP, AllgatherEveryoneGetsEverything)
+{
+    for (Algo algo : {Algo::Ring, Algo::RecursiveDoubling}) {
+        Machine m = idealMachine();
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            auto out =
+                co_await c.allgatherData(pattern(c.rank(), 2), algo);
+            EXPECT_EQ(out.size(), static_cast<size_t>(2 * p()));
+            for (int r = 0; r < p(); ++r) {
+                auto expect = pattern(r, 2);
+                for (int j = 0; j < 2; ++j)
+                    EXPECT_EQ(out[static_cast<size_t>(r * 2 + j)],
+                              expect[static_cast<size_t>(j)])
+                        << "algo=" << machine::algoName(algo);
+            }
+        };
+        runProgram(m, body);
+    }
+}
+
+TEST_P(CollectivesP, AlltoallPermutesBlocksCorrectly)
+{
+    auto block_value = [](int src, int dst, int j) -> std::int64_t {
+        return 100000 * (src + 1) + 100 * (dst + 1) + j;
+    };
+    for (Algo algo : {Algo::Linear, Algo::Pairwise, Algo::Bruck}) {
+        Machine m = idealMachine();
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            std::vector<std::int64_t> mine;
+            for (int dst = 0; dst < p(); ++dst)
+                for (int j = 0; j < 3; ++j)
+                    mine.push_back(block_value(c.rank(), dst, j));
+            auto out = co_await c.alltoallData(mine, algo);
+            EXPECT_EQ(out.size(), static_cast<size_t>(3 * p()));
+            for (int src = 0; src < p(); ++src)
+                for (int j = 0; j < 3; ++j)
+                    EXPECT_EQ(out[static_cast<size_t>(src * 3 + j)],
+                              block_value(src, c.rank(), j))
+                        << "algo=" << machine::algoName(algo)
+                        << " rank=" << c.rank() << " src=" << src;
+        };
+        runProgram(m, body);
+    }
+}
+
+TEST_P(CollectivesP, ReduceSumsExactly)
+{
+    for (Algo algo : {Algo::Linear, Algo::Binomial}) {
+        Machine m = idealMachine();
+        int root = p() > 2 ? p() - 1 : 0;
+        std::vector<std::int64_t> expect(3, 0);
+        for (int r = 0; r < p(); ++r) {
+            auto v = pattern(r, 3);
+            for (int j = 0; j < 3; ++j)
+                expect[static_cast<size_t>(j)] +=
+                    v[static_cast<size_t>(j)];
+        }
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            auto out = co_await c.reduceData(pattern(c.rank(), 3),
+                                             ReduceOp::Sum, root, algo);
+            if (c.rank() == root)
+                EXPECT_EQ(out, expect)
+                    << "algo=" << machine::algoName(algo);
+            else
+                EXPECT_TRUE(out.empty());
+        };
+        runProgram(m, body);
+    }
+}
+
+TEST_P(CollectivesP, AllreduceAllOperators)
+{
+    for (Algo algo : {Algo::ReduceBcast, Algo::RecursiveDoubling}) {
+        for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max,
+                            ReduceOp::Prod}) {
+            Machine m = idealMachine();
+            // Small values keep products in range.
+            auto input = [&](int rank) {
+                return std::vector<std::int64_t>{rank + 1, 2,
+                                                 (rank % 3) - 1};
+            };
+            std::vector<std::int64_t> expect = input(0);
+            for (int r = 1; r < p(); ++r) {
+                auto v = input(r);
+                for (int j = 0; j < 3; ++j) {
+                    auto &e = expect[static_cast<size_t>(j)];
+                    auto x = v[static_cast<size_t>(j)];
+                    switch (op) {
+                      case ReduceOp::Sum:
+                        e += x;
+                        break;
+                      case ReduceOp::Prod:
+                        e *= x;
+                        break;
+                      case ReduceOp::Min:
+                        e = std::min(e, x);
+                        break;
+                      case ReduceOp::Max:
+                        e = std::max(e, x);
+                        break;
+                    }
+                }
+            }
+            Body body = [&](Comm &c) -> sim::Task<void> {
+                auto out = co_await c.allreduceData(input(c.rank()), op,
+                                                    algo);
+                EXPECT_EQ(out, expect)
+                    << "algo=" << machine::algoName(algo) << " op="
+                    << reduceOpName(op) << " rank=" << c.rank();
+            };
+            runProgram(m, body);
+        }
+    }
+}
+
+TEST_P(CollectivesP, ScanIsInclusivePrefix)
+{
+    for (Algo algo : {Algo::Linear, Algo::RecursiveDoubling}) {
+        Machine m = idealMachine();
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            // Named local: GCC 12 rejects initializer_list
+            // temporaries inside co_await expressions.
+            std::vector<std::int64_t> in{c.rank() + 1, 10};
+            auto out = co_await c.scanData(in, ReduceOp::Sum, algo);
+            // prefix over ranks 0..rank of {r+1, 10}
+            std::int64_t n = c.rank() + 1;
+            EXPECT_EQ(out,
+                      (std::vector<std::int64_t>{n * (n + 1) / 2,
+                                                 10 * n}))
+                << "algo=" << machine::algoName(algo)
+                << " rank=" << c.rank();
+        };
+        runProgram(m, body);
+    }
+}
+
+TEST_P(CollectivesP, BarrierHoldsEveryoneUntilLastEntry)
+{
+    for (Algo algo : {Algo::Linear, Algo::Binomial,
+                      Algo::Dissemination}) {
+        Machine m = idealMachine();
+        using namespace time_literals;
+        Time last_entry = 0;
+        Time first_exit = -1;
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            co_await c.compute(Time(c.rank()) * 100 * US);
+            last_entry = std::max(last_entry, m.sim().now());
+            co_await c.barrier(algo);
+            if (first_exit < 0 || m.sim().now() < first_exit)
+                first_exit = m.sim().now();
+        };
+        runProgram(m, body);
+        EXPECT_GE(first_exit, last_entry)
+            << "algo=" << machine::algoName(algo);
+    }
+}
+
+TEST_P(CollectivesP, ZeroLengthCollectivesComplete)
+{
+    Machine m = idealMachine();
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        auto b = co_await c.bcastData(std::vector<std::int64_t>{}, 0);
+        EXPECT_TRUE(b.empty());
+        auto g =
+            co_await c.gatherData(std::vector<std::int64_t>{}, 0);
+        EXPECT_TRUE(g.empty());
+        co_await c.alltoall(0);
+        co_await c.reduce(0);
+    };
+    runProgram(m, body);
+}
+
+TEST(Collectives, WorkOnAllPaperMachines)
+{
+    // End-to-end smoke across the three calibrated presets.
+    for (const auto &cfg : machine::paperMachines()) {
+        Machine m(cfg, 8);
+        int done = 0;
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            co_await c.barrier();
+            std::vector<std::int64_t> mine{c.rank()};
+            auto v = co_await c.allreduceData(mine, ReduceOp::Sum);
+            EXPECT_EQ(v, (std::vector<std::int64_t>{28}))
+                << cfg.name;
+            auto a = co_await c.alltoallData(
+                pattern(c.rank(), 8), Algo::Default);
+            EXPECT_EQ(a.size(), 8u);
+            co_await c.scan(1024);
+            co_await c.bcast(64 * KiB, 0); // rendezvous path
+            ++done;
+        };
+        runProgram(m, body);
+        EXPECT_EQ(done, 8) << cfg.name;
+    }
+}
+
+TEST(Collectives, SubgroupIsolatesTraffic)
+{
+    Machine m(machine::idealConfig(), 8);
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        // Split into even and odd halves; sum ranks within each.
+        std::vector<int> members;
+        for (int r = c.rank() % 2; r < 8; r += 2)
+            members.push_back(r);
+        Comm half = c.subgroup(members);
+        EXPECT_EQ(half.size(), 4);
+        std::vector<std::int64_t> mine{c.rank()};
+        auto v = co_await half.allreduceData(mine, ReduceOp::Sum);
+        std::int64_t expect = c.rank() % 2 == 0 ? 0 + 2 + 4 + 6
+                                                : 1 + 3 + 5 + 7;
+        EXPECT_EQ(v, (std::vector<std::int64_t>{expect}));
+        // And a barrier inside the subgroup must not hang.
+        co_await half.barrier();
+    };
+    runProgram(m, body);
+}
+
+TEST(Collectives, SubgroupRankNumberingFollowsMemberOrder)
+{
+    Machine m(machine::idealConfig(), 4);
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        Comm sub = c.subgroup({3, 1, 0, 2});
+        int expect_rank = c.rank() == 3   ? 0
+                          : c.rank() == 1 ? 1
+                          : c.rank() == 0 ? 2
+                                          : 3;
+        EXPECT_EQ(sub.rank(), expect_rank);
+        std::vector<std::int64_t> mine{c.rank()};
+        auto g = co_await sub.gatherData(mine, 0);
+        if (sub.rank() == 0) {
+            EXPECT_EQ(g, (std::vector<std::int64_t>{3, 1, 0, 2}));
+        }
+        co_return;
+    };
+    runProgram(m, body);
+}
+
+TEST(Collectives, SubgroupErrors)
+{
+    throwOnError(true);
+    Machine m(machine::idealConfig(), 4);
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        if (c.rank() == 0) {
+            EXPECT_THROW(c.subgroup({}), FatalError);
+            EXPECT_THROW(c.subgroup({1, 2}), FatalError);  // not member
+            EXPECT_THROW(c.subgroup({0, 0, 1}), FatalError); // dup
+        }
+        co_return;
+    };
+    runProgram(m, body);
+    throwOnError(false);
+}
+
+TEST(Collectives, FloatReductionMatchesWithinTolerance)
+{
+    Machine m(machine::idealConfig(), 8);
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        std::vector<float> v{0.5f * (c.rank() + 1), -1.25f};
+        auto out = co_await c.allreduceData(v, ReduceOp::Sum);
+        EXPECT_EQ(out.size(), 2u);
+        EXPECT_NEAR(out[0], 0.5f * 36, 1e-4);
+        EXPECT_NEAR(out[1], -10.0f, 1e-4);
+    };
+    runProgram(m, body);
+}
+
+TEST(Collectives, ConsecutiveCallsDoNotInterfere)
+{
+    Machine m(machine::idealConfig(), 4);
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        for (int i = 0; i < 10; ++i) {
+            std::vector<std::int64_t> in{i * 11};
+            auto v = co_await c.bcastData(in, 0);
+            EXPECT_EQ(v, (std::vector<std::int64_t>{i * 11}));
+        }
+    };
+    runProgram(m, body);
+}
+
+TEST(Collectives, MismatchedRootIsFatal)
+{
+    throwOnError(true);
+    Machine m(machine::idealConfig(), 4);
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        co_await c.bcast(16, /*root=*/9);
+    };
+    auto driver = [&m, &body](int rank) -> sim::Task<void> {
+        Comm comm(m, rank);
+        co_await body(comm);
+    };
+    m.sim().spawn(driver(0));
+    EXPECT_THROW(m.run(), FatalError);
+    throwOnError(false);
+}
+
+} // namespace
+} // namespace ccsim::mpi

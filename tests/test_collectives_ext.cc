@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Correctness tests for the extended collectives: reduce-scatter
+ * (linear / recursive halving / pairwise), Rabenseifner allreduce,
+ * and the pipelined chain broadcast.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/measure.hh"
+#include "machine/machine.hh"
+#include "mpi/comm.hh"
+#include "util/logging.hh"
+
+namespace ccsim::mpi {
+namespace {
+
+using machine::Machine;
+using Body = std::function<sim::Task<void>(Comm &)>;
+
+void
+runProgram(Machine &m, const Body &body)
+{
+    auto driver = [&m, &body](int rank) -> sim::Task<void> {
+        Comm comm(m, rank);
+        co_await body(comm);
+    };
+    for (int r = 0; r < m.size(); ++r)
+        m.sim().spawn(driver(r));
+    m.run();
+}
+
+class ExtCollP : public ::testing::TestWithParam<int>
+{
+  protected:
+    int p() const { return GetParam(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExtCollP,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 16));
+
+TEST_P(ExtCollP, ReduceScatterAllAlgorithms)
+{
+    // Contribution of rank r, block b, element j: value depends on
+    // all three so misrouted blocks are caught.
+    auto val = [](int r, int b, int j) -> std::int64_t {
+        return 10000 * (r + 1) + 100 * (b + 1) + j;
+    };
+    for (Algo algo : {Algo::Linear, Algo::RecursiveHalving,
+                      Algo::Pairwise}) {
+        Machine m(machine::idealConfig(), p());
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            std::vector<std::int64_t> mine;
+            for (int b = 0; b < p(); ++b)
+                for (int j = 0; j < 2; ++j)
+                    mine.push_back(val(c.rank(), b, j));
+            auto out = co_await c.reduceScatterData(
+                mine, ReduceOp::Sum, algo);
+            EXPECT_EQ(out.size(), 2u);
+            for (int j = 0; j < 2; ++j) {
+                std::int64_t expect = 0;
+                for (int r = 0; r < p(); ++r)
+                    expect += val(r, c.rank(), j);
+                EXPECT_EQ(out[static_cast<size_t>(j)], expect)
+                    << "algo=" << machine::algoName(algo)
+                    << " rank=" << c.rank() << " j=" << j;
+            }
+        };
+        runProgram(m, body);
+    }
+}
+
+TEST_P(ExtCollP, ReduceScatterMinMax)
+{
+    Machine m(machine::idealConfig(), p());
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        std::vector<std::int64_t> mine;
+        for (int b = 0; b < p(); ++b)
+            mine.push_back((c.rank() + 3 * b) % 7);
+        auto out = co_await c.reduceScatterData(
+            mine, ReduceOp::Max, Algo::Pairwise);
+        std::int64_t expect = 0;
+        for (int r = 0; r < p(); ++r)
+            expect = std::max(expect,
+                              std::int64_t((r + 3 * c.rank()) % 7));
+        EXPECT_EQ(out, (std::vector<std::int64_t>{expect}));
+    };
+    runProgram(m, body);
+}
+
+TEST_P(ExtCollP, RabenseifnerAllreduceMatchesOthers)
+{
+    Machine m(machine::idealConfig(), p());
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        // Deliberately not a multiple of p elements: exercises the
+        // padding path.
+        std::vector<std::int64_t> mine;
+        for (int j = 0; j < 5; ++j)
+            mine.push_back(100 * (c.rank() + 1) + j);
+        auto rab = co_await c.allreduceData(mine, ReduceOp::Sum,
+                                            Algo::Rabenseifner);
+        auto ref = co_await c.allreduceData(mine, ReduceOp::Sum,
+                                            Algo::ReduceBcast);
+        EXPECT_EQ(rab, ref) << "rank " << c.rank();
+    };
+    runProgram(m, body);
+}
+
+TEST_P(ExtCollP, PipelinedBcastDeliversData)
+{
+    int root = p() > 2 ? 2 : 0;
+    Machine m(machine::idealConfig(), p());
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        // Larger than one 8 KB segment so the pipeline actually
+        // splits (2500 int64 = 20000 bytes = 3 segments).
+        std::vector<std::int64_t> v(2500);
+        if (c.rank() == root)
+            for (std::size_t j = 0; j < v.size(); ++j)
+                v[j] = static_cast<std::int64_t>(j) * 7 - 3;
+        auto out = co_await c.bcastData(v, root, Algo::Pipelined);
+        EXPECT_EQ(out.size(), 2500u);
+        bool all_ok = true;
+        for (std::size_t j = 0; j < out.size(); ++j)
+            all_ok = all_ok &&
+                     out[j] == static_cast<std::int64_t>(j) * 7 - 3;
+        EXPECT_TRUE(all_ok) << "rank=" << c.rank();
+    };
+    runProgram(m, body);
+}
+
+TEST(ExtColl, PipelinedBeatsBinomialForLongChains)
+{
+    // On a big machine with a long message, the pipeline's
+    // (S + p - 2) segment steps beat the tree's S log2 p.
+    auto cfg = machine::sp2Config();
+    auto t = [&](Algo a) {
+        harness::MeasureOptions o;
+        o.iterations = 3;
+        o.repetitions = 1;
+        o.warmup = 1;
+        return harness::measureCollective(cfg, 32,
+                                          machine::Coll::Bcast,
+                                          256 * KiB, a, o)
+            .us();
+    };
+    EXPECT_LT(t(Algo::Pipelined), t(Algo::Binomial));
+}
+
+TEST(ExtColl, BinomialBeatsPipelinedForShortMessages)
+{
+    auto cfg = machine::sp2Config();
+    auto t = [&](Algo a) {
+        harness::MeasureOptions o;
+        o.iterations = 3;
+        o.repetitions = 1;
+        o.warmup = 1;
+        return harness::measureCollective(cfg, 32,
+                                          machine::Coll::Bcast, 64, a,
+                                          o)
+            .us();
+    };
+    EXPECT_LT(t(Algo::Binomial), t(Algo::Pipelined));
+}
+
+TEST(ExtColl, ReduceScatterSizeValidation)
+{
+    throwOnError(true);
+    Machine m(machine::idealConfig(), 4);
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        std::vector<std::int64_t> bad{1, 2, 3}; // not divisible by 4
+        co_await c.reduceScatterData(bad, ReduceOp::Sum);
+    };
+    auto driver = [&](int rank) -> sim::Task<void> {
+        Comm comm(m, rank);
+        co_await body(comm);
+    };
+    m.sim().spawn(driver(0));
+    EXPECT_THROW(m.run(), FatalError);
+    throwOnError(false);
+}
+
+TEST(ExtColl, SizeOnlyFormsRun)
+{
+    for (const auto &cfg : machine::paperMachines()) {
+        Machine m(cfg, 8);
+        int done = 0;
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            co_await c.reduceScatter(1024);
+            co_await c.allreduce(4096, Algo::Rabenseifner);
+            co_await c.bcast(64 * KiB, 0, Algo::Pipelined);
+            ++done;
+        };
+        runProgram(m, body);
+        EXPECT_EQ(done, 8) << cfg.name;
+    }
+}
+
+} // namespace
+} // namespace ccsim::mpi

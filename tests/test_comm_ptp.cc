@@ -1,0 +1,168 @@
+/** @file Point-to-point and context-isolation tests for Comm. */
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "mpi/comm.hh"
+#include "util/logging.hh"
+
+namespace ccsim::mpi {
+namespace {
+
+using machine::Machine;
+using Body = std::function<sim::Task<void>(Comm &)>;
+
+void
+runProgram(Machine &m, const Body &body)
+{
+    auto driver = [&m, &body](int rank) -> sim::Task<void> {
+        Comm comm(m, rank);
+        co_await body(comm);
+    };
+    for (int r = 0; r < m.size(); ++r)
+        m.sim().spawn(driver(r));
+    m.run();
+}
+
+TEST(CommPtp, SendRecvRoundTrip)
+{
+    Machine m(machine::t3dConfig(), 4);
+    std::vector<int> got;
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        if (c.rank() == 0) {
+            std::vector<int> v{41, 42};
+            co_await c.send(3, 9, 8, msg::makePayload(v));
+        } else if (c.rank() == 3) {
+            msg::Message msg = co_await c.recv(0, 9);
+            got = msg::payloadAs<int>(msg.payload);
+        }
+    };
+    runProgram(m, body);
+    EXPECT_EQ(got, (std::vector<int>{41, 42}));
+}
+
+TEST(CommPtp, SubgroupPtpUsesGroupRanks)
+{
+    // Ranks inside a subgroup address each other by *subgroup* rank;
+    // the mapping back to global nodes must be transparent.
+    Machine m(machine::idealConfig(), 6);
+    int receiver_global = -1;
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        std::vector<int> members{5, 3, 1};
+        if (c.rank() != 5 && c.rank() != 3 && c.rank() != 1)
+            co_return;
+        Comm sub = c.subgroup(members);
+        if (sub.rank() == 0) { // global 5
+            co_await sub.send(2, 1, 4); // to subgroup rank 2 = global 1
+        } else if (sub.rank() == 2) {
+            msg::Message msg = co_await sub.recv(0, 1);
+            EXPECT_EQ(msg.src, 5); // global id of subgroup rank 0
+            receiver_global = c.rank();
+        }
+    };
+    runProgram(m, body);
+    EXPECT_EQ(receiver_global, 1);
+}
+
+TEST(CommPtp, ContextsIsolateIdenticalTagsAcrossComms)
+{
+    // Same (src, dst, tag) in the world comm and a subgroup must not
+    // cross-match: contexts differ.
+    Machine m(machine::idealConfig(), 4);
+    std::vector<int> world_val, sub_val;
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        std::vector<int> members{0, 1};
+        if (c.rank() == 0) {
+            Comm sub = c.subgroup(members);
+            std::vector<int> w{111};
+            std::vector<int> s{222};
+            // Send the subgroup message FIRST so a context mix-up
+            // would deliver 222 to the world receive.
+            co_await sub.send(1, 7, 4, msg::makePayload(s));
+            co_await c.send(1, 7, 4, msg::makePayload(w));
+        } else if (c.rank() == 1) {
+            Comm sub = c.subgroup(members);
+            msg::Message wm = co_await c.recv(0, 7);
+            world_val = msg::payloadAs<int>(wm.payload);
+            msg::Message sm = co_await sub.recv(0, 7);
+            sub_val = msg::payloadAs<int>(sm.payload);
+        }
+    };
+    runProgram(m, body);
+    EXPECT_EQ(world_val, (std::vector<int>{111}));
+    EXPECT_EQ(sub_val, (std::vector<int>{222}));
+}
+
+TEST(CommPtp, CollectiveAndPtpTrafficDoNotMix)
+{
+    // A pt-2-pt message with a tag that collides with the collective
+    // sequence numbers must not be matched by a collective.
+    Machine m(machine::idealConfig(), 2);
+    bool done = false;
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        if (c.rank() == 0) {
+            co_await c.send(1, /*tag=*/0, 16); // tag 0 = first coll seq
+            co_await c.barrier();
+            co_await c.bcast(64, 0);
+        } else {
+            co_await c.barrier();
+            co_await c.bcast(64, 0);
+            msg::Message msg = co_await c.recv(0, 0);
+            EXPECT_EQ(msg.bytes, 16);
+            done = true;
+        }
+    };
+    runProgram(m, body);
+    EXPECT_TRUE(done);
+}
+
+TEST(CommPtp, IsendIrecvThroughComm)
+{
+    Machine m(machine::sp2Config(), 3);
+    Bytes got = 0;
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        if (c.rank() == 2) {
+            msg::Request r = c.irecv(0, 5);
+            // Do something else while it is outstanding.
+            co_await c.compute(microseconds(100));
+            msg::Message msg = co_await c.wait(std::move(r));
+            got = msg.bytes;
+        } else if (c.rank() == 0) {
+            msg::Request s = c.isend(2, 5, 2048);
+            co_await c.wait(std::move(s));
+        }
+    };
+    runProgram(m, body);
+    EXPECT_EQ(got, 2048);
+}
+
+TEST(CommPtp, SendrecvThroughComm)
+{
+    Machine m(machine::paragonConfig(), 2);
+    int exchanged = 0;
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        int other = 1 - c.rank();
+        msg::Message msg = co_await c.sendrecv(other, 3, 32 * KiB,
+                                               other, 3);
+        EXPECT_EQ(msg.bytes, 32 * KiB);
+        ++exchanged;
+    };
+    runProgram(m, body);
+    EXPECT_EQ(exchanged, 2);
+}
+
+TEST(CommPtp, InvalidRanksFatalOrPanic)
+{
+    throwOnError(true);
+    Machine m(machine::idealConfig(), 2);
+    EXPECT_THROW(Comm(m, 7), FatalError);
+    Comm good(m, 0);
+    EXPECT_THROW(good.globalRank(5), PanicError);
+    throwOnError(false);
+}
+
+} // namespace
+} // namespace ccsim::mpi

@@ -1,0 +1,123 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+namespace ccsim::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.fired(), 0u);
+    EXPECT_EQ(q.lastFired(), 0);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5 * US, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runNext();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunNextReturnsFireTime)
+{
+    EventQueue q;
+    q.schedule(7 * NS, [] {});
+    EXPECT_EQ(q.nextTime(), 7 * NS);
+    EXPECT_EQ(q.runNext(), 7 * NS);
+    EXPECT_EQ(q.lastFired(), 7 * NS);
+    EXPECT_EQ(q.fired(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    std::vector<Time> fire_times;
+    q.schedule(10, [&] {
+        fire_times.push_back(q.lastFired());
+        q.schedule(25, [&] { fire_times.push_back(q.lastFired()); });
+    });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(fire_times, (std::vector<Time>{10, 25}));
+}
+
+TEST(EventQueue, SchedulingAtCurrentTimeAllowed)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] {
+        q.schedule(10, [&] { ++fired; }); // same instant
+    });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    throwOnError(true);
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runNext();
+    EXPECT_THROW(q.schedule(50, [] {}), PanicError);
+    throwOnError(false);
+}
+
+TEST(EventQueue, EmptyCallbackPanics)
+{
+    throwOnError(true);
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1, EventQueue::Callback()), PanicError);
+    throwOnError(false);
+}
+
+TEST(EventQueue, PopOnEmptyPanics)
+{
+    throwOnError(true);
+    EventQueue q;
+    EXPECT_THROW(q.runNext(), PanicError);
+    EXPECT_THROW(q.nextTime(), PanicError);
+    throwOnError(false);
+}
+
+TEST(EventQueue, ManyEventsAllFire)
+{
+    EventQueue q;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i)
+        q.schedule(i % 97, [&] { ++count; });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(count, 10000);
+    EXPECT_EQ(q.fired(), 10000u);
+}
+
+} // namespace
+} // namespace ccsim::sim

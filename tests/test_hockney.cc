@@ -1,0 +1,105 @@
+/** @file Tests for the Hockney model and the ping-pong harness. */
+
+#include <gtest/gtest.h>
+
+#include "harness/measure.hh"
+#include "machine/machine_config.hh"
+#include "model/hockney.hh"
+#include "util/logging.hh"
+
+namespace ccsim::model {
+namespace {
+
+TEST(Hockney, FitRecoversKnownChannel)
+{
+    // t(m) = 40 + m / 80  (t0 = 40 us, r_inf = 80 MB/s).
+    std::vector<PingPongSample> samples;
+    for (Bytes m : {Bytes(0), Bytes(1024), Bytes(65536)})
+        samples.push_back({m, 40.0 + static_cast<double>(m) / 80.0});
+    HockneyModel h = fitHockney(samples);
+    EXPECT_NEAR(h.t0_us, 40.0, 1e-9);
+    EXPECT_NEAR(h.r_inf_mbs, 80.0, 1e-9);
+    EXPECT_NEAR(h.n_half_bytes, 3200.0, 1e-6);
+}
+
+TEST(Hockney, EvalAndBandwidth)
+{
+    HockneyModel h{50.0, 100.0, 5000.0};
+    EXPECT_DOUBLE_EQ(h.evalUs(0), 50.0);
+    EXPECT_DOUBLE_EQ(h.evalUs(10000), 150.0);
+    // At n_1/2 the achieved bandwidth is half of r_inf.
+    EXPECT_NEAR(h.bandwidthAtMBs(static_cast<Bytes>(h.n_half_bytes)),
+                50.0, 1e-9);
+}
+
+TEST(Hockney, DegenerateInputsFatal)
+{
+    throwOnError(true);
+    EXPECT_THROW(fitHockney({}), FatalError);
+    EXPECT_THROW(fitHockney({{4, 1.0}}), FatalError);
+    EXPECT_THROW(fitHockney({{4, 1.0}, {4, 2.0}}), FatalError);
+    throwOnError(false);
+}
+
+TEST(Hockney, StrFormatsAllFields)
+{
+    HockneyModel h{55.0, 38.2, 2101.0};
+    EXPECT_EQ(h.str(),
+              "t0 = 55.0 us, r_inf = 38.2 MB/s, n_1/2 = 2101 B");
+}
+
+TEST(PingPong, DeterministicAndMonotonicInSize)
+{
+    auto cfg = machine::t3dConfig();
+    auto a = harness::measurePingPong(cfg, 1024);
+    auto b = harness::measurePingPong(cfg, 1024);
+    EXPECT_EQ(a.max_time, b.max_time);
+    auto big = harness::measurePingPong(cfg, 64 * KiB);
+    EXPECT_GT(big.max_time, a.max_time);
+}
+
+TEST(PingPong, MachineRankingMatchesLinkRates)
+{
+    // Long-message one-way bandwidth must rank by link speed:
+    // T3D (300) > Paragon (175) > SP2 (40).
+    auto bw = [](const machine::MachineConfig &cfg) {
+        auto m = harness::measurePingPong(cfg, 64 * KiB);
+        return bandwidthMBs(64 * KiB, m.max_time);
+    };
+    double t3d = bw(machine::t3dConfig());
+    double par = bw(machine::paragonConfig());
+    double sp2 = bw(machine::sp2Config());
+    EXPECT_GT(t3d, par);
+    EXPECT_GT(par, sp2);
+    EXPECT_LT(sp2, 40.0); // cannot beat its own wire
+}
+
+TEST(PingPong, HockneyFitFromSimIsSane)
+{
+    std::vector<PingPongSample> samples;
+    for (Bytes m : harness::paperMessageLengths()) {
+        auto meas = harness::measurePingPong(machine::sp2Config(), m);
+        samples.push_back({m, meas.us()});
+    }
+    HockneyModel h = fitHockney(samples);
+    EXPECT_GT(h.t0_us, 0.0);
+    EXPECT_GT(h.r_inf_mbs, 20.0);
+    EXPECT_LT(h.r_inf_mbs, 40.0); // bounded by the SP2 wire
+    EXPECT_GT(h.n_half_bytes, 0.0);
+}
+
+TEST(PingPong, BadOptionsFatal)
+{
+    throwOnError(true);
+    harness::MeasureOptions bad;
+    bad.iterations = 0;
+    EXPECT_THROW(
+        harness::measurePingPong(machine::t3dConfig(), 4, bad),
+        FatalError);
+    EXPECT_THROW(harness::measurePingPong(machine::t3dConfig(), -1),
+                 FatalError);
+    throwOnError(false);
+}
+
+} // namespace
+} // namespace ccsim::model

@@ -1,0 +1,79 @@
+/** @file Unit tests for the logging/error facility. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace ccsim {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { prev_ = throwOnError(true); }
+    void TearDown() override { throwOnError(prev_); }
+
+  private:
+    bool prev_ = false;
+};
+
+TEST_F(LoggingTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config %d", 42), FatalError);
+}
+
+TEST_F(LoggingTest, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant %s broken", "x"), PanicError);
+}
+
+TEST_F(LoggingTest, FatalMessageFormatted)
+{
+    try {
+        fatal("value was %d (%s)", 7, "seven");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value was 7 (seven)");
+    }
+}
+
+TEST_F(LoggingTest, PanicMessageFormatted)
+{
+    try {
+        panic("at %s:%d", "file.cc", 10);
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "at file.cc:10");
+    }
+}
+
+TEST_F(LoggingTest, FatalAndPanicAreDistinctTypes)
+{
+    // A handler for user errors must not swallow internal bugs.
+    bool caught_fatal = false;
+    try {
+        panic("bug");
+    } catch (const FatalError &) {
+        caught_fatal = true;
+    } catch (const PanicError &) {
+    }
+    EXPECT_FALSE(caught_fatal);
+}
+
+TEST_F(LoggingTest, ThrowOnErrorReturnsPrevious)
+{
+    EXPECT_TRUE(throwOnError(true));  // set in fixture
+    EXPECT_TRUE(throwOnError(false));
+    EXPECT_FALSE(throwOnError(true));
+}
+
+TEST(LoggingQuiet, QuietSuppressionToggles)
+{
+    EXPECT_FALSE(quietLogging(true));
+    inform("this should not appear");
+    warn("nor this");
+    EXPECT_TRUE(quietLogging(false));
+}
+
+} // namespace
+} // namespace ccsim

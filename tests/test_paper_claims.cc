@@ -1,0 +1,289 @@
+/**
+ * @file
+ * End-to-end reproduction tests: the paper's headline findings,
+ * asserted against the simulator.  These are the "shape" guarantees
+ * of the reproduction — who wins, by roughly what factor, where the
+ * crossovers fall — as stated in the paper's abstract and Sections
+ * 4-9.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/measure.hh"
+#include "machine/machine_config.hh"
+#include "model/fit.hh"
+#include "model/paper_data.hh"
+
+namespace ccsim {
+namespace {
+
+using harness::measureCollective;
+using harness::measureStartup;
+using machine::Algo;
+using machine::Coll;
+
+harness::MeasureOptions
+quick()
+{
+    harness::MeasureOptions o;
+    o.iterations = 3;
+    o.repetitions = 1;
+    o.warmup = 1;
+    return o;
+}
+
+double
+timeUs(const machine::MachineConfig &cfg, int p, Coll op, Bytes m)
+{
+    return measureCollective(cfg, p, op, m, Algo::Default, quick()).us();
+}
+
+// ---- Abstract: "With hardwired barriers, the T3D performs the
+// barrier synchronization in 3 us, at least 30 times faster than the
+// SP2 or Paragon."
+TEST(PaperClaims, T3dHardwareBarrierIsThreeMicrosecondsFlat)
+{
+    for (int p : {2, 8, 32, 64}) {
+        double us = timeUs(machine::t3dConfig(), p, Coll::Barrier, 0);
+        EXPECT_NEAR(us, 3.0, 0.3) << "p=" << p;
+    }
+}
+
+TEST(PaperClaims, T3dBarrierAtLeast30xFasterThanOthers)
+{
+    double t3d = timeUs(machine::t3dConfig(), 32, Coll::Barrier, 0);
+    double sp2 = timeUs(machine::sp2Config(), 32, Coll::Barrier, 0);
+    double par = timeUs(machine::paragonConfig(), 32, Coll::Barrier, 0);
+    EXPECT_GE(sp2 / t3d, 30.0);
+    EXPECT_GE(par / t3d, 30.0);
+}
+
+// ---- Section 4: "startup latency increases linearly with machine
+// size for gather, scatter, and total exchange ... logarithmically
+// for broadcast, scan, reduce, and barrier."
+TEST(PaperClaims, StartupGrowthFamilies)
+{
+    // Per machine-size doubling, a logarithmic T0 adds a constant
+    // increment (delta ratio -> 1) while a linear T0 doubles its
+    // increment (delta ratio -> 2).
+    auto cfg = machine::sp2Config();
+    auto delta_ratio = [&](Coll op) {
+        double t16 = measureStartup(cfg, 16, op, Algo::Default,
+                                    quick()).us();
+        double t32 = measureStartup(cfg, 32, op, Algo::Default,
+                                    quick()).us();
+        double t64 = measureStartup(cfg, 64, op, Algo::Default,
+                                    quick()).us();
+        return (t64 - t32) / (t32 - t16);
+    };
+    for (Coll op : {Coll::Bcast, Coll::Reduce, Coll::Scan,
+                    Coll::Barrier})
+        EXPECT_LT(delta_ratio(op), 1.4) << machine::collName(op);
+    for (Coll op : {Coll::Gather, Coll::Scatter, Coll::Alltoall})
+        EXPECT_GT(delta_ratio(op), 1.6) << machine::collName(op);
+}
+
+// ---- Section 4: "Except the scan operation, the T3D has
+// demonstrated the lowest startup latency in all collective
+// operations"; "it performs the scan operation with even shorter
+// latency than the T3D" (the Paragon, for 16 nodes or more).
+TEST(PaperClaims, T3dLowestStartupExceptScan)
+{
+    for (Coll op : {Coll::Bcast, Coll::Gather, Coll::Scatter,
+                    Coll::Reduce, Coll::Barrier}) {
+        double t3d = measureStartup(machine::t3dConfig(), 32, op,
+                                    Algo::Default, quick()).us();
+        double sp2 = measureStartup(machine::sp2Config(), 32, op,
+                                    Algo::Default, quick()).us();
+        double par = measureStartup(machine::paragonConfig(), 32, op,
+                                    Algo::Default, quick()).us();
+        EXPECT_LT(t3d, sp2) << machine::collName(op);
+        EXPECT_LT(t3d, par) << machine::collName(op);
+    }
+}
+
+TEST(PaperClaims, ParagonScanBeatsT3dFrom16Nodes)
+{
+    for (int p : {16, 32, 64}) {
+        double t3d = measureStartup(machine::t3dConfig(), p, Coll::Scan,
+                                    Algo::Default, quick()).us();
+        double par = measureStartup(machine::paragonConfig(), p,
+                                    Coll::Scan, Algo::Default,
+                                    quick()).us();
+        EXPECT_LT(par, t3d) << "p=" << p;
+    }
+}
+
+// ---- Abstract: "For short messages, the SP2 outperforms the
+// Paragon in the barrier, total exchange, scatter, and gather
+// operations."
+TEST(PaperClaims, Sp2BeatsParagonShortMessages)
+{
+    for (Coll op : {Coll::Barrier, Coll::Alltoall, Coll::Scatter,
+                    Coll::Gather}) {
+        Bytes m = op == Coll::Barrier ? 0 : 16;
+        double sp2 = timeUs(machine::sp2Config(), 32, op, m);
+        double par = timeUs(machine::paragonConfig(), 32, op, m);
+        EXPECT_LT(sp2, par) << machine::collName(op);
+    }
+}
+
+// ---- Abstract / Section 5: "The Paragon outperforms the SP2 in
+// almost all collective operations with long messages" — and
+// Section 9: "except the reduce operation."
+TEST(PaperClaims, ParagonBeatsSp2LongMessagesExceptReduce)
+{
+    const Bytes m = 64 * KiB;
+    for (Coll op : {Coll::Bcast, Coll::Alltoall, Coll::Gather,
+                    Coll::Scatter}) {
+        double sp2 = timeUs(machine::sp2Config(), 32, op, m);
+        double par = timeUs(machine::paragonConfig(), 32, op, m);
+        EXPECT_LT(par, sp2) << machine::collName(op);
+    }
+    double sp2_red = timeUs(machine::sp2Config(), 32, Coll::Reduce, m);
+    double par_red =
+        timeUs(machine::paragonConfig(), 32, Coll::Reduce, m);
+    EXPECT_LT(sp2_red, par_red);
+}
+
+// ---- Section 5: the SP2/Paragon crossover — the reason the paper
+// keeps distinguishing short from long messages.
+TEST(PaperClaims, Sp2ParagonCrossoverExistsForAlltoall)
+{
+    double sp2_short =
+        timeUs(machine::sp2Config(), 32, Coll::Alltoall, 16);
+    double par_short =
+        timeUs(machine::paragonConfig(), 32, Coll::Alltoall, 16);
+    double sp2_long =
+        timeUs(machine::sp2Config(), 32, Coll::Alltoall, 64 * KiB);
+    double par_long =
+        timeUs(machine::paragonConfig(), 32, Coll::Alltoall, 64 * KiB);
+    EXPECT_LT(sp2_short, par_short);
+    EXPECT_LT(par_long, sp2_long);
+}
+
+// ---- Section 9: "For long messages, the T3D and SP2 have
+// approximately the same performance in ... reduce" and the most
+// dramatic re-ranking (Fig. 3f): long reduce SP2 < T3D < Paragon,
+// short reduce T3D first, SP2 last-but-one.
+TEST(PaperClaims, ReduceReRankingBetweenShortAndLong)
+{
+    double sp2_s = timeUs(machine::sp2Config(), 32, Coll::Reduce, 16);
+    double t3d_s = timeUs(machine::t3dConfig(), 32, Coll::Reduce, 16);
+    double par_s =
+        timeUs(machine::paragonConfig(), 32, Coll::Reduce, 16);
+    EXPECT_LT(t3d_s, sp2_s);
+    EXPECT_LT(sp2_s, par_s);
+
+    const Bytes m = 64 * KiB;
+    double sp2_l = timeUs(machine::sp2Config(), 32, Coll::Reduce, m);
+    double t3d_l = timeUs(machine::t3dConfig(), 32, Coll::Reduce, m);
+    double par_l =
+        timeUs(machine::paragonConfig(), 32, Coll::Reduce, m);
+    EXPECT_LT(sp2_l, t3d_l);
+    EXPECT_LT(t3d_l, par_l);
+}
+
+// ---- Abstract: "Various collective operations with 64 KBytes per
+// message over 64 nodes of the three machines can be completed in
+// the time range (5.12 ms, 675 ms)."
+TEST(PaperClaims, SixtyFourNodeLongMessageRange)
+{
+    for (const auto &cfg : machine::paperMachines()) {
+        for (Coll op : {Coll::Bcast, Coll::Gather, Coll::Scatter,
+                        Coll::Alltoall, Coll::Reduce, Coll::Scan}) {
+            double ms = timeUs(cfg, 64, op, 64 * KiB) / 1000.0;
+            EXPECT_GT(ms, 2.0) << cfg.name << " "
+                               << machine::collName(op);
+            EXPECT_LT(ms, 1000.0)
+                << cfg.name << " " << machine::collName(op);
+        }
+    }
+}
+
+// ---- Section 5: "in 64 node total exchange the SP2 requires 317 ms
+// to transmit messages of 64 KBytes each."
+TEST(PaperClaims, Sp2AlltoallSpotValue)
+{
+    double ms =
+        timeUs(machine::sp2Config(), 64, Coll::Alltoall, 64 * KiB) /
+        1000.0;
+    EXPECT_NEAR(ms, 317.0, 317.0 * 0.20);
+}
+
+// ---- Abstract: aggregated bandwidths of 64-node total exchange:
+// 1.745, 0.879, 0.818 GB/s for T3D, Paragon, SP2 — ranking exact,
+// magnitudes within 25%.
+TEST(PaperClaims, AlltoallAggregatedBandwidth64)
+{
+    auto r_inf = [&](const machine::MachineConfig &cfg) {
+        double lo = timeUs(cfg, 64, Coll::Alltoall, 16 * KiB);
+        double hi = timeUs(cfg, 64, Coll::Alltoall, 64 * KiB);
+        double slope = (hi - lo) / (64.0 * KiB - 16.0 * KiB);
+        return model::aggregationFactor(Coll::Alltoall, 64) / slope;
+    };
+    double t3d = r_inf(machine::t3dConfig());
+    double par = r_inf(machine::paragonConfig());
+    double sp2 = r_inf(machine::sp2Config());
+    EXPECT_GT(t3d, par);
+    EXPECT_GT(par, sp2);
+    EXPECT_NEAR(t3d, 1745.0, 1745.0 * 0.25);
+    EXPECT_NEAR(par, 879.0, 879.0 * 0.25);
+    EXPECT_NEAR(sp2, 818.0, 818.0 * 0.25);
+}
+
+// ---- Section 8: the fitted growth families of Table 3 must emerge
+// from simulated sweeps via the same curve-fitting procedure.
+TEST(PaperClaims, FittedGrowthFamiliesMatchTable3)
+{
+    auto fitFor = [&](const machine::MachineConfig &cfg, Coll op) {
+        std::vector<model::Sample> samples;
+        for (int p : {2, 4, 8, 16, 32}) {
+            for (Bytes m : {Bytes(4), Bytes(1024), Bytes(16 * KiB),
+                            Bytes(64 * KiB)}) {
+                samples.push_back({m, p, timeUs(cfg, p, op, m)});
+            }
+        }
+        return model::fitPaperStyleAuto(samples);
+    };
+    auto sp2 = machine::sp2Config();
+    EXPECT_EQ(fitFor(sp2, Coll::Bcast).t0_growth, model::Growth::Log2);
+    EXPECT_EQ(fitFor(sp2, Coll::Reduce).t0_growth, model::Growth::Log2);
+    EXPECT_EQ(fitFor(sp2, Coll::Gather).t0_growth,
+              model::Growth::Linear);
+    EXPECT_EQ(fitFor(sp2, Coll::Alltoall).t0_growth,
+              model::Growth::Linear);
+}
+
+// ---- Section 7 (Fig. 4): on 32 nodes with 1 KB messages the
+// Paragon's total-exchange and gather latencies dwarf the others
+// ("about 4 to 15 times greater"), and total exchange is the most
+// expensive operation everywhere.
+TEST(PaperClaims, ParagonLatencySurgeInAlltoallAndGather)
+{
+    for (Coll op : {Coll::Alltoall, Coll::Gather}) {
+        double par = measureStartup(machine::paragonConfig(), 32, op,
+                                    Algo::Default, quick()).us();
+        double sp2 = measureStartup(machine::sp2Config(), 32, op,
+                                    Algo::Default, quick()).us();
+        double t3d = measureStartup(machine::t3dConfig(), 32, op,
+                                    Algo::Default, quick()).us();
+        EXPECT_GT(par / sp2, 3.0) << machine::collName(op);
+        EXPECT_GT(par / t3d, 3.0) << machine::collName(op);
+    }
+}
+
+TEST(PaperClaims, AlltoallIsTheMostExpensiveCollective)
+{
+    for (const auto &cfg : machine::paperMachines()) {
+        double a2a = timeUs(cfg, 32, Coll::Alltoall, 1 * KiB);
+        for (Coll op : {Coll::Bcast, Coll::Gather, Coll::Scatter,
+                        Coll::Reduce, Coll::Scan}) {
+            EXPECT_GT(a2a, timeUs(cfg, 32, op, 1 * KiB))
+                << cfg.name << " " << machine::collName(op);
+        }
+    }
+}
+
+} // namespace
+} // namespace ccsim

@@ -1,0 +1,138 @@
+/** @file Tests for MachineModel / application prediction. */
+
+#include <gtest/gtest.h>
+
+#include "harness/measure.hh"
+#include "machine/machine_config.hh"
+#include "model/predictor.hh"
+#include "util/logging.hh"
+
+namespace ccsim::model {
+namespace {
+
+using machine::Coll;
+
+TEST(Predictor, FromPaperCoversSevenOps)
+{
+    MachineModel m = MachineModel::fromPaper("T3D");
+    for (Coll op : machine::kPaperColls)
+        EXPECT_TRUE(m.has(op)) << machine::collName(op);
+    EXPECT_FALSE(m.has(Coll::Allgather));
+}
+
+TEST(Predictor, PaperWorkedExample)
+{
+    // Section 8: T3D total exchange at m = 512, p = 64 -> ~2.86 ms.
+    MachineModel m = MachineModel::fromPaper("T3D");
+    EXPECT_NEAR(m.predictUs(Coll::Alltoall, 512, 64), 2860, 30);
+}
+
+TEST(Predictor, BandwidthMatchesAbstract)
+{
+    MachineModel m = MachineModel::fromPaper("Paragon");
+    EXPECT_NEAR(m.predictBandwidthMBs(Coll::Alltoall, 64), 879,
+                879 * 0.05);
+}
+
+TEST(Predictor, MissingOpIsFatal)
+{
+    throwOnError(true);
+    MachineModel m("empty");
+    EXPECT_THROW(m.predictUs(Coll::Bcast, 4, 2), FatalError);
+    EXPECT_THROW(MachineModel::fromPaper("VAX"), FatalError);
+    throwOnError(false);
+}
+
+TEST(Predictor, SetOverridesExpression)
+{
+    MachineModel m("custom");
+    TimingExpression e{Growth::Log2, Growth::Log2, 10, 5, 0, 0.01};
+    m.set(Coll::Bcast, e);
+    EXPECT_DOUBLE_EQ(m.predictUs(Coll::Bcast, 100, 8), 10 * 3 + 5 + 1);
+}
+
+TEST(Predictor, AppScriptSumsPhases)
+{
+    MachineModel m = MachineModel::fromPaper("SP2");
+    std::vector<AppStep> script = {
+        AppStep::compute(1000.0, 2),                 // 2000 us
+        AppStep::collective(Coll::Barrier, 0),       // 123*5-90 = 525
+        AppStep::collective(Coll::Bcast, 1024, 3),   // 3 broadcasts
+    };
+    AppPrediction pred = predictApp(m, script, 32);
+    double bcast_us = m.predictUs(Coll::Bcast, 1024, 32);
+    EXPECT_DOUBLE_EQ(pred.compute_us, 2000.0);
+    EXPECT_NEAR(pred.comm_us, 525.0 + 3 * bcast_us, 1e-9);
+    EXPECT_DOUBLE_EQ(pred.total_us, pred.comm_us + pred.compute_us);
+    EXPECT_GT(pred.commPercent(), 0.0);
+    EXPECT_LT(pred.commPercent(), 100.0);
+}
+
+TEST(Predictor, AppScriptValidation)
+{
+    throwOnError(true);
+    MachineModel m = MachineModel::fromPaper("SP2");
+    EXPECT_THROW(predictApp(m, {AppStep::compute(1.0)}, 0), FatalError);
+    std::vector<AppStep> bad = {AppStep::compute(1.0, -1)};
+    EXPECT_THROW(predictApp(m, bad, 4), FatalError);
+    EXPECT_THROW(m.predictUs(Coll::Bcast, -1, 4), FatalError);
+    throwOnError(false);
+}
+
+TEST(Predictor, FittedModelPredictsHeldOutPoints)
+{
+    // Fit from a coarse simulated sweep; predictions at unseen (m, p)
+    // must land within 35% of direct simulation.
+    harness::MeasureOptions opt;
+    opt.iterations = 3;
+    opt.repetitions = 1;
+    opt.warmup = 1;
+    auto cfg = machine::t3dConfig();
+    MachineModel m = harness::fitMachineModel(
+        cfg, {Coll::Bcast, Coll::Alltoall}, {2, 8, 32},
+        {4, 1024, 16 * KiB, 64 * KiB}, opt);
+
+    for (Coll op : {Coll::Bcast, Coll::Alltoall}) {
+        for (int p : {4, 16}) {
+            for (Bytes mm : {Bytes(512), Bytes(32 * KiB)}) {
+                double pred = m.predictUs(op, mm, p);
+                double sim = harness::measureCollective(
+                                 cfg, p, op, mm,
+                                 machine::Algo::Default, opt)
+                                 .us();
+                EXPECT_NEAR(pred, sim, sim * 0.35)
+                    << machine::collName(op) << " p=" << p
+                    << " m=" << mm;
+            }
+        }
+    }
+}
+
+TEST(Predictor, TradeOffAnalysisFindsTheKnee)
+{
+    // The paper's use case: pick p minimizing predicted total time
+    // for a fixed problem.  With compute ~ 1/p and alltoall growing
+    // in p, an interior optimum must exist and predictApp must find
+    // it monotonically worse on both sides.
+    MachineModel m = MachineModel::fromPaper("Paragon");
+    auto total = [&](int p) {
+        std::vector<AppStep> script = {
+            AppStep::compute(4.0e6 / p), // divided computation
+            AppStep::collective(Coll::Alltoall, 256 * KiB / p),
+        };
+        return predictApp(m, script, p).total_us;
+    };
+    double best = total(8);
+    int best_p = 8;
+    for (int p : {16, 32, 64, 128}) {
+        if (total(p) < best) {
+            best = total(p);
+            best_p = p;
+        }
+    }
+    EXPECT_GT(best_p, 8);
+    EXPECT_LT(best, total(8));
+}
+
+} // namespace
+} // namespace ccsim::model

@@ -1,0 +1,127 @@
+/** @file Unit and property tests for the deterministic RNG. */
+
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace ccsim {
+namespace {
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Random, BoundedZeroPanics)
+{
+    throwOnError(true);
+    Rng r(7);
+    EXPECT_THROW(r.nextBounded(0), PanicError);
+    throwOnError(false);
+}
+
+TEST(Random, BoundedCoversAllResidues)
+{
+    Rng r(99);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng r(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.nextRange(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RangeSingleton)
+{
+    Rng r(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.nextRange(42, 42), 42);
+}
+
+TEST(Random, RangeInvertedPanics)
+{
+    throwOnError(true);
+    Rng r(5);
+    EXPECT_THROW(r.nextRange(3, 2), PanicError);
+    throwOnError(false);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, DoubleMeanNearHalf)
+{
+    Rng r(13);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, DoubleRange)
+{
+    Rng r(17);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble(-5.0, 5.0);
+        ASSERT_GE(d, -5.0);
+        ASSERT_LT(d, 5.0);
+    }
+}
+
+TEST(Random, BoolProbabilityRespected)
+{
+    Rng r(19);
+    int trues = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.nextBool(0.25))
+            ++trues;
+    EXPECT_NEAR(static_cast<double>(trues) / n, 0.25, 0.01);
+}
+
+} // namespace
+} // namespace ccsim

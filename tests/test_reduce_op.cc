@@ -1,0 +1,123 @@
+/** @file Unit tests for datatypes and reduction operators. */
+
+#include <gtest/gtest.h>
+
+#include "mpi/datatype.hh"
+#include "mpi/reduce_op.hh"
+#include "util/logging.hh"
+
+namespace ccsim::mpi {
+namespace {
+
+TEST(Datatype, SizesAndNames)
+{
+    EXPECT_EQ(datatypeSize(Datatype::F32), 4);
+    EXPECT_EQ(datatypeSize(Datatype::F64), 8);
+    EXPECT_EQ(datatypeSize(Datatype::I32), 4);
+    EXPECT_EQ(datatypeSize(Datatype::I64), 8);
+    EXPECT_EQ(datatypeSize(Datatype::U8), 1);
+    EXPECT_EQ(datatypeName(Datatype::F32), "float32");
+}
+
+TEST(Datatype, TypeMapping)
+{
+    EXPECT_EQ(datatypeOf<float>(), Datatype::F32);
+    EXPECT_EQ(datatypeOf<double>(), Datatype::F64);
+    EXPECT_EQ(datatypeOf<std::int32_t>(), Datatype::I32);
+    EXPECT_EQ(datatypeOf<std::int64_t>(), Datatype::I64);
+    EXPECT_EQ(datatypeOf<std::uint8_t>(), Datatype::U8);
+}
+
+TEST(ReduceOp, AllOperatorsOnInts)
+{
+    std::vector<std::int32_t> a{5, -2, 7};
+    std::vector<std::int32_t> b{3, 4, 7};
+    auto pa = msg::makePayload(a);
+    auto pb = msg::makePayload(b);
+
+    auto sum = msg::payloadAs<std::int32_t>(
+        combine(ReduceOp::Sum, Datatype::I32, pa, pb));
+    EXPECT_EQ(sum, (std::vector<std::int32_t>{8, 2, 14}));
+
+    auto prod = msg::payloadAs<std::int32_t>(
+        combine(ReduceOp::Prod, Datatype::I32, pa, pb));
+    EXPECT_EQ(prod, (std::vector<std::int32_t>{15, -8, 49}));
+
+    auto mn = msg::payloadAs<std::int32_t>(
+        combine(ReduceOp::Min, Datatype::I32, pa, pb));
+    EXPECT_EQ(mn, (std::vector<std::int32_t>{3, -2, 7}));
+
+    auto mx = msg::payloadAs<std::int32_t>(
+        combine(ReduceOp::Max, Datatype::I32, pa, pb));
+    EXPECT_EQ(mx, (std::vector<std::int32_t>{5, 4, 7}));
+}
+
+TEST(ReduceOp, FloatSum)
+{
+    std::vector<float> a{1.5f, -0.5f};
+    std::vector<float> b{0.25f, 0.5f};
+    auto out = msg::payloadAs<float>(combine(
+        ReduceOp::Sum, Datatype::F32, msg::makePayload(a),
+        msg::makePayload(b)));
+    EXPECT_FLOAT_EQ(out[0], 1.75f);
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(ReduceOp, NullInputsGiveNull)
+{
+    EXPECT_EQ(combine(ReduceOp::Sum, Datatype::F32, nullptr, nullptr),
+              nullptr);
+}
+
+TEST(ReduceOp, MixedNullPanics)
+{
+    throwOnError(true);
+    std::vector<float> a{1.0f};
+    auto pa = msg::makePayload(a);
+    EXPECT_THROW(combine(ReduceOp::Sum, Datatype::F32, pa, nullptr),
+                 PanicError);
+    throwOnError(false);
+}
+
+TEST(ReduceOp, SizeMismatchPanics)
+{
+    throwOnError(true);
+    std::vector<float> a{1.0f, 2.0f};
+    std::vector<float> b{1.0f};
+    EXPECT_THROW(combine(ReduceOp::Sum, Datatype::F32,
+                         msg::makePayload(a), msg::makePayload(b)),
+                 PanicError);
+    throwOnError(false);
+}
+
+TEST(ReduceOp, MisalignedPayloadPanics)
+{
+    throwOnError(true);
+    std::vector<std::uint8_t> raw{1, 2, 3}; // 3 bytes, not 4-aligned
+    auto p = msg::makePayload(raw);
+    EXPECT_THROW(combine(ReduceOp::Sum, Datatype::F32, p, p),
+                 PanicError);
+    throwOnError(false);
+}
+
+TEST(ReduceOp, CombinerBindsOpAndType)
+{
+    Combiner c = makeCombiner(ReduceOp::Max, Datatype::I64);
+    std::vector<std::int64_t> a{10};
+    std::vector<std::int64_t> b{-10};
+    auto out = msg::payloadAs<std::int64_t>(
+        c(msg::makePayload(a), msg::makePayload(b)));
+    EXPECT_EQ(out, (std::vector<std::int64_t>{10}));
+    EXPECT_EQ(c(nullptr, nullptr), nullptr);
+}
+
+TEST(ReduceOp, Names)
+{
+    EXPECT_EQ(reduceOpName(ReduceOp::Sum), "sum");
+    EXPECT_EQ(reduceOpName(ReduceOp::Prod), "prod");
+    EXPECT_EQ(reduceOpName(ReduceOp::Min), "min");
+    EXPECT_EQ(reduceOpName(ReduceOp::Max), "max");
+}
+
+} // namespace
+} // namespace ccsim::mpi

@@ -1,0 +1,153 @@
+/** @file Unit tests for statistics accumulators. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace ccsim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic textbook data set
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues)
+{
+    RunningStats s;
+    s.add(-3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), -3.0);
+    EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, StableUnderOffset)
+{
+    // Welford should not lose precision with a large constant offset.
+    RunningStats s;
+    const double offset = 1e9;
+    for (double x : {1.0, 2.0, 3.0})
+        s.add(offset + x);
+    EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+    EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(SampleStats, PercentileInterpolates)
+{
+    SampleStats s;
+    for (double x : {10.0, 20.0, 30.0, 40.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 40.0);
+    EXPECT_DOUBLE_EQ(s.median(), 25.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0 / 3.0), 20.0);
+}
+
+TEST(SampleStats, PercentileSingleSample)
+{
+    SampleStats s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.median(), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 7.0);
+}
+
+TEST(SampleStats, PercentileEmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+}
+
+TEST(SampleStats, PercentileOutOfRangePanics)
+{
+    throwOnError(true);
+    SampleStats s;
+    s.add(1.0);
+    EXPECT_THROW(s.percentile(-0.1), PanicError);
+    EXPECT_THROW(s.percentile(1.1), PanicError);
+    throwOnError(false);
+}
+
+TEST(SampleStats, UnsortedInsertionOrderPreserved)
+{
+    SampleStats s;
+    s.add(3.0);
+    s.add(1.0);
+    s.add(2.0);
+    ASSERT_EQ(s.samples().size(), 3u);
+    EXPECT_EQ(s.samples()[0], 3.0);
+    EXPECT_EQ(s.samples()[1], 1.0);
+    EXPECT_EQ(s.samples()[2], 2.0);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(SampleStats, AddAfterPercentileInvalidatesCache)
+{
+    SampleStats s;
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+    s.add(100.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(SampleStats, AgreesWithRunningStatsOnRandomData)
+{
+    Rng r(21);
+    SampleStats s;
+    RunningStats w;
+    for (int i = 0; i < 5000; ++i) {
+        double x = r.nextDouble(-10, 10);
+        s.add(x);
+        w.add(x);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), w.mean());
+    EXPECT_DOUBLE_EQ(s.min(), w.min());
+    EXPECT_DOUBLE_EQ(s.max(), w.max());
+    EXPECT_NEAR(s.stddev(), w.stddev(), 1e-9);
+}
+
+} // namespace
+} // namespace ccsim

@@ -1,0 +1,110 @@
+/** @file Unit tests for table/CSV rendering. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace ccsim {
+namespace {
+
+TEST(Table, EmptyPrintsNothing)
+{
+    TableWriter t;
+    EXPECT_EQ(t.str(), "");
+}
+
+TEST(Table, HeaderAndAlignment)
+{
+    TableWriter t;
+    t.header({"op", "time"});
+    t.row({"bcast", "150"});
+    t.row({"alltoall", "1700"});
+    std::string out = t.str();
+    // Text columns left-aligned, numeric right-aligned.
+    EXPECT_NE(out.find("op        time"), std::string::npos);
+    EXPECT_NE(out.find("bcast      150"), std::string::npos);
+    EXPECT_NE(out.find("alltoall  1700"), std::string::npos);
+}
+
+TEST(Table, SeparatorRow)
+{
+    TableWriter t;
+    t.header({"a"});
+    t.row({"x"});
+    t.separator();
+    t.row({"y"});
+    std::string out = t.str();
+    // Header separator + explicit separator.
+    int dashes = 0;
+    std::istringstream iss(out);
+    std::string line;
+    while (std::getline(iss, line))
+        if (!line.empty() && line.find_first_not_of('-') == std::string::npos)
+            ++dashes;
+    EXPECT_EQ(dashes, 2);
+}
+
+TEST(Table, RowCountExcludesSeparators)
+{
+    TableWriter t;
+    t.header({"a"});
+    t.row({"x"});
+    t.separator();
+    t.row({"y"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, MismatchedColumnsPanics)
+{
+    throwOnError(true);
+    TableWriter t;
+    t.header({"a", "b"});
+    EXPECT_THROW(t.row({"only-one"}), PanicError);
+    throwOnError(false);
+}
+
+TEST(Table, FormatG)
+{
+    EXPECT_EQ(formatG(1.745), "1.745");
+    EXPECT_EQ(formatG(0.0001234, 3), "0.000123");
+    EXPECT_EQ(formatG(1234567.0, 3), "1.23e+06");
+}
+
+TEST(Table, FormatF)
+{
+    EXPECT_EQ(formatF(3.14159, 2), "3.14");
+    EXPECT_EQ(formatF(-1.0, 1), "-1.0");
+    EXPECT_EQ(formatF(2.0, 0), "2");
+}
+
+TEST(Csv, PlainRow)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.row({"a", "b", "1"});
+    EXPECT_EQ(oss.str(), "a,b,1\n");
+}
+
+TEST(Csv, EscapesCommasAndQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, MultipleRows)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.row({"m", "p", "t_us"});
+    w.row({"1024", "32", "316.5"});
+    EXPECT_EQ(oss.str(), "m,p,t_us\n1024,32,316.5\n");
+}
+
+} // namespace
+} // namespace ccsim

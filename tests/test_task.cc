@@ -1,0 +1,172 @@
+/** @file Unit tests for the Task<T> coroutine type. */
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+namespace ccsim::sim {
+namespace {
+
+Task<int>
+makeFortyTwo()
+{
+    co_return 42;
+}
+
+Task<std::string>
+makeGreeting()
+{
+    co_return std::string("hello");
+}
+
+Task<int>
+addNested(int a, int b)
+{
+    int va = co_await makeFortyTwo();
+    (void)va;
+    co_return a + b;
+}
+
+Task<void>
+consume(int *out)
+{
+    *out = co_await makeFortyTwo();
+}
+
+Task<int>
+throwing()
+{
+    throw std::runtime_error("boom");
+    co_return 0; // unreachable
+}
+
+Task<int>
+rethrowing()
+{
+    int v = co_await throwing();
+    co_return v + 1;
+}
+
+TEST(Task, LazyUntilAwaited)
+{
+    bool ran = false;
+    auto make = [&]() -> Task<void> {
+        ran = true;
+        co_return;
+    };
+    Task<void> t = make();
+    EXPECT_TRUE(t.valid());
+    EXPECT_FALSE(ran);
+    EXPECT_FALSE(t.done());
+}
+
+TEST(Task, ValueDeliveredThroughSpawn)
+{
+    Simulator s;
+    int out = 0;
+    s.spawn(consume(&out));
+    s.run();
+    EXPECT_EQ(out, 42);
+}
+
+TEST(Task, NestedAwaitChains)
+{
+    Simulator s;
+    int out = 0;
+    auto prog = [&]() -> Task<void> {
+        out = co_await addNested(10, 20);
+    };
+    s.spawn(prog());
+    s.run();
+    EXPECT_EQ(out, 30);
+}
+
+TEST(Task, NonTrivialResultType)
+{
+    Simulator s;
+    std::string out;
+    auto prog = [&]() -> Task<void> {
+        out = co_await makeGreeting();
+    };
+    s.spawn(prog());
+    s.run();
+    EXPECT_EQ(out, "hello");
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter)
+{
+    Simulator s;
+    bool caught = false;
+    auto prog = [&]() -> Task<void> {
+        try {
+            co_await rethrowing();
+        } catch (const std::runtime_error &e) {
+            caught = std::string(e.what()) == "boom";
+        }
+    };
+    s.spawn(prog());
+    s.run();
+    EXPECT_TRUE(caught);
+}
+
+TEST(Task, ExceptionEscapingRootRethrownByRun)
+{
+    Simulator s;
+    auto prog = []() -> Task<void> {
+        co_await throwing();
+    };
+    s.spawn(prog());
+    EXPECT_THROW(s.run(), std::runtime_error);
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    Task<int> a = makeFortyTwo();
+    EXPECT_TRUE(a.valid());
+    Task<int> b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    a = std::move(b);
+    EXPECT_TRUE(a.valid());
+    EXPECT_FALSE(b.valid());
+}
+
+TEST(Task, DestroyWithoutRunningDoesNotLeakOrCrash)
+{
+    for (int i = 0; i < 100; ++i) {
+        Task<int> t = makeFortyTwo();
+        (void)t;
+    }
+    SUCCEED();
+}
+
+TEST(Task, DeepAwaitChainCompletes)
+{
+    // Symmetric transfer must not blow the stack on deep chains.
+    struct Rec
+    {
+        static Task<int>
+        depth(int n)
+        {
+            if (n == 0)
+                co_return 0;
+            int v = co_await depth(n - 1);
+            co_return v + 1;
+        }
+    };
+    Simulator s;
+    int out = -1;
+    auto prog = [&]() -> Task<void> {
+        out = co_await Rec::depth(10000);
+    };
+    s.spawn(prog());
+    s.run();
+    EXPECT_EQ(out, 10000);
+}
+
+} // namespace
+} // namespace ccsim::sim

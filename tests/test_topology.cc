@@ -1,0 +1,319 @@
+/** @file Unit + property tests for topologies and routing. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "net/fully_connected.hh"
+#include "net/hypercube.hh"
+#include "net/mesh2d.hh"
+#include "net/omega.hh"
+#include "net/torus3d.hh"
+#include "util/logging.hh"
+
+namespace ccsim::net {
+namespace {
+
+TEST(Mesh2D, CoordsRoundTrip)
+{
+    Mesh2D m(4, 8);
+    EXPECT_EQ(m.numNodes(), 32);
+    for (int n = 0; n < m.numNodes(); ++n) {
+        auto [r, c] = m.coords(n);
+        EXPECT_EQ(m.nodeAt(r, c), n);
+    }
+}
+
+TEST(Mesh2D, HopsAreManhattanDistance)
+{
+    Mesh2D m(4, 4);
+    EXPECT_EQ(m.hops(0, 0), 0);
+    EXPECT_EQ(m.hops(0, 3), 3);       // along a row
+    EXPECT_EQ(m.hops(0, 12), 3);      // along a column
+    EXPECT_EQ(m.hops(0, 15), 6);      // opposite corner
+    EXPECT_EQ(m.hops(5, 10), 2);
+}
+
+TEST(Mesh2D, XThenYRouting)
+{
+    // From (0,0) to (1,1): the route must pass through (0,1), i.e.
+    // its first link must be an +x link of node 0.
+    Mesh2D m(2, 2);
+    std::vector<LinkId> path;
+    m.route(0, 3, path);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], 0 * 4 + 0);    // node 0, PosX
+    EXPECT_EQ(path[1], 1 * 4 + 2);    // node 1, PosY
+}
+
+TEST(Mesh2D, DiameterIsPerimeterPath)
+{
+    Mesh2D m(4, 8);
+    EXPECT_EQ(m.diameter(), 3 + 7);
+}
+
+TEST(Mesh2D, OppositeRoutesUseDisjointLinks)
+{
+    Mesh2D m(4, 4);
+    std::vector<LinkId> ab, ba;
+    m.route(0, 15, ab);
+    m.route(15, 0, ba);
+    std::set<LinkId> sa(ab.begin(), ab.end());
+    for (LinkId l : ba)
+        EXPECT_EQ(sa.count(l), 0u) << "full-duplex links must differ";
+}
+
+TEST(Mesh2D, InvalidDimsFatal)
+{
+    throwOnError(true);
+    EXPECT_THROW(Mesh2D(0, 4), FatalError);
+    EXPECT_THROW(Mesh2D(4, -1), FatalError);
+    throwOnError(false);
+}
+
+TEST(Mesh2D, OutOfRangeNodePanics)
+{
+    throwOnError(true);
+    Mesh2D m(2, 2);
+    std::vector<LinkId> path;
+    EXPECT_THROW(m.route(0, 4, path), PanicError);
+    EXPECT_THROW(m.route(-1, 0, path), PanicError);
+    throwOnError(false);
+}
+
+TEST(Torus3D, CoordsRoundTrip)
+{
+    Torus3D t(4, 4, 4);
+    EXPECT_EQ(t.numNodes(), 64);
+    for (int n = 0; n < t.numNodes(); ++n) {
+        auto c = t.coords(n);
+        EXPECT_EQ(t.nodeAt(c[0], c[1], c[2]), n);
+    }
+}
+
+TEST(Torus3D, WraparoundShortensPaths)
+{
+    Torus3D t(8, 1, 1);
+    // 0 -> 7 is one hop backwards around the ring, not 7 forward.
+    EXPECT_EQ(t.hops(0, 7), 1);
+    EXPECT_EQ(t.hops(0, 4), 4); // antipodal: no shortcut
+    EXPECT_EQ(t.hops(0, 5), 3); // 3 backwards beats 5 forwards
+}
+
+TEST(Torus3D, RingStepDirection)
+{
+    EXPECT_EQ(Torus3D::ringStep(0, 1, 8), 1);
+    EXPECT_EQ(Torus3D::ringStep(0, 7, 8), -1);
+    EXPECT_EQ(Torus3D::ringStep(0, 4, 8), 1); // tie -> positive
+    EXPECT_EQ(Torus3D::ringStep(3, 3, 8), 0);
+}
+
+TEST(Torus3D, DiameterOfCube)
+{
+    // 4x4x4 torus: at most 2 hops per dimension.
+    Torus3D t(4, 4, 4);
+    EXPECT_EQ(t.diameter(), 6);
+}
+
+TEST(Torus3D, HopsMatchPerDimensionRingDistance)
+{
+    Torus3D t(4, 2, 2);
+    for (int s = 0; s < t.numNodes(); ++s) {
+        for (int d = 0; d < t.numNodes(); ++d) {
+            auto a = t.coords(s), b = t.coords(d);
+            int dims[3] = {4, 2, 2};
+            int expect = 0;
+            for (int k = 0; k < 3; ++k) {
+                int fwd = (b[k] - a[k] + dims[k]) % dims[k];
+                expect += std::min(fwd, dims[k] - fwd);
+            }
+            ASSERT_EQ(t.hops(s, d), expect) << s << "->" << d;
+        }
+    }
+}
+
+TEST(Omega, StageCount)
+{
+    EXPECT_EQ(Omega(64, 4).stages(), 3);
+    EXPECT_EQ(Omega(64, 2).stages(), 6);
+    EXPECT_EQ(Omega(128, 4).stages(), 4);  // padded to 256 ports
+    EXPECT_EQ(Omega(2, 4).stages(), 1);
+}
+
+TEST(Omega, PortsCoverNodes)
+{
+    Omega o(100, 4);
+    EXPECT_GE(o.ports(), 100);
+    EXPECT_EQ(o.ports(), 256);
+}
+
+TEST(Omega, RouteLengthIsStagesPlusInjection)
+{
+    Omega o(64, 4);
+    std::vector<LinkId> path;
+    o.route(5, 44, path);
+    EXPECT_EQ(path.size(), static_cast<size_t>(o.stages()) + 1);
+}
+
+TEST(Omega, AllPairsRouteToDestination)
+{
+    // route() panics internally if the digit steering fails, so just
+    // exercising every pair is a real property check.
+    for (int radix : {2, 4}) {
+        Omega o(32, radix);
+        std::vector<LinkId> path;
+        for (int s = 0; s < 32; ++s) {
+            for (int d = 0; d < 32; ++d) {
+                if (s == d)
+                    continue;
+                path.clear();
+                o.route(s, d, path);
+                ASSERT_EQ(path.size(),
+                          static_cast<size_t>(o.stages()) + 1);
+                for (LinkId l : path)
+                    ASSERT_LT(static_cast<size_t>(l), o.numLinks());
+            }
+        }
+    }
+}
+
+TEST(Omega, DistinctDestinationsUseDistinctEjectionWires)
+{
+    Omega o(16, 2);
+    std::vector<LinkId> p1, p2;
+    o.route(3, 7, p1);
+    o.route(3, 8, p2);
+    EXPECT_NE(p1.back(), p2.back());
+}
+
+TEST(Omega, SameDestinationSharesEjectionWire)
+{
+    Omega o(16, 2);
+    std::vector<LinkId> p1, p2;
+    o.route(3, 7, p1);
+    o.route(12, 7, p2);
+    EXPECT_EQ(p1.back(), p2.back());
+}
+
+TEST(Omega, SelfRouteIsEmpty)
+{
+    Omega o(16, 2);
+    std::vector<LinkId> p;
+    o.route(5, 5, p);
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(Hypercube, DimensionsAndLinks)
+{
+    Hypercube h(16);
+    EXPECT_EQ(h.dimensions(), 4);
+    EXPECT_EQ(h.numNodes(), 16);
+    EXPECT_EQ(h.numLinks(), 64u);
+}
+
+TEST(Hypercube, HopsAreHammingDistance)
+{
+    Hypercube h(16);
+    EXPECT_EQ(h.hops(0, 0), 0);
+    EXPECT_EQ(h.hops(0, 1), 1);
+    EXPECT_EQ(h.hops(0, 15), 4);
+    EXPECT_EQ(h.hops(5, 10), 4);  // 0101 vs 1010
+    EXPECT_EQ(h.hops(3, 1), 1);
+    EXPECT_EQ(h.diameter(), 4);
+}
+
+TEST(Hypercube, EcubeRoutingCorrectsLowBitsFirst)
+{
+    Hypercube h(8);
+    std::vector<LinkId> path;
+    h.route(0, 6, path); // 000 -> 110: dims 1 then 2
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], 0 * 3 + 1); // node 0, dim 1
+    EXPECT_EQ(path[1], 2 * 3 + 2); // node 2, dim 2
+}
+
+TEST(Hypercube, AllPairsRoutesAreMinimal)
+{
+    Hypercube h(32);
+    std::vector<LinkId> path;
+    for (int s = 0; s < 32; ++s) {
+        for (int d = 0; d < 32; ++d) {
+            path.clear();
+            h.route(s, d, path);
+            ASSERT_EQ(path.size(),
+                      static_cast<size_t>(__builtin_popcount(
+                          static_cast<unsigned>(s ^ d))));
+        }
+    }
+}
+
+TEST(Hypercube, NonPowerOfTwoFatal)
+{
+    throwOnError(true);
+    EXPECT_THROW(Hypercube(12), FatalError);
+    EXPECT_THROW(Hypercube(0), FatalError);
+    throwOnError(false);
+}
+
+TEST(FullyConnected, SingleHopEverywhere)
+{
+    FullyConnected f(16);
+    EXPECT_EQ(f.diameter(), 1);
+    EXPECT_EQ(f.numLinks(), 256u);
+}
+
+TEST(FullyConnected, AllPairsDisjointLinks)
+{
+    FullyConnected f(8);
+    std::set<LinkId> seen;
+    std::vector<LinkId> p;
+    for (int s = 0; s < 8; ++s) {
+        for (int d = 0; d < 8; ++d) {
+            if (s == d)
+                continue;
+            p.clear();
+            f.route(s, d, p);
+            ASSERT_EQ(p.size(), 1u);
+            EXPECT_TRUE(seen.insert(p[0]).second)
+                << "pair " << s << "->" << d << " reuses a link";
+        }
+    }
+}
+
+TEST(TopologyDims, MeshDimsForPowersOfTwo)
+{
+    EXPECT_EQ(meshDimsFor(2), (std::pair<int, int>{1, 2}));
+    EXPECT_EQ(meshDimsFor(4), (std::pair<int, int>{2, 2}));
+    EXPECT_EQ(meshDimsFor(8), (std::pair<int, int>{2, 4}));
+    EXPECT_EQ(meshDimsFor(64), (std::pair<int, int>{8, 8}));
+    EXPECT_EQ(meshDimsFor(128), (std::pair<int, int>{8, 16}));
+}
+
+TEST(TopologyDims, TorusDimsForPowersOfTwo)
+{
+    EXPECT_EQ(torusDimsFor(64), (std::array<int, 3>{4, 4, 4}));
+    EXPECT_EQ(torusDimsFor(128), (std::array<int, 3>{8, 4, 4}));
+    EXPECT_EQ(torusDimsFor(2), (std::array<int, 3>{2, 1, 1}));
+    EXPECT_EQ(torusDimsFor(16), (std::array<int, 3>{4, 2, 2}));
+}
+
+TEST(TopologyDims, NonPowerOfTwoFatal)
+{
+    throwOnError(true);
+    EXPECT_THROW(meshDimsFor(24), FatalError);
+    EXPECT_THROW(torusDimsFor(0), FatalError);
+    throwOnError(false);
+}
+
+TEST(TopologyDims, ProductMatches)
+{
+    for (int p : {2, 4, 8, 16, 32, 64, 128}) {
+        auto [r, c] = meshDimsFor(p);
+        EXPECT_EQ(r * c, p);
+        auto t = torusDimsFor(p);
+        EXPECT_EQ(t[0] * t[1] * t[2], p);
+    }
+}
+
+} // namespace
+} // namespace ccsim::net

@@ -1,0 +1,180 @@
+/** @file Tests for the ragged (v-variant) collectives. */
+
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "mpi/comm.hh"
+#include "util/logging.hh"
+
+namespace ccsim::mpi {
+namespace {
+
+using machine::Machine;
+using Body = std::function<sim::Task<void>(Comm &)>;
+
+void
+runProgram(Machine &m, const Body &body)
+{
+    auto driver = [&m, &body](int rank) -> sim::Task<void> {
+        Comm comm(m, rank);
+        co_await body(comm);
+    };
+    for (int r = 0; r < m.size(); ++r)
+        m.sim().spawn(driver(r));
+    m.run();
+}
+
+class VecCollP : public ::testing::TestWithParam<int>
+{
+  protected:
+    int p() const { return GetParam(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VecCollP,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST_P(VecCollP, GathervConcatenatesRaggedBlocks)
+{
+    int root = p() > 1 ? 1 : 0;
+    Machine m(machine::idealConfig(), p());
+    // Rank r contributes r + 1 elements.
+    std::vector<int> counts(static_cast<size_t>(p()));
+    for (int r = 0; r < p(); ++r)
+        counts[static_cast<size_t>(r)] = r + 1;
+
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        std::vector<std::int64_t> mine(
+            static_cast<size_t>(c.rank() + 1));
+        for (int j = 0; j <= c.rank(); ++j)
+            mine[static_cast<size_t>(j)] = 100 * (c.rank() + 1) + j;
+        auto out = co_await c.gathervData(mine, counts, root);
+        if (c.rank() == root) {
+            std::size_t expect_len = 0;
+            for (int cnt : counts)
+                expect_len += static_cast<size_t>(cnt);
+            EXPECT_EQ(out.size(), expect_len);
+            std::size_t off = 0;
+            for (int r = 0; r < p(); ++r)
+                for (int j = 0; j <= r; ++j)
+                    EXPECT_EQ(out[off++], 100 * (r + 1) + j)
+                        << "r=" << r << " j=" << j;
+        } else {
+            EXPECT_TRUE(out.empty());
+        }
+    };
+    runProgram(m, body);
+}
+
+TEST_P(VecCollP, ScattervDistributesRaggedBlocks)
+{
+    int root = 0;
+    Machine m(machine::idealConfig(), p());
+    std::vector<int> counts(static_cast<size_t>(p()));
+    for (int r = 0; r < p(); ++r)
+        counts[static_cast<size_t>(r)] = 2 * r + 1;
+
+    std::vector<std::int64_t> all;
+    for (int r = 0; r < p(); ++r)
+        for (int j = 0; j < counts[static_cast<size_t>(r)]; ++j)
+            all.push_back(1000 * (r + 1) + j);
+
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        std::vector<std::int64_t> in;
+        if (c.rank() == root)
+            in = all;
+        auto out = co_await c.scattervData(in, counts, root);
+        EXPECT_EQ(out.size(),
+                  static_cast<size_t>(2 * c.rank() + 1));
+        for (std::size_t j = 0; j < out.size(); ++j)
+            EXPECT_EQ(out[j],
+                      1000 * (c.rank() + 1) +
+                          static_cast<std::int64_t>(j));
+    };
+    runProgram(m, body);
+}
+
+TEST(VecColl, ZeroCountRanksParticipate)
+{
+    Machine m(machine::idealConfig(), 4);
+    std::vector<int> counts{0, 3, 0, 2};
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        std::vector<std::int64_t> mine(
+            static_cast<size_t>(counts[static_cast<size_t>(c.rank())]),
+            c.rank());
+        auto out = co_await c.gathervData(mine, counts, 0);
+        if (c.rank() == 0) {
+            EXPECT_EQ(out, (std::vector<std::int64_t>{1, 1, 1, 3, 3}));
+        }
+        co_return;
+    };
+    runProgram(m, body);
+}
+
+TEST(VecColl, SizeOnlyVariantsRun)
+{
+    for (const auto &cfg : machine::paperMachines()) {
+        Machine m(cfg, 8);
+        int done = 0;
+        Body body = [&](Comm &c) -> sim::Task<void> {
+            std::vector<Bytes> counts(8);
+            for (int r = 0; r < 8; ++r)
+                counts[static_cast<size_t>(r)] = 512 * (r + 1);
+            co_await c.gatherv(counts, 0);
+            co_await c.scatterv(counts, 3);
+            ++done;
+        };
+        runProgram(m, body);
+        EXPECT_EQ(done, 8) << cfg.name;
+    }
+}
+
+TEST(VecColl, ValidationErrors)
+{
+    throwOnError(true);
+    Machine m(machine::idealConfig(), 4);
+    auto spawn_one = [&](Body body) {
+        auto driver = [&m, body](int rank) -> sim::Task<void> {
+            Comm comm(m, rank);
+            co_await body(comm);
+        };
+        m.sim().spawn(driver(0));
+    };
+    // Wrong number of counts.
+    spawn_one([](Comm &c) -> sim::Task<void> {
+        std::vector<Bytes> counts{16, 16};
+        co_await c.gatherv(counts, 0);
+    });
+    EXPECT_THROW(m.run(), FatalError);
+
+    Machine m2(machine::idealConfig(), 4);
+    auto driver2 = [&m2](int rank) -> sim::Task<void> {
+        Comm comm(m2, rank);
+        std::vector<Bytes> counts{16, 16, 16, -1};
+        co_await comm.scatterv(counts, 0);
+    };
+    m2.sim().spawn(driver2(0));
+    EXPECT_THROW(m2.run(), FatalError);
+    throwOnError(false);
+}
+
+TEST(VecColl, MatchesUniformGatherWhenCountsEqual)
+{
+    Machine m(machine::idealConfig(), 4);
+    Body body = [&](Comm &c) -> sim::Task<void> {
+        std::vector<std::int64_t> mine{c.rank() * 10,
+                                       c.rank() * 10 + 1};
+        std::vector<int> counts{2, 2, 2, 2};
+        auto ragged = co_await c.gathervData(mine, counts, 0);
+        auto uniform = co_await c.gatherData(mine, 0);
+        EXPECT_EQ(ragged, uniform);
+    };
+    runProgram(m, body);
+}
+
+} // namespace
+} // namespace ccsim::mpi

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * ccsim — command-line driver for the simulation study.
+ *
+ * Subcommands:
+ *
+ *     ccsim machines
+ *         List the built-in machine presets and their parameters.
+ *
+ *     ccsim measure --machine T3D --op alltoall --p 64 --m 65536
+ *                   [--algo pairwise] [--config FILE] [--paper]
+ *         Run the Section 2 measurement procedure for one point and
+ *         print max/mean/min over ranks plus the paper's Table 3
+ *         prediction when one exists.  --paper uses the full
+ *         22-run procedure with clock-skew injection.
+ *
+ *     ccsim sweep --machine SP2 --op bcast [--config FILE]
+ *         Full (m, p) sweep with a fitted closed-form expression.
+ *
+ *     ccsim pingpong --machine Paragon [--config FILE]
+ *         Point-to-point latency/bandwidth curve + Hockney fit.
+ *
+ *     ccsim dump-config --machine SP2
+ *         Emit a preset as an editable config file (see --config).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "harness/measure.hh"
+#include "machine/config_io.hh"
+#include "model/fit.hh"
+#include "model/hockney.hh"
+#include "model/paper_data.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace ccsim;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> options;
+
+    bool has(const std::string &key) const { return options.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+
+    long long
+    getInt(const std::string &key, long long fallback) const
+    {
+        auto it = options.find(key);
+        if (it == options.end())
+            return fallback;
+        try {
+            return std::stoll(it->second);
+        } catch (const std::exception &) {
+            fatal("bad integer for --%s: '%s'", key.c_str(),
+                  it->second.c_str());
+        }
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    if (argc < 2)
+        fatal("usage: ccsim <machines|measure|sweep|pingpong|"
+              "dump-config> [options]");
+    a.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("expected --option, got '%s'", arg.c_str());
+        std::string key = arg.substr(2);
+        if (key == "paper") {
+            a.options[key] = "1";
+        } else {
+            if (i + 1 >= argc)
+                fatal("--%s needs a value", key.c_str());
+            a.options[key] = argv[++i];
+        }
+    }
+    return a;
+}
+
+machine::MachineConfig
+resolveMachine(const Args &a)
+{
+    if (a.has("config"))
+        return machine::loadConfigFile(a.get("config"));
+    return machine::presetByName(a.get("machine", "T3D"));
+}
+
+machine::Coll
+resolveOp(const Args &a)
+{
+    std::string key = a.get("op", "alltoall");
+    for (machine::Coll op : machine::kAllColls)
+        if (machine::collKey(op) == key)
+            return op;
+    fatal("unknown --op '%s'", key.c_str());
+}
+
+machine::Algo
+resolveAlgo(const Args &a)
+{
+    std::string name = a.get("algo", "default");
+    return machine::algoByName(name);
+}
+
+/** Right-aligned numeric cell used by the sweep table. */
+std::string
+bench_cell(double us)
+{
+    char buf[48];
+    if (us >= 10000)
+        std::snprintf(buf, sizeof(buf), "%.0f", us);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f", us);
+    return buf;
+}
+
+int
+cmdMachines()
+{
+    TableWriter t;
+    t.header({"machine", "topology", "link MB/s", "hop ns", "o_send us",
+              "o_recv us", "special"});
+    for (const auto &cfg : machine::paperMachines()) {
+        std::string special;
+        if (cfg.hardware_barrier)
+            special += "hw-barrier ";
+        if (cfg.transport.blt_enabled)
+            special += "BLT ";
+        if (cfg.transport.coprocessor_overlap > 0)
+            special += "coprocessor";
+        t.row({cfg.name, machine::topologyKindName(cfg.topology),
+               formatG(cfg.network.link_bandwidth_mbs),
+               formatG(toNanos(cfg.network.hop_latency)),
+               formatG(toMicros(cfg.transport.send_overhead)),
+               formatG(toMicros(cfg.transport.recv_overhead)),
+               special.empty() ? "-" : special});
+    }
+    t.print(std::cout);
+    std::printf("\nIdeal (contention-free crossbar baseline) is also "
+                "available.\nUse 'ccsim dump-config --machine SP2 > "
+                "my.cfg' to derive custom machines.\n");
+    return 0;
+}
+
+int
+cmdMeasure(const Args &a)
+{
+    auto cfg = resolveMachine(a);
+    auto op = resolveOp(a);
+    auto algo = resolveAlgo(a);
+    int p = static_cast<int>(a.getInt("p", 32));
+    Bytes m = a.getInt("m", 1024);
+    auto opt = a.has("paper")
+                   ? harness::MeasureOptions::paperFaithful()
+                   : harness::MeasureOptions{};
+
+    auto meas = harness::measureCollective(cfg, p, op, m, algo, opt);
+    std::printf("%s %s, p = %d, m = %s, algorithm %s\n",
+                cfg.name.c_str(), machine::collName(op).c_str(), p,
+                formatBytes(m).c_str(),
+                machine::algoName(meas.algo).c_str());
+    std::printf("  max over ranks : %s\n",
+                formatTime(meas.max_time).c_str());
+    std::printf("  mean over ranks: %s\n",
+                formatTime(meas.mean_time).c_str());
+    std::printf("  min over ranks : %s\n",
+                formatTime(meas.min_time).c_str());
+    if (model::paper::hasExpression(cfg.name, op)) {
+        double paper_us =
+            model::paper::expression(cfg.name, op).evalUs(m, p);
+        std::printf("  paper Table 3  : %s (%+.1f%% vs sim)\n",
+                    formatTime(microseconds(paper_us)).c_str(),
+                    100.0 * (paper_us - meas.us()) / meas.us());
+    }
+    Bytes f = harness::aggregatedLength(op, m, p);
+    if (f > 0 && meas.max_time > 0)
+        std::printf("  aggregated bw  : %.1f MB/s over f(m,p) = %s\n",
+                    bandwidthMBs(f, meas.max_time),
+                    formatBytes(f).c_str());
+    return 0;
+}
+
+int
+cmdSweep(const Args &a)
+{
+    auto cfg = resolveMachine(a);
+    auto op = resolveOp(a);
+    auto algo = resolveAlgo(a);
+    harness::MeasureOptions opt;
+    opt.iterations = 3;
+    opt.repetitions = 1;
+
+    std::printf("%s %s sweep [us]\n\n", cfg.name.c_str(),
+                machine::collName(op).c_str());
+    TableWriter t;
+    std::vector<std::string> hdr{"p \\ m"};
+    auto lengths = harness::paperMessageLengths();
+    for (Bytes m : lengths)
+        hdr.push_back(formatBytes(m));
+    t.header(hdr);
+
+    std::vector<model::Sample> samples;
+    for (int p : harness::paperMachineSizes(cfg.name)) {
+        std::vector<std::string> row{std::to_string(p)};
+        for (Bytes m : lengths) {
+            Bytes mm = op == machine::Coll::Barrier ? 0 : m;
+            auto meas =
+                harness::measureCollective(cfg, p, op, mm, algo, opt);
+            row.push_back(bench_cell(meas.us()));
+            samples.push_back({mm, p, meas.us()});
+            if (op == machine::Coll::Barrier)
+                break;
+        }
+        t.row(row);
+    }
+    t.print(std::cout);
+
+    model::TimingExpression fit =
+        op == machine::Coll::Barrier
+            ? model::fitStartupAuto(samples)
+            : model::fitPaperStyleAuto(samples);
+    std::printf("\nfitted: T(m, p) = %s   [us]\n", fit.str().c_str());
+    if (model::paper::hasExpression(cfg.name, op))
+        std::printf("paper : T(m, p) = %s\n",
+                    model::paper::expression(cfg.name, op).str()
+                        .c_str());
+    return 0;
+}
+
+int
+cmdPingPong(const Args &a)
+{
+    auto cfg = resolveMachine(a);
+    std::printf("%s ping-pong (one-way, adjacent nodes)\n\n",
+                cfg.name.c_str());
+    TableWriter t;
+    t.header({"m", "one-way us", "bandwidth MB/s"});
+    std::vector<model::PingPongSample> samples;
+    for (Bytes m : harness::paperMessageLengths()) {
+        auto meas = harness::measurePingPong(cfg, m);
+        double us = meas.us();
+        samples.push_back({m, us});
+        t.row({formatBytes(m), formatF(us, 2),
+               formatF(us > 0 ? static_cast<double>(m) / us : 0, 1)});
+    }
+    t.print(std::cout);
+    std::printf("\nHockney fit: %s\n",
+                model::fitHockney(samples).str().c_str());
+    return 0;
+}
+
+int
+cmdDumpConfig(const Args &a)
+{
+    auto cfg = resolveMachine(a);
+    machine::saveConfig(cfg, std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parseArgs(argc, argv);
+    quietLogging(true);
+    if (a.command == "machines")
+        return cmdMachines();
+    if (a.command == "measure")
+        return cmdMeasure(a);
+    if (a.command == "sweep")
+        return cmdSweep(a);
+    if (a.command == "pingpong")
+        return cmdPingPong(a);
+    if (a.command == "dump-config")
+        return cmdDumpConfig(a);
+    fatal("unknown command '%s' (machines, measure, sweep, pingpong, "
+          "dump-config)", a.command.c_str());
+}
