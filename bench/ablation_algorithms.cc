@@ -27,12 +27,25 @@ using namespace ccsim::bench;
 
 namespace {
 
+/** Declaration pass: add every point of the panel to the sweep. */
 void
-panel(const machine::MachineConfig &cfg, machine::Coll op,
-      const std::vector<machine::Algo> &algos,
+declarePanel(SweepSession &sweep, const machine::MachineConfig &cfg,
+             machine::Coll op, const std::vector<machine::Algo> &algos,
+             const std::vector<Bytes> &lengths,
+             const std::vector<int> &sizes)
+{
+    for (Bytes m : lengths)
+        for (int p : sizes)
+            for (auto a : algos)
+                sweep.add(cfg, p, op, m, a);
+}
+
+/** Printing pass: all points already simulated by sweep.run(). */
+void
+panel(const SweepSession &sweep, const machine::MachineConfig &cfg,
+      machine::Coll op, const std::vector<machine::Algo> &algos,
       const std::vector<Bytes> &lengths, const std::vector<int> &sizes)
 {
-    auto mopt = benchMeasureOptions();
     std::printf("--- %s on %s ---\n", machine::collName(op).c_str(),
                 cfg.name.c_str());
     for (Bytes m : lengths) {
@@ -43,11 +56,8 @@ panel(const machine::MachineConfig &cfg, machine::Coll op,
         t.header(hdr);
         for (int p : sizes) {
             std::vector<std::string> row{std::to_string(p)};
-            for (auto a : algos) {
-                auto meas =
-                    harness::measureCollective(cfg, p, op, m, a, mopt);
-                row.push_back(usCell(meas.us()));
-            }
+            for (auto a : algos)
+                row.push_back(usCell(sweep.get(cfg, p, op, m, a).us()));
             t.row(row);
         }
         std::printf("  m = %s [us]\n", formatBytes(m).c_str());
@@ -79,25 +89,36 @@ main(int argc, char **argv)
     using machine::Algo;
     using machine::Coll;
 
-    panel(cfg, Coll::Bcast,
-          {Algo::Linear, Algo::Binomial, Algo::ScatterAllgather},
-          small_large, sizes);
-    panel(cfg, Coll::Barrier,
-          {Algo::Linear, Algo::Binomial, Algo::Dissemination}, {0},
-          sizes);
-    panel(cfg, Coll::Alltoall,
-          {Algo::Linear, Algo::Pairwise, Algo::Bruck}, small_large,
-          sizes);
-    panel(cfg, Coll::Allgather, {Algo::Ring, Algo::RecursiveDoubling},
-          small_large, sizes);
-    panel(cfg, Coll::Gather, {Algo::Linear, Algo::Binomial},
-          small_large, sizes);
-    panel(cfg, Coll::Reduce, {Algo::Linear, Algo::Binomial},
-          small_large, sizes);
-    panel(cfg, Coll::Allreduce,
-          {Algo::ReduceBcast, Algo::RecursiveDoubling}, small_large,
-          sizes);
-    panel(cfg, Coll::Scan, {Algo::Linear, Algo::RecursiveDoubling},
-          small_large, sizes);
+    struct PanelSpec
+    {
+        Coll op;
+        std::vector<Algo> algos;
+        std::vector<Bytes> lengths;
+    };
+    const std::vector<PanelSpec> panels = {
+        {Coll::Bcast,
+         {Algo::Linear, Algo::Binomial, Algo::ScatterAllgather},
+         small_large},
+        {Coll::Barrier,
+         {Algo::Linear, Algo::Binomial, Algo::Dissemination},
+         {0}},
+        {Coll::Alltoall, {Algo::Linear, Algo::Pairwise, Algo::Bruck},
+         small_large},
+        {Coll::Allgather, {Algo::Ring, Algo::RecursiveDoubling},
+         small_large},
+        {Coll::Gather, {Algo::Linear, Algo::Binomial}, small_large},
+        {Coll::Reduce, {Algo::Linear, Algo::Binomial}, small_large},
+        {Coll::Allreduce, {Algo::ReduceBcast, Algo::RecursiveDoubling},
+         small_large},
+        {Coll::Scan, {Algo::Linear, Algo::RecursiveDoubling},
+         small_large},
+    };
+
+    SweepSession sweep(opts, benchMeasureOptions());
+    for (const auto &ps : panels)
+        declarePanel(sweep, cfg, ps.op, ps.algos, ps.lengths, sizes);
+    sweep.run();
+    for (const auto &ps : panels)
+        panel(sweep, cfg, ps.op, ps.algos, ps.lengths, sizes);
     return 0;
 }

@@ -28,11 +28,45 @@ main(int argc, char **argv)
                 "Total exchange with the occupancy model on/off, and "
                 "across topologies.");
 
-    auto mopt = benchMeasureOptions();
     const Bytes m = opts.quick ? 4 * KiB : 64 * KiB;
     std::vector<int> sizes = opts.quick
                                  ? std::vector<int>{8, 16}
                                  : std::vector<int>{16, 32, 64};
+
+    // Declare every point of both panels up front; tags separate the
+    // contention-off variants from the stock machines (same name).
+    SweepSession sweep(opts, benchMeasureOptions());
+    auto makeTopo = [](machine::TopologyKind kind,
+                       const std::string &name) {
+        auto cfg = machine::t3dConfig();
+        cfg.name = name;
+        cfg.topology = kind;
+        cfg.hardware_barrier = false;
+        cfg.setAlgorithm(machine::Coll::Barrier,
+                         machine::Algo::Dissemination);
+        return cfg;
+    };
+    std::vector<machine::MachineConfig> topo_cfgs = {
+        makeTopo(machine::TopologyKind::Mesh2D, "mesh2d"),
+        makeTopo(machine::TopologyKind::Torus3D, "torus3d"),
+        makeTopo(machine::TopologyKind::Omega, "omega r4"),
+        makeTopo(machine::TopologyKind::Hypercube, "hypercube"),
+        makeTopo(machine::TopologyKind::FullyConnected, "crossbar"),
+    };
+    for (const auto &base : machine::paperMachines()) {
+        auto off_cfg = base;
+        off_cfg.network.contention = false;
+        for (int p : sizes) {
+            sweep.add(base, p, machine::Coll::Alltoall, m,
+                      machine::Algo::Default, "on");
+            sweep.add(off_cfg, p, machine::Coll::Alltoall, m,
+                      machine::Algo::Default, "off");
+        }
+    }
+    for (const auto &c : topo_cfgs)
+        for (int p : sizes)
+            sweep.add(c, p, machine::Coll::Alltoall, m);
+    sweep.run();
 
     {
         std::printf("--- contention on/off: 64 KB total exchange [us] "
@@ -42,14 +76,12 @@ main(int argc, char **argv)
                   "inflation", "hottest link"});
         for (const auto &base : machine::paperMachines()) {
             for (int p : sizes) {
-                auto off_cfg = base;
-                off_cfg.network.contention = false;
-                auto on = harness::measureCollective(
-                    base, p, machine::Coll::Alltoall, m,
-                    machine::Algo::Default, mopt);
-                auto off = harness::measureCollective(
-                    off_cfg, p, machine::Coll::Alltoall, m,
-                    machine::Algo::Default, mopt);
+                const auto &on =
+                    sweep.get(base, p, machine::Coll::Alltoall, m,
+                              machine::Algo::Default, "on");
+                const auto &off =
+                    sweep.get(base, p, machine::Coll::Alltoall, m,
+                              machine::Algo::Default, "off");
                 double infl =
                     off.us() > 0 ? on.us() / off.us() : 0.0;
 
@@ -78,23 +110,6 @@ main(int argc, char **argv)
     {
         std::printf("--- topology shoot-out (identical node software, "
                     "300 MB/s links) ---\n");
-        auto make = [](machine::TopologyKind kind,
-                       const std::string &name) {
-            auto cfg = machine::t3dConfig();
-            cfg.name = name;
-            cfg.topology = kind;
-            cfg.hardware_barrier = false;
-            cfg.setAlgorithm(machine::Coll::Barrier,
-                             machine::Algo::Dissemination);
-            return cfg;
-        };
-        std::vector<machine::MachineConfig> topo_cfgs = {
-            make(machine::TopologyKind::Mesh2D, "mesh2d"),
-            make(machine::TopologyKind::Torus3D, "torus3d"),
-            make(machine::TopologyKind::Omega, "omega r4"),
-            make(machine::TopologyKind::Hypercube, "hypercube"),
-            make(machine::TopologyKind::FullyConnected, "crossbar"),
-        };
         TableWriter t;
         std::vector<std::string> hdr{"p"};
         for (const auto &c : topo_cfgs)
@@ -102,12 +117,9 @@ main(int argc, char **argv)
         t.header(hdr);
         for (int p : sizes) {
             std::vector<std::string> row{std::to_string(p)};
-            for (const auto &c : topo_cfgs) {
-                auto meas = harness::measureCollective(
-                    c, p, machine::Coll::Alltoall, m,
-                    machine::Algo::Default, mopt);
-                row.push_back(usCell(meas.us()));
-            }
+            for (const auto &c : topo_cfgs)
+                row.push_back(usCell(
+                    sweep.get(c, p, machine::Coll::Alltoall, m).us()));
             t.row(row);
         }
         t.print(std::cout);

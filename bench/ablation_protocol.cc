@@ -28,13 +28,25 @@ main(int argc, char **argv)
                 "Broadcast time on the SP2 model as the threshold "
                 "moves.");
 
-    auto mopt = benchMeasureOptions();
     const int p = opts.quick ? 8 : 32;
 
     std::vector<Bytes> thresholds = {0, 1 * KiB, 4 * KiB, 16 * KiB,
                                      256 * KiB};
     std::vector<Bytes> lengths = {256, 1 * KiB, 4 * KiB, 16 * KiB,
                                   64 * KiB};
+
+    // One SP2 variant per threshold; the tag keys the variant (all
+    // share the preset name).
+    SweepSession sweep(opts, benchMeasureOptions());
+    for (Bytes m : lengths) {
+        for (Bytes th : thresholds) {
+            auto cfg = machine::sp2Config();
+            cfg.transport.eager_threshold = th;
+            sweep.add(cfg, p, machine::Coll::Bcast, m,
+                      machine::Algo::Default, std::to_string(th));
+        }
+    }
+    sweep.run();
 
     TableWriter t;
     std::vector<std::string> hdr{"m \\ threshold"};
@@ -45,11 +57,10 @@ main(int argc, char **argv)
     for (Bytes m : lengths) {
         std::vector<std::string> row{formatBytes(m)};
         for (Bytes th : thresholds) {
-            auto cfg = machine::sp2Config();
-            cfg.transport.eager_threshold = th;
-            auto meas = harness::measureCollective(
-                cfg, p, machine::Coll::Bcast, m,
-                machine::Algo::Default, mopt);
+            const auto &meas =
+                sweep.get(machine::sp2Config(), p, machine::Coll::Bcast,
+                          m, machine::Algo::Default,
+                          std::to_string(th));
             row.push_back(usCell(meas.us()));
         }
         t.row(row);

@@ -1,6 +1,7 @@
 #include "bench_common.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -17,16 +18,117 @@ BenchOptions::parse(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             o.quick = true;
-        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            if (i + 1 >= argc)
+                fatal("missing value for --csv");
             o.csv_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc)
+                fatal("missing value for --jobs");
+            char *end = nullptr;
+            long n = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || n < 1)
+                fatal("bad value for --jobs: '%s' (want a positive "
+                      "integer)", argv[i]);
+            o.jobs = static_cast<int>(n);
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [--quick] [--csv DIR]\n", argv[0]);
+            std::printf("usage: %s [--quick] [--csv DIR] [--jobs N]\n",
+                        argv[0]);
             std::exit(0);
         } else {
             fatal("unknown argument '%s' (try --help)", argv[i]);
         }
     }
     return o;
+}
+
+SweepSession::SweepSession(const BenchOptions &opts,
+                           harness::MeasureOptions mopt)
+    : runner_(opts.jobs), mopt_(mopt)
+{
+}
+
+SweepSession::Key
+SweepSession::key(const machine::MachineConfig &cfg, int p,
+                  machine::Coll op, Bytes m, machine::Algo algo,
+                  const std::string &tag)
+{
+    return {cfg.name + "\x1f" + tag, p, static_cast<int>(op), m,
+            static_cast<int>(algo)};
+}
+
+void
+SweepSession::add(const machine::MachineConfig &cfg, int p,
+                  machine::Coll op, Bytes m, machine::Algo algo,
+                  const std::string &tag)
+{
+    if (ran_)
+        panic("SweepSession::add: session already ran");
+    auto [it, inserted] =
+        index_.try_emplace(key(cfg, p, op, m, algo, tag),
+                           points_.size());
+    if (!inserted)
+        return;
+    harness::SweepPoint pt;
+    pt.cfg = cfg;
+    pt.p = p;
+    pt.op = op;
+    pt.m = m;
+    pt.algo = algo;
+    pt.options = mopt_;
+    points_.push_back(std::move(pt));
+}
+
+void
+SweepSession::addStartup(const machine::MachineConfig &cfg, int p,
+                         machine::Coll op, machine::Algo algo,
+                         const std::string &tag)
+{
+    Bytes m = op == machine::Coll::Barrier
+                  ? 0
+                  : harness::kStartupMessageBytes;
+    add(cfg, p, op, m, algo, tag);
+}
+
+void
+SweepSession::run()
+{
+    if (ran_)
+        panic("SweepSession::run: session already ran");
+    results_ = runner_.run(points_);
+    ran_ = true;
+}
+
+const harness::Measurement &
+SweepSession::get(const machine::MachineConfig &cfg, int p,
+                  machine::Coll op, Bytes m, machine::Algo algo,
+                  const std::string &tag) const
+{
+    if (!ran_)
+        panic("SweepSession::get before run()");
+    auto it = index_.find(key(cfg, p, op, m, algo, tag));
+    if (it == index_.end())
+        panic("SweepSession::get: point %s p=%d m=%lld was never "
+              "add()ed", cfg.name.c_str(), p,
+              static_cast<long long>(m));
+    return results_[it->second];
+}
+
+const harness::Measurement &
+SweepSession::getStartup(const machine::MachineConfig &cfg, int p,
+                         machine::Coll op, machine::Algo algo,
+                         const std::string &tag) const
+{
+    Bytes m = op == machine::Coll::Barrier
+                  ? 0
+                  : harness::kStartupMessageBytes;
+    return get(cfg, p, op, m, algo, tag);
+}
+
+const harness::SweepRunner::Stats &
+SweepSession::stats() const
+{
+    return runner_.lastStats();
 }
 
 harness::MeasureOptions

@@ -2,18 +2,23 @@
  * @file
  * Shared plumbing for the figure/table bench binaries: option
  * parsing (--quick trims sweeps for smoke runs, --csv DIR dumps
- * machine-readable series), the measurement options used by all
- * benches, and paper-vs-simulated formatting helpers.
+ * machine-readable series, --jobs N sizes the sweep worker pool),
+ * the measurement options used by all benches, the SweepSession
+ * declare-run-lookup wrapper around harness::SweepRunner, and
+ * paper-vs-simulated formatting helpers.
  */
 
 #ifndef CCSIM_BENCH_BENCH_COMMON_HH
 #define CCSIM_BENCH_BENCH_COMMON_HH
 
+#include <map>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "harness/measure.hh"
+#include "harness/sweep.hh"
 #include "machine/machine_config.hh"
 #include "model/paper_data.hh"
 #include "model/timing_expr.hh"
@@ -27,8 +32,71 @@ struct BenchOptions
 {
     bool quick = false;      //!< trim sweeps (CI smoke mode)
     std::string csv_dir;     //!< dump CSV series here when non-empty
+    int jobs = 0;            //!< sweep workers (0: hardware concurrency)
 
     static BenchOptions parse(int argc, char **argv);
+};
+
+/**
+ * Declare-run-lookup front-end for harness::SweepRunner, shaped for
+ * the way the bench binaries are written: a declaration pass mirrors
+ * the printing loops and add()s every point, run() simulates them
+ * all on the worker pool, then the printing pass get()s each result
+ * by key.  Keys are (machine name + tag, p, op, m, algo); the tag
+ * disambiguates ablation variants that share a machine name (e.g.\
+ * contention on/off, eager-threshold settings).  add() dedups, so
+ * overlapping panels cost one simulation.
+ */
+class SweepSession
+{
+  public:
+    explicit SweepSession(const BenchOptions &opts,
+                          harness::MeasureOptions mopt =
+                              harness::MeasureOptions{});
+
+    /** Declare one point (deduped by key). */
+    void add(const machine::MachineConfig &cfg, int p, machine::Coll op,
+             Bytes m, machine::Algo algo = machine::Algo::Default,
+             const std::string &tag = "");
+
+    /** Declare the startup-latency point (short-message T0 proxy). */
+    void addStartup(const machine::MachineConfig &cfg, int p,
+                    machine::Coll op,
+                    machine::Algo algo = machine::Algo::Default,
+                    const std::string &tag = "");
+
+    /** Simulate all declared points on the worker pool. */
+    void run();
+
+    /** Look up a declared point's measurement (run() must be done). */
+    const harness::Measurement &
+    get(const machine::MachineConfig &cfg, int p, machine::Coll op,
+        Bytes m, machine::Algo algo = machine::Algo::Default,
+        const std::string &tag = "") const;
+
+    /** Startup-latency counterpart of get(). */
+    const harness::Measurement &
+    getStartup(const machine::MachineConfig &cfg, int p,
+               machine::Coll op,
+               machine::Algo algo = machine::Algo::Default,
+               const std::string &tag = "") const;
+
+    /** Throughput of the last run() (points/sec, wall seconds). */
+    const harness::SweepRunner::Stats &stats() const;
+
+  private:
+    using Key = std::tuple<std::string, int, int, Bytes, int>;
+
+    static Key key(const machine::MachineConfig &cfg, int p,
+                   machine::Coll op, Bytes m, machine::Algo algo,
+                   const std::string &tag);
+
+    harness::SweepRunner runner_;
+    harness::MeasureOptions mopt_;
+    std::vector<harness::SweepPoint> points_;
+    std::map<Key, std::size_t> index_;
+    std::vector<harness::Measurement> results_;
+    bool ran_ = false;
 };
 
 /** Measurement knobs used by the benches (deterministic sim: one

@@ -40,7 +40,15 @@ main(int argc, char **argv)
     const char panel[] = {'a', 'b', 'c', 'd', 'e', 'f'};
 
     auto machines = machine::paperMachines();
-    auto mopt = benchMeasureOptions();
+
+    // Declare every (op, p, machine) point, then simulate them all
+    // on the sweep worker pool before any printing.
+    SweepSession sweep(opts, benchMeasureOptions());
+    for (machine::Coll op : ops)
+        for (const auto &cfg : machines)
+            for (int p : sweepSizes(cfg.name, opts.quick))
+                sweep.addStartup(cfg, p, op);
+    sweep.run();
 
     for (std::size_t oi = 0; oi < ops.size(); ++oi) {
         machine::Coll op = ops[oi];
@@ -66,9 +74,7 @@ main(int argc, char **argv)
                     csv.push_back("");
                     continue;
                 }
-                auto meas = harness::measureStartup(cfg, p, op,
-                                                    machine::Algo::Default,
-                                                    mopt);
+                const auto &meas = sweep.getStartup(cfg, p, op);
                 row.push_back(usCell(meas.us()));
                 row.push_back(paperUsCell(cfg.name, op,
                                           harness::kStartupMessageBytes,

@@ -42,7 +42,13 @@ main(int argc, char **argv)
     const int p = opts.quick ? 8 : 32;
 
     auto machines = machine::paperMachines();
-    auto mopt = benchMeasureOptions();
+
+    SweepSession sweep(opts, benchMeasureOptions());
+    for (machine::Coll op : ops)
+        for (Bytes m : sweepLengths(opts.quick))
+            for (const auto &cfg : machines)
+                sweep.add(cfg, p, op, m);
+    sweep.run();
 
     for (std::size_t oi = 0; oi < ops.size(); ++oi) {
         machine::Coll op = ops[oi];
@@ -58,8 +64,7 @@ main(int argc, char **argv)
             std::vector<std::string> row{formatBytes(m)};
             std::vector<std::string> csv{std::to_string(m)};
             for (const auto &cfg : machines) {
-                auto meas = harness::measureCollective(
-                    cfg, p, op, m, machine::Algo::Default, mopt);
+                const auto &meas = sweep.get(cfg, p, op, m);
                 row.push_back(usCell(meas.us()));
                 row.push_back(paperUsCell(cfg.name, op, m, p));
                 csv.push_back(usCell(meas.us()));

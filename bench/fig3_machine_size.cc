@@ -50,7 +50,19 @@ main(int argc, char **argv)
     const Bytes long_m = opts.quick ? 4 * KiB : 64 * KiB;
 
     auto machines = machine::paperMachines();
-    auto mopt = benchMeasureOptions();
+
+    SweepSession sweep(opts, benchMeasureOptions());
+    for (const Panel &panel : panels) {
+        bool barrier = panel.op == machine::Coll::Barrier;
+        std::vector<Bytes> lengths =
+            barrier ? std::vector<Bytes>{0}
+                    : std::vector<Bytes>{short_m, long_m};
+        for (Bytes m : lengths)
+            for (const auto &cfg : machines)
+                for (int p : sweepSizes(cfg.name, opts.quick))
+                    sweep.add(cfg, p, panel.op, m);
+    }
+    sweep.run();
 
     for (const Panel &panel : panels) {
         bool barrier = panel.op == machine::Coll::Barrier;
@@ -80,9 +92,7 @@ main(int argc, char **argv)
                         csv.push_back("");
                         continue;
                     }
-                    auto meas = harness::measureCollective(
-                        cfg, p, panel.op, m, machine::Algo::Default,
-                        mopt);
+                    const auto &meas = sweep.get(cfg, p, panel.op, m);
                     row.push_back(usCell(meas.us()));
                     row.push_back(paperUsCell(cfg.name, panel.op, m, p));
                     csv.push_back(usCell(meas.us()));

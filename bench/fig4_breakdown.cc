@@ -40,7 +40,15 @@ main(int argc, char **argv)
     const Bytes m = 1 * KiB;
 
     auto machines = machine::paperMachines();
-    auto mopt = benchMeasureOptions();
+
+    SweepSession sweep(opts, benchMeasureOptions());
+    for (machine::Coll op : ops) {
+        for (const auto &cfg : machines) {
+            sweep.addStartup(cfg, p, op);
+            sweep.add(cfg, p, op, m);
+        }
+    }
+    sweep.run();
 
     std::vector<std::vector<std::string>> csv_rows;
     for (std::size_t oi = 0; oi < ops.size(); ++oi) {
@@ -53,11 +61,8 @@ main(int argc, char **argv)
         t.header({"machine", "T0 (startup)", "D (transmission)",
                   "T total", "startup %", "paper T"});
         for (const auto &cfg : machines) {
-            auto t0 = harness::measureStartup(cfg, p, op,
-                                              machine::Algo::Default,
-                                              mopt);
-            auto tt = harness::measureCollective(
-                cfg, p, op, m, machine::Algo::Default, mopt);
+            const auto &t0 = sweep.getStartup(cfg, p, op);
+            const auto &tt = sweep.get(cfg, p, op, m);
             double t0_us = t0.us();
             double total_us = tt.us();
             double d_us = total_us - t0_us;

@@ -23,18 +23,26 @@ using namespace ccsim::bench;
 
 namespace {
 
+const Bytes kSlopeLo = 16 * KiB;
+const Bytes kSlopeHi = 64 * KiB;
+
+/** Declare the two points the finite-difference slope needs. */
+void
+addSlopePoints(SweepSession &sweep, const machine::MachineConfig &cfg,
+               int p, machine::Coll op)
+{
+    sweep.add(cfg, p, op, kSlopeLo);
+    sweep.add(cfg, p, op, kSlopeHi);
+}
+
 /** Simulated per-byte slope (us/B) between 16 KB and 64 KB. */
 double
-simPerByteUs(const machine::MachineConfig &cfg, int p, machine::Coll op)
+simPerByteUs(const SweepSession &sweep,
+             const machine::MachineConfig &cfg, int p, machine::Coll op)
 {
-    auto mopt = benchMeasureOptions();
-    Bytes m_lo = 16 * KiB;
-    Bytes m_hi = 64 * KiB;
-    auto lo = harness::measureCollective(cfg, p, op, m_lo,
-                                         machine::Algo::Default, mopt);
-    auto hi = harness::measureCollective(cfg, p, op, m_hi,
-                                         machine::Algo::Default, mopt);
-    return (hi.us() - lo.us()) / static_cast<double>(m_hi - m_lo);
+    const auto &lo = sweep.get(cfg, p, op, kSlopeLo);
+    const auto &hi = sweep.get(cfg, p, op, kSlopeHi);
+    return (hi.us() - lo.us()) / static_cast<double>(kSlopeHi - kSlopeLo);
 }
 
 } // namespace
@@ -58,6 +66,16 @@ main(int argc, char **argv)
                                         : std::vector<int>{16, 32, 64};
 
     auto machines = machine::paperMachines();
+
+    SweepSession sweep(opts, benchMeasureOptions());
+    for (machine::Coll op : ops)
+        for (int p : sizes)
+            for (const auto &cfg : machines)
+                addSlopePoints(sweep, cfg, p, op);
+    for (const auto &cfg : machines) // abstract spot check
+        addSlopePoints(sweep, cfg, 64, machine::Coll::Alltoall);
+    sweep.run();
+
     std::vector<std::vector<std::string>> csv_rows;
 
     for (std::size_t oi = 0; oi < ops.size(); ++oi) {
@@ -71,7 +89,7 @@ main(int argc, char **argv)
         for (int p : sizes) {
             std::vector<std::string> row{std::to_string(p)};
             for (const auto &cfg : machines) {
-                double slope = simPerByteUs(cfg, p, op);
+                double slope = simPerByteUs(sweep, cfg, p, op);
                 double r_sim =
                     slope > 0
                         ? model::aggregationFactor(op, p) / slope
@@ -100,7 +118,8 @@ main(int argc, char **argv)
     TableWriter t;
     t.header({"machine", "sim MB/s", "paper MB/s"});
     for (const auto &cfg : machines) {
-        double slope = simPerByteUs(cfg, 64, machine::Coll::Alltoall);
+        double slope =
+            simPerByteUs(sweep, cfg, 64, machine::Coll::Alltoall);
         double r_sim =
             slope > 0 ? model::aggregationFactor(machine::Coll::Alltoall,
                                                  64) /

@@ -1,14 +1,24 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulation engine itself:
- * event-queue throughput, coroutine spawn/switch cost, network
- * routing cost, and end-to-end cost of simulating one collective.
- * These bound how large a sweep the figure benches can afford.
+ * event-queue throughput, callback allocation (inline vs heap
+ * SmallFn storage), coroutine spawn/switch cost, network routing
+ * cost (route-cache hit vs miss), and end-to-end cost of simulating
+ * one collective.  These bound how large a sweep the figure benches
+ * can afford.
+ *
+ * After the registered benchmarks run, main() executes one
+ * representative parallel sweep and writes its throughput to
+ * BENCH_sweep.json (points, wall seconds, points/sec, jobs) so CI
+ * can track sweep-engine performance across commits.
  */
+
+#include <cstdio>
 
 #include <benchmark/benchmark.h>
 
 #include "harness/measure.hh"
+#include "harness/sweep.hh"
 #include "machine/machine.hh"
 #include "mpi/comm.hh"
 #include "net/mesh2d.hh"
@@ -38,6 +48,50 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+/** Callback allocation cost when the capture fits SmallFn's inline
+ *  buffer — the common case for simulator-internal events. */
+void
+BM_EventScheduleSmallCapture(benchmark::State &state)
+{
+    const int n = 4096;
+    for (auto _ : state) {
+        sim::EventQueue q;
+        long sink = 0;
+        for (int i = 0; i < n; ++i)
+            q.schedule(i, [&sink, i] { sink += i; });
+        while (!q.empty())
+            q.runNext();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventScheduleSmallCapture);
+
+/** Same loop with a capture too large for the inline buffer: every
+ *  schedule() pays a heap allocation (the SmallFn fallback path). */
+void
+BM_EventScheduleLargeCapture(benchmark::State &state)
+{
+    const int n = 4096;
+    struct Pad
+    {
+        char bytes[2 * sim::SmallFn::kInlineBytes] = {};
+    };
+    for (auto _ : state) {
+        sim::EventQueue q;
+        long sink = 0;
+        for (int i = 0; i < n; ++i)
+            q.schedule(i, [&sink, i, pad = Pad{}] {
+                sink += i + pad.bytes[0];
+            });
+        while (!q.empty())
+            q.runNext();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventScheduleLargeCapture);
 
 void
 BM_CoroutineSpawnResume(benchmark::State &state)
@@ -117,6 +171,48 @@ BM_NetworkTransfer(benchmark::State &state)
 }
 BENCHMARK(BM_NetworkTransfer);
 
+/** Steady-state transfers: every route is a cache hit. */
+void
+BM_NetworkTransferRouteCacheHit(benchmark::State &state)
+{
+    net::NetworkParams np;
+    np.link_bandwidth_mbs = 300;
+    np.hop_latency = 20 * NS;
+    net::Network net(std::make_unique<net::Torus3D>(4, 4, 4), np);
+    for (int s = 0; s < 64; ++s) // warm the cache
+        net.transfer(s, (s + 17) % 64, 4096, 0);
+    Time now = 0;
+    for (auto _ : state) {
+        for (int s = 0; s < 64; ++s)
+            now = std::max(now,
+                           net.transfer(s, (s + 17) % 64, 4096, now));
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkTransferRouteCacheHit);
+
+/** Cold-cache transfers: reset() clears the cache each round, so
+ *  every route recomputes via Topology::route (all misses). */
+void
+BM_NetworkTransferRouteCacheMiss(benchmark::State &state)
+{
+    net::NetworkParams np;
+    np.link_bandwidth_mbs = 300;
+    np.hop_latency = 20 * NS;
+    net::Network net(std::make_unique<net::Torus3D>(4, 4, 4), np);
+    for (auto _ : state) {
+        net.reset();
+        Time now = 0;
+        for (int s = 0; s < 64; ++s)
+            now = std::max(now,
+                           net.transfer(s, (s + 17) % 64, 4096, now));
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkTransferRouteCacheMiss);
+
 void
 BM_SimulateCollective(benchmark::State &state)
 {
@@ -131,6 +227,55 @@ BM_SimulateCollective(benchmark::State &state)
 }
 BENCHMARK(BM_SimulateCollective)->Arg(8)->Arg(32);
 
+/** One representative sweep, timed by SweepRunner itself; the
+ *  numbers land in BENCH_sweep.json for CI tracking. */
+void
+emitSweepThroughput()
+{
+    harness::SweepSpec spec;
+    spec.machines = {machine::t3dConfig(), machine::sp2Config()};
+    spec.ops = {machine::Coll::Bcast, machine::Coll::Barrier};
+    spec.sizes = {4, 8, 16};
+    spec.lengths = {256, 4096};
+    spec.options = harness::MeasureOptions{1, 1, 0};
+
+    harness::SweepRunner runner;
+    runner.run(spec);
+    const auto &st = runner.lastStats();
+
+    std::FILE *f = std::fopen("BENCH_sweep.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_sweep.json\n");
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"sweep_engine\",\n"
+                 "  \"points\": %zu,\n"
+                 "  \"wall_seconds\": %.6f,\n"
+                 "  \"points_per_sec\": %.1f,\n"
+                 "  \"jobs\": %d\n"
+                 "}\n",
+                 st.points, st.wall_seconds, st.pointsPerSec(),
+                 runner.jobs());
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "BENCH_sweep.json: %zu points, %.3f s, %.1f "
+                 "points/s, %d jobs\n",
+                 st.points, st.wall_seconds, st.pointsPerSec(),
+                 runner.jobs());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitSweepThroughput();
+    return 0;
+}

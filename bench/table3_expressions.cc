@@ -34,10 +34,26 @@ main(int argc, char **argv)
                 "the paper's fits.");
 
     auto machines = machine::paperMachines();
-    auto mopt = benchMeasureOptions();
 
     std::vector<Bytes> lengths = sweepLengths(opts.quick);
     std::vector<std::vector<std::string>> csv_rows;
+
+    SweepSession sweep(opts, benchMeasureOptions());
+    for (machine::Coll op : machine::kPaperColls) {
+        for (const auto &cfg : machines) {
+            for (int p : sweepSizes(cfg.name, opts.quick)) {
+                for (Bytes m : lengths) {
+                    sweep.add(cfg, p, op,
+                              op == machine::Coll::Barrier ? 0 : m);
+                    if (op == machine::Coll::Barrier)
+                        break;
+                }
+            }
+        }
+    }
+    // Section 8 worked example rides along in the same batch.
+    sweep.add(machine::t3dConfig(), 64, machine::Coll::Alltoall, 512);
+    sweep.run();
 
     for (machine::Coll op : machine::kPaperColls) {
         std::printf("--- %s ---\n", machine::collName(op).c_str());
@@ -49,8 +65,7 @@ main(int argc, char **argv)
             for (int p : sweepSizes(cfg.name, opts.quick)) {
                 for (Bytes m : lengths) {
                     Bytes mm = op == machine::Coll::Barrier ? 0 : m;
-                    auto meas = harness::measureCollective(
-                        cfg, p, op, mm, machine::Algo::Default, mopt);
+                    const auto &meas = sweep.get(cfg, p, op, mm);
                     samples.push_back({mm, p, meas.us()});
                     if (op == machine::Coll::Barrier)
                         break; // barrier has no m sweep
@@ -76,10 +91,8 @@ main(int argc, char **argv)
     {
         std::printf("--- Section 8 worked example: T3D total exchange, "
                     "m = 512 B, p = 64 ---\n");
-        auto mopt2 = benchMeasureOptions();
-        auto meas = harness::measureCollective(
-            machine::t3dConfig(), 64, machine::Coll::Alltoall, 512,
-            machine::Algo::Default, mopt2);
+        const auto &meas = sweep.get(machine::t3dConfig(), 64,
+                                     machine::Coll::Alltoall, 512);
         double paper_us =
             model::paper::expression("T3D", machine::Coll::Alltoall)
                 .evalUs(512, 64);

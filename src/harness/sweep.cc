@@ -1,0 +1,132 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace ccsim::harness {
+
+std::vector<SweepPoint>
+SweepSpec::expand() const
+{
+    if (machines.empty())
+        fatal("SweepSpec: no machines");
+    if (ops.empty())
+        fatal("SweepSpec: no operations");
+    if (algos.empty())
+        fatal("SweepSpec: no algorithms");
+
+    std::vector<SweepPoint> points;
+    std::vector<Bytes> default_lengths;
+    if (lengths.empty())
+        default_lengths = paperMessageLengths();
+
+    for (const auto &cfg : machines) {
+        std::vector<int> machine_sizes =
+            sizes.empty() ? paperMachineSizes(cfg.name) : sizes;
+        for (machine::Coll op : ops) {
+            const std::vector<Bytes> &ms =
+                lengths.empty() ? default_lengths : lengths;
+            for (int p : machine_sizes) {
+                for (Bytes m : ms) {
+                    SweepPoint pt;
+                    pt.cfg = cfg;
+                    pt.p = p;
+                    pt.op = op;
+                    pt.m = op == machine::Coll::Barrier ? 0 : m;
+                    pt.options = options;
+                    for (machine::Algo algo : algos) {
+                        pt.algo = algo;
+                        points.push_back(pt);
+                    }
+                    if (op == machine::Coll::Barrier)
+                        break; // barrier has no length axis
+                }
+            }
+        }
+    }
+    return points;
+}
+
+int
+SweepRunner::defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(int jobs)
+    : jobs_(jobs > 0 ? jobs : defaultJobs())
+{
+}
+
+std::vector<Measurement>
+SweepRunner::run(const std::vector<SweepPoint> &points)
+{
+    std::vector<Measurement> results(points.size());
+    auto wall_start = std::chrono::steady_clock::now();
+
+    auto simulate = [&](std::size_t i) {
+        const SweepPoint &pt = points[i];
+        results[i] = measureCollective(pt.cfg, pt.p, pt.op, pt.m,
+                                       pt.algo, pt.options);
+    };
+
+    int workers = jobs_;
+    if (static_cast<std::size_t>(workers) > points.size())
+        workers = static_cast<int>(points.size());
+
+    if (workers <= 1) {
+        // Serial reference path: no pool, no atomics.
+        for (std::size_t i = 0; i < points.size(); ++i)
+            simulate(i);
+    } else {
+        // Dynamic work-stealing over a shared index: points vary in
+        // cost by orders of magnitude (p = 2 vs p = 128), so static
+        // partitioning would leave most workers idle at the tail.
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> stop{false};
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
+
+        auto worker = [&] {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= points.size() ||
+                    stop.load(std::memory_order_relaxed))
+                    return;
+                try {
+                    simulate(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    stop.store(true, std::memory_order_relaxed);
+                    return;
+                }
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+        if (first_error)
+            std::rethrow_exception(first_error);
+    }
+
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+    stats_.points = points.size();
+    stats_.wall_seconds = wall.count();
+    return results;
+}
+
+} // namespace ccsim::harness

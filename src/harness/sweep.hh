@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The parallel sweep engine.
+ *
+ * Regenerating the paper's result set (Figs. 1-5, Table 3) means
+ * hundreds of independent `measureCollective` simulations — the
+ * (machine, operation, m, p, algorithm) cross product.  Each point
+ * instantiates its own Machine/Simulator, which are self-contained
+ * and single-threaded, so points are embarrassingly parallel.
+ *
+ * SweepRunner expands a declarative SweepSpec (or takes an explicit
+ * point list), executes the points on a pool of worker threads, and
+ * collects results *in spec order*: results[i] always corresponds to
+ * points[i], whatever thread finished it and in whatever real-time
+ * order.  Combined with the simulator's determinism (each point's
+ * Machine is private; the skew RNG is seeded per point from its
+ * MeasureOptions), output is bit-identical to a serial run at any
+ * --jobs level.  That determinism contract is what lets the figure
+ * benches scale with cores while still diffing their CSV output
+ * byte-for-byte against serial references.
+ */
+
+#ifndef CCSIM_HARNESS_SWEEP_HH
+#define CCSIM_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/measure.hh"
+#include "machine/machine_config.hh"
+
+namespace ccsim::harness {
+
+/** One fully-specified simulation point of a sweep. */
+struct SweepPoint
+{
+    machine::MachineConfig cfg;
+    int p = 2;
+    machine::Coll op = machine::Coll::Barrier;
+    Bytes m = 0;
+    machine::Algo algo = machine::Algo::Default;
+    MeasureOptions options;
+};
+
+/**
+ * A declarative sweep: the cross product machines x ops x sizes x
+ * lengths x algos.  expand() flattens it in that nesting order
+ * (machine outermost, algorithm innermost), which fixes the result
+ * order for any SweepRunner::run.
+ */
+struct SweepSpec
+{
+    std::vector<machine::MachineConfig> machines;
+    std::vector<machine::Coll> ops;
+    std::vector<int> sizes;      //!< empty: paperMachineSizes(machine)
+    std::vector<Bytes> lengths;  //!< empty: paperMessageLengths()
+    std::vector<machine::Algo> algos{machine::Algo::Default};
+    MeasureOptions options;
+
+    /**
+     * Flatten to concrete points.  Machine sizes beyond a machine's
+     * paper range are kept (the caller asked for them); Barrier
+     * collapses the length axis to a single m = 0 point, like every
+     * bench does by hand today.
+     */
+    std::vector<SweepPoint> expand() const;
+};
+
+/** Executes sweep points on a worker pool, results in spec order. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs  worker threads; 0 (default) uses the hardware
+     *              concurrency.  1 runs inline on the calling thread
+     *              with no pool at all (the bit-identical serial
+     *              reference path).
+     */
+    explicit SweepRunner(int jobs = 0);
+
+    /** The resolved worker count (never 0). */
+    int jobs() const { return jobs_; }
+
+    /** Throughput record of the most recent run(). */
+    struct Stats
+    {
+        std::size_t points = 0;
+        double wall_seconds = 0.0;
+
+        double
+        pointsPerSec() const
+        {
+            return wall_seconds > 0
+                       ? static_cast<double>(points) / wall_seconds
+                       : 0.0;
+        }
+    };
+
+    /**
+     * Simulate every point; results[i] is points[i]'s measurement
+     * regardless of jobs().  Worker threads never share simulation
+     * state — each point builds its own Machine.  The first exception
+     * thrown by any point (with throwOnError(true) active) is
+     * rethrown on the calling thread after the pool drains.
+     */
+    std::vector<Measurement> run(const std::vector<SweepPoint> &points);
+
+    /** Expand @p spec and run it. */
+    std::vector<Measurement>
+    run(const SweepSpec &spec)
+    {
+        return run(spec.expand());
+    }
+
+    const Stats &lastStats() const { return stats_; }
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static int defaultJobs();
+
+  private:
+    int jobs_;
+    Stats stats_;
+};
+
+} // namespace ccsim::harness
+
+#endif // CCSIM_HARNESS_SWEEP_HH

@@ -17,6 +17,33 @@ Network::Network(std::unique_ptr<Topology> topo, const NetworkParams &params)
     if (params_.hop_latency < 0 || params_.packet_overhead < 0)
         fatal("Network: negative hop latency or packet overhead");
     link_free_.assign(topo_->numLinks(), 0);
+    route_cache_.resize(static_cast<std::size_t>(topo_->numNodes()) *
+                        static_cast<std::size_t>(topo_->numNodes()));
+}
+
+const std::vector<LinkId> &
+Network::cachedRoute(int src, int dst)
+{
+    if (src == dst)
+        panic("Network::cachedRoute: no route from node %d to itself",
+              src);
+    std::size_t slot = static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(topo_->numNodes()) +
+                       static_cast<std::size_t>(dst);
+    if (slot >= route_cache_.size())
+        panic("Network::cachedRoute: node out of range (%d -> %d)", src,
+              dst);
+    std::vector<LinkId> &path = route_cache_[slot];
+    if (path.empty()) {
+        ++route_misses_;
+        topo_->route(src, dst, path);
+        if (path.empty())
+            panic("Network::cachedRoute: empty route from %d to %d", src,
+                  dst);
+    } else {
+        ++route_hits_;
+    }
+    return path;
 }
 
 Time
@@ -29,28 +56,25 @@ Network::transfer(int src, int dst, Bytes bytes, Time now)
         panic("Network::transfer: negative size %lld",
               static_cast<long long>(bytes));
 
-    scratch_path_.clear();
-    topo_->route(src, dst, scratch_path_);
-    if (scratch_path_.empty())
-        panic("Network::transfer: empty route from %d to %d", src, dst);
+    const std::vector<LinkId> &path = cachedRoute(src, dst);
 
     Bytes wire = bytes + params_.packet_overhead;
     Time ser = transferTime(wire, params_.link_bandwidth_mbs);
 
     Time start = now;
     if (params_.contention) {
-        for (LinkId l : scratch_path_)
+        for (LinkId l : path)
             start = std::max(start, link_free_[static_cast<size_t>(l)]);
-        for (LinkId l : scratch_path_)
+        for (LinkId l : path)
             link_free_[static_cast<size_t>(l)] = start + ser;
     }
 
     ++messages_;
     total_bytes_ += bytes;
-    total_link_busy_ += ser * static_cast<Time>(scratch_path_.size());
+    total_link_busy_ += ser * static_cast<Time>(path.size());
 
     Time hops_delay =
-        params_.hop_latency * static_cast<Time>(scratch_path_.size());
+        params_.hop_latency * static_cast<Time>(path.size());
     return start + hops_delay + ser;
 }
 
@@ -83,6 +107,10 @@ void
 Network::reset()
 {
     std::fill(link_free_.begin(), link_free_.end(), 0);
+    for (auto &path : route_cache_)
+        path.clear();
+    route_hits_ = 0;
+    route_misses_ = 0;
     messages_ = 0;
     total_bytes_ = 0;
     total_link_busy_ = 0;

@@ -17,6 +17,14 @@
  * serialisation time (b + packet overhead at the link bandwidth),
  * and is fully received hops * hop_latency + serialisation after it
  * starts.  Contention can be disabled for ablation studies.
+ *
+ * Routing is deterministic, so the link path for a (src, dst) pair
+ * never changes over a network's lifetime; transfer() therefore
+ * memoises routes in a per-pair cache filled lazily from
+ * Topology::route.  A k-iteration collective measurement reuses the
+ * same pairs k times, so all but the first enumeration of each pair
+ * is a cache hit.  reset() drops the cache along with the occupancy
+ * state (fresh-measurement hygiene; cached paths would remain valid).
  */
 
 #ifndef CCSIM_NET_NETWORK_HH
@@ -78,8 +86,22 @@ class Network
     /** Sum over links of busy time (for utilization reports). */
     Time totalLinkBusy() const { return total_link_busy_; }
 
-    /** Forget all link occupancy and stats (fresh measurement run). */
+    /** Forget all link occupancy, stats, and cached routes (fresh
+     *  measurement run). */
     void reset();
+
+    /**
+     * The memoised route from @p src to @p dst (filled from
+     * Topology::route on first use).  The reference stays valid until
+     * reset().  src must differ from dst.
+     */
+    const std::vector<LinkId> &cachedRoute(int src, int dst);
+
+    /** Transfers/lookups served from the route cache. */
+    std::uint64_t routeCacheHits() const { return route_hits_; }
+
+    /** Route enumerations that had to consult the topology. */
+    std::uint64_t routeCacheMisses() const { return route_misses_; }
 
     /** Utilization summary over a time horizon. */
     struct Utilization
@@ -103,7 +125,13 @@ class Network
     std::unique_ptr<Topology> topo_;
     NetworkParams params_;
     std::vector<Time> link_free_;
-    std::vector<LinkId> scratch_path_;
+
+    /** Per-(src,dst) memoised routes, indexed src * numNodes + dst.
+     *  An unfilled slot is empty; every legal route has >= 1 link. */
+    std::vector<std::vector<LinkId>> route_cache_;
+    std::uint64_t route_hits_ = 0;
+    std::uint64_t route_misses_ = 0;
+
     std::uint64_t messages_ = 0;
     Bytes total_bytes_ = 0;
     Time total_link_busy_ = 0;

@@ -15,7 +15,8 @@ EventQueue::schedule(Time when, Callback cb)
               static_cast<long long>(last_fired_));
     if (!cb)
         panic("EventQueue::schedule: empty callback");
-    heap_.push(Entry{when, next_seq_++, std::move(cb)});
+    heap_.push_back(Entry{when, next_seq_++, std::move(cb)});
+    siftUp(heap_.size() - 1);
 }
 
 Time
@@ -23,7 +24,7 @@ EventQueue::nextTime() const
 {
     if (heap_.empty())
         panic("EventQueue::nextTime: queue is empty");
-    return heap_.top().when;
+    return heap_.front().when;
 }
 
 Time
@@ -31,15 +32,52 @@ EventQueue::runNext()
 {
     if (heap_.empty())
         panic("EventQueue::runNext: queue is empty");
-    // priority_queue::top() is const; the callback must be moved out
-    // before pop, so copy the entry (callbacks are cheap to move but
-    // top() only gives const access — use const_cast-free approach).
-    Entry e = heap_.top();
-    heap_.pop();
+    // Move the earliest entry out and restore the heap *before*
+    // invoking the callback — callbacks routinely schedule new
+    // events.
+    Entry e = std::move(heap_.front());
+    if (heap_.size() > 1) {
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        siftDown(0);
+    } else {
+        heap_.pop_back();
+    }
     last_fired_ = e.when;
     ++fired_;
     e.cb();
     return e.when;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!earlier(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t smallest = i;
+        std::size_t left = 2 * i + 1;
+        std::size_t right = 2 * i + 2;
+        if (left < n && earlier(heap_[left], heap_[smallest]))
+            smallest = left;
+        if (right < n && earlier(heap_[right], heap_[smallest]))
+            smallest = right;
+        if (smallest == i)
+            return;
+        std::swap(heap_[i], heap_[smallest]);
+        i = smallest;
+    }
 }
 
 } // namespace ccsim::sim

@@ -7,16 +7,22 @@
  * scheduled for the same simulated instant fire in the order they
  * were scheduled, which keeps runs bit-reproducible regardless of
  * heap internals.
+ *
+ * Callbacks are sim::SmallFn rather than std::function: the vast
+ * majority capture a coroutine handle or a couple of pointers and
+ * are stored inline in the heap entry, so scheduling an event costs
+ * no allocation.  The heap is hand-rolled (not std::priority_queue)
+ * because pop must *move* the callback out, and priority_queue only
+ * exposes a const top().
  */
 
 #ifndef CCSIM_SIM_EVENT_QUEUE_HH
 #define CCSIM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/small_fn.hh"
 #include "util/units.hh"
 
 namespace ccsim::sim {
@@ -25,7 +31,7 @@ namespace ccsim::sim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFn;
 
     /**
      * Enqueue a callback to fire at absolute time @p when.  Scheduling
@@ -63,18 +69,19 @@ class EventQueue
         Callback cb;
     };
 
-    struct Later
+    /** True when @p a fires strictly before @p b. */
+    static bool
+    earlier(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<Entry> heap_; //!< min-heap ordered by earlier()
     std::uint64_t next_seq_ = 0;
     std::uint64_t fired_ = 0;
     Time last_fired_ = 0;

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SmallFn: a move-only `void()` callable with small-buffer
+ * optimisation, used for event-queue callbacks.
+ *
+ * The simulator schedules millions of tiny callbacks per run — most
+ * capture a coroutine handle (8 bytes) or a couple of pointers.
+ * std::function heap-allocates many of them and, worse,
+ * std::priority_queue forces a *copy* on pop.  SmallFn stores any
+ * nothrow-movable callable of up to kInlineBytes in place (no
+ * allocation, trivially relocated when the event heap grows) and
+ * falls back to the heap only for oversized or throwing-move
+ * callables.  Unlike std::function it is move-only, so move-capturing
+ * lambdas (e.g.\ a message moved into its delivery event) need no
+ * copyable workaround.
+ */
+
+#ifndef CCSIM_SIM_SMALL_FN_HH
+#define CCSIM_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ccsim::sim {
+
+/** Move-only void() callable with small-buffer optimisation. */
+class SmallFn
+{
+  public:
+    /** Callables at most this large (and nothrow-movable) are stored
+     *  inline, with no heap allocation. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    SmallFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            auto *heap = new Fn(std::forward<F>(f));
+            ::new (static_cast<void *>(storage_)) Fn *(heap);
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Invoke the held callable (must be non-empty). */
+    void operator()() { ops_->invoke(storage_); }
+
+    /** True when the held callable lives in the inline buffer (for
+     *  tests and allocation accounting). */
+    bool inlined() const noexcept { return ops_ && ops_->inlined; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct *dst from *src, then destroy *src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool inlined;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *s) { (*std::launder(reinterpret_cast<Fn *>(s)))(); },
+        [](void *dst, void *src) noexcept {
+            Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void *s) noexcept {
+            std::launder(reinterpret_cast<Fn *>(s))->~Fn();
+        },
+        true,
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *s) { (**std::launder(reinterpret_cast<Fn **>(s)))(); },
+        [](void *dst, void *src) noexcept {
+            ::new (dst) Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
+        },
+        [](void *s) noexcept {
+            delete *std::launder(reinterpret_cast<Fn **>(s));
+        },
+        false,
+    };
+
+    void
+    moveFrom(SmallFn &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_)
+            ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace ccsim::sim
+
+#endif // CCSIM_SIM_SMALL_FN_HH

@@ -1,5 +1,7 @@
 /** @file Unit tests for the discrete-event queue. */
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -117,6 +119,97 @@ TEST(EventQueue, ManyEventsAllFire)
         q.runNext();
     EXPECT_EQ(count, 10000);
     EXPECT_EQ(q.fired(), 10000u);
+}
+
+TEST(EventQueue, MoveOnlyCallbacksAreAccepted)
+{
+    // std::function required copyable callables; SmallFn does not.
+    EventQueue q;
+    auto payload = std::make_unique<int>(42);
+    int seen = 0;
+    q.schedule(1, [p = std::move(payload), &seen] { seen = *p; });
+    q.runNext();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, CallbacksFiringDuringRunNextKeepOrder)
+{
+    // A callback scheduling new events mid-pop must not disturb the
+    // stable time/sequence order.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(10, [&] { order.push_back(3); });
+        q.schedule(20, [&] { order.push_back(4); });
+    });
+    q.schedule(10, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SmallFn, SmallCapturesAreStoredInline)
+{
+    int x = 0;
+    SmallFn f([&x] { ++x; });
+    EXPECT_TRUE(f.inlined());
+    f();
+    EXPECT_EQ(x, 1);
+}
+
+TEST(SmallFn, OversizedCapturesFallBackToHeapAndStillRun)
+{
+    struct Big
+    {
+        char bytes[2 * SmallFn::kInlineBytes] = {};
+    };
+    int calls = 0;
+    SmallFn f([big = Big{}, &calls] {
+        (void)big;
+        ++calls;
+    });
+    EXPECT_FALSE(f.inlined());
+    f();
+    f();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFn, MoveTransfersTheCallable)
+{
+    int x = 0;
+    SmallFn a([&x] { ++x; });
+    SmallFn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(x, 1);
+
+    SmallFn c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(x, 2);
+}
+
+TEST(SmallFn, DestroysHeldCallableExactlyOnce)
+{
+    struct Probe
+    {
+        int *live;
+        explicit Probe(int *l) : live(l) { ++*live; }
+        Probe(Probe &&o) noexcept : live(o.live) { ++*live; }
+        Probe(const Probe &o) : live(o.live) { ++*live; }
+        ~Probe() { --*live; }
+        void operator()() const {}
+    };
+    int live = 0;
+    {
+        SmallFn f{Probe(&live)};
+        EXPECT_GE(live, 1);
+        SmallFn g(std::move(f));
+        EXPECT_GE(live, 1);
+    }
+    EXPECT_EQ(live, 0);
 }
 
 } // namespace

@@ -190,5 +190,81 @@ TEST(Network, UtilizationClampsToHorizon)
     EXPECT_DOUBLE_EQ(u.max, 1.0); // clamped, not > 1
 }
 
+TEST(Network, RouteCacheMatchesFreshTopologyRoute)
+{
+    Network net(std::make_unique<Torus3D>(2, 2, 2), simpleParams());
+    Torus3D fresh(2, 2, 2);
+    for (int s = 0; s < 8; ++s) {
+        for (int d = 0; d < 8; ++d) {
+            if (s == d)
+                continue;
+            std::vector<LinkId> expect;
+            fresh.route(s, d, expect);
+            EXPECT_EQ(net.cachedRoute(s, d), expect)
+                << s << " -> " << d;
+            // Second lookup: a hit, same path.
+            EXPECT_EQ(net.cachedRoute(s, d), expect);
+        }
+    }
+    EXPECT_EQ(net.routeCacheMisses(), 8u * 7u);
+    EXPECT_EQ(net.routeCacheHits(), 8u * 7u);
+}
+
+TEST(Network, TransferPopulatesAndHitsRouteCache)
+{
+    Network net(std::make_unique<Mesh2D>(2, 2), simpleParams());
+    EXPECT_EQ(net.routeCacheMisses(), 0u);
+    net.transfer(0, 3, 100, 0);
+    EXPECT_EQ(net.routeCacheMisses(), 1u);
+    EXPECT_EQ(net.routeCacheHits(), 0u);
+    net.transfer(0, 3, 100, 0);
+    net.transfer(0, 3, 100, 0);
+    EXPECT_EQ(net.routeCacheMisses(), 1u);
+    EXPECT_EQ(net.routeCacheHits(), 2u);
+    // A different pair is its own entry.
+    net.transfer(3, 0, 100, 0);
+    EXPECT_EQ(net.routeCacheMisses(), 2u);
+}
+
+TEST(Network, CachedTransferTimesEqualUncachedTimes)
+{
+    // The cache must not change any physics: compare against a second
+    // network whose cache is reset between transfers (forcing misses).
+    Network cached(std::make_unique<Torus3D>(2, 2, 2), simpleParams());
+    Network uncached(std::make_unique<Torus3D>(2, 2, 2),
+                     simpleParams());
+    for (int rep = 0; rep < 3; ++rep) {
+        for (int s = 0; s < 8; ++s) {
+            int d = (s + 3) % 8;
+            Time a = cached.transfer(s, d, 4096, 0);
+            Time b = uncached.transfer(s, d, 4096, 0);
+            EXPECT_EQ(a, b);
+        }
+    }
+}
+
+TEST(Network, ResetKeepsRouteCacheCoherent)
+{
+    Network net(std::make_unique<Mesh2D>(2, 4), simpleParams());
+    std::vector<LinkId> before = net.cachedRoute(0, 7);
+    net.reset();
+    EXPECT_EQ(net.routeCacheHits(), 0u);
+    EXPECT_EQ(net.routeCacheMisses(), 0u);
+    // Refilled lazily, identical to a fresh Topology::route.
+    std::vector<LinkId> expect;
+    Mesh2D(2, 4).route(0, 7, expect);
+    EXPECT_EQ(net.cachedRoute(0, 7), before);
+    EXPECT_EQ(net.cachedRoute(0, 7), expect);
+    EXPECT_EQ(net.routeCacheMisses(), 1u);
+}
+
+TEST(Network, CachedRouteSelfSendPanics)
+{
+    throwOnError(true);
+    Network net(std::make_unique<Mesh2D>(1, 2), simpleParams());
+    EXPECT_THROW(net.cachedRoute(1, 1), PanicError);
+    throwOnError(false);
+}
+
 } // namespace
 } // namespace ccsim::net

@@ -14,8 +14,10 @@
  *         prediction when one exists.  --paper uses the full
  *         22-run procedure with clock-skew injection.
  *
- *     ccsim sweep --machine SP2 --op bcast [--config FILE]
+ *     ccsim sweep --machine SP2 --op bcast [--config FILE] [--jobs N]
  *         Full (m, p) sweep with a fitted closed-form expression.
+ *         Points run on a worker pool (--jobs, default: hardware
+ *         concurrency); output is identical at any job count.
  *
  *     ccsim pingpong --machine Paragon [--config FILE]
  *         Point-to-point latency/bandwidth curve + Hockney fit.
@@ -31,6 +33,7 @@
 #include <string>
 
 #include "harness/measure.hh"
+#include "harness/sweep.hh"
 #include "machine/config_io.hh"
 #include "model/fit.hh"
 #include "model/hockney.hh"
@@ -120,6 +123,15 @@ resolveAlgo(const Args &a)
     return machine::algoByName(name);
 }
 
+harness::SweepRunner
+resolveRunner(const Args &a)
+{
+    long long jobs = a.getInt("jobs", 0);
+    if (a.has("jobs") && jobs < 1)
+        fatal("--jobs wants a positive integer, got %lld", jobs);
+    return harness::SweepRunner(static_cast<int>(jobs));
+}
+
 /** Right-aligned numeric cell used by the sweep table. */
 std::string
 bench_cell(double us)
@@ -172,7 +184,15 @@ cmdMeasure(const Args &a)
                    ? harness::MeasureOptions::paperFaithful()
                    : harness::MeasureOptions{};
 
-    auto meas = harness::measureCollective(cfg, p, op, m, algo, opt);
+    // A one-point sweep: same engine as the figure benches.
+    harness::SweepPoint pt;
+    pt.cfg = cfg;
+    pt.p = p;
+    pt.op = op;
+    pt.m = m;
+    pt.algo = algo;
+    pt.options = opt;
+    auto meas = resolveRunner(a).run(std::vector{pt}).front();
     std::printf("%s %s, p = %d, m = %s, algorithm %s\n",
                 cfg.name.c_str(), machine::collName(op).c_str(), p,
                 formatBytes(m).c_str(),
@@ -204,26 +224,40 @@ cmdSweep(const Args &a)
     auto cfg = resolveMachine(a);
     auto op = resolveOp(a);
     auto algo = resolveAlgo(a);
-    harness::MeasureOptions opt;
-    opt.iterations = 3;
-    opt.repetitions = 1;
+
+    harness::SweepSpec spec;
+    spec.machines = {cfg};
+    spec.ops = {op};
+    spec.sizes = harness::paperMachineSizes(cfg.name);
+    spec.lengths = harness::paperMessageLengths();
+    spec.algos = {algo};
+    spec.options.iterations = 3;
+    spec.options.repetitions = 1;
+
+    harness::SweepRunner runner = resolveRunner(a);
+    auto results = runner.run(spec);
 
     std::printf("%s %s sweep [us]\n\n", cfg.name.c_str(),
                 machine::collName(op).c_str());
     TableWriter t;
     std::vector<std::string> hdr{"p \\ m"};
-    auto lengths = harness::paperMessageLengths();
-    for (Bytes m : lengths)
-        hdr.push_back(formatBytes(m));
+    if (op == machine::Coll::Barrier) {
+        hdr.push_back("T0"); // barrier has no length axis
+    } else {
+        for (Bytes m : spec.lengths)
+            hdr.push_back(formatBytes(m));
+    }
     t.header(hdr);
 
+    // Consume the results in spec order: p outer, m inner (barrier
+    // collapses the m axis, exactly as expand() does).
     std::vector<model::Sample> samples;
-    for (int p : harness::paperMachineSizes(cfg.name)) {
+    std::size_t cursor = 0;
+    for (int p : spec.sizes) {
         std::vector<std::string> row{std::to_string(p)};
-        for (Bytes m : lengths) {
+        for (Bytes m : spec.lengths) {
             Bytes mm = op == machine::Coll::Barrier ? 0 : m;
-            auto meas =
-                harness::measureCollective(cfg, p, op, mm, algo, opt);
+            const auto &meas = results.at(cursor++);
             row.push_back(bench_cell(meas.us()));
             samples.push_back({mm, p, meas.us()});
             if (op == machine::Coll::Barrier)
@@ -232,6 +266,10 @@ cmdSweep(const Args &a)
         t.row(row);
     }
     t.print(std::cout);
+    std::fprintf(stderr, "swept %zu points in %.2f s (%.1f points/s, "
+                 "%d jobs)\n", runner.lastStats().points,
+                 runner.lastStats().wall_seconds,
+                 runner.lastStats().pointsPerSec(), runner.jobs());
 
     model::TimingExpression fit =
         op == machine::Coll::Barrier
