@@ -76,6 +76,12 @@ SweepSession::add(const machine::MachineConfig &cfg, int p,
     pt.m = m;
     pt.algo = algo;
     pt.options = mopt_;
+    // Per-point fault universe, salted by declaration order — the
+    // same scheme SweepSpec::expand() uses, so results don't depend
+    // on the worker pool's schedule.
+    if (pt.cfg.fault.enabled())
+        pt.cfg.fault.seed =
+            fault::mixSeed(pt.cfg.fault.seed, points_.size());
     points_.push_back(std::move(pt));
 }
 

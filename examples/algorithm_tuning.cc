@@ -14,9 +14,7 @@
 #include <iostream>
 #include <map>
 
-#include "harness/measure.hh"
-#include "machine/machine_config.hh"
-#include "util/table.hh"
+#include "ccsim.hh"
 
 using namespace ccsim;
 

@@ -17,12 +17,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "harness/measure.hh"
-#include "machine/machine_config.hh"
-#include "model/fit.hh"
-#include "model/predictor.hh"
-#include "model/paper_data.hh"
-#include "util/table.hh"
+#include "ccsim.hh"
 
 using namespace ccsim;
 

@@ -17,9 +17,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "harness/measure.hh"
-#include "machine/machine_config.hh"
-#include "util/table.hh"
+#include "ccsim.hh"
 
 using namespace ccsim;
 

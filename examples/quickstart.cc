@@ -11,9 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "machine/machine.hh"
-#include "machine/machine_config.hh"
-#include "mpi/comm.hh"
+#include "ccsim.hh"
 
 using namespace ccsim;
 

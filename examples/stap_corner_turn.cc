@@ -27,10 +27,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "machine/machine.hh"
-#include "machine/machine_config.hh"
-#include "mpi/comm.hh"
-#include "util/table.hh"
+#include "ccsim.hh"
 
 using namespace ccsim;
 using namespace ccsim::time_literals;

@@ -21,9 +21,7 @@
 #include <iostream>
 #include <vector>
 
-#include "machine/machine.hh"
-#include "mpi/comm.hh"
-#include "util/table.hh"
+#include "ccsim.hh"
 
 using namespace ccsim;
 using namespace ccsim::time_literals;

@@ -14,9 +14,7 @@
 #include <fstream>
 #include <iostream>
 
-#include "machine/machine.hh"
-#include "mpi/comm.hh"
-#include "util/table.hh"
+#include "ccsim.hh"
 
 using namespace ccsim;
 using namespace ccsim::time_literals;

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ccsim — single public umbrella header.
+ *
+ * Applications (the examples, the CLI, external users) include only
+ * this header; everything re-exported here is the stable surface of
+ * the library:
+ *
+ *  - machine::MachineConfig + the paper presets, machine::Machine,
+ *    config file I/O;
+ *  - mpi::Comm — the collective API rank programs run against;
+ *  - harness::measureCollective / SweepSpec / SweepRunner — the
+ *    Section 2 measurement procedure and the parallel sweep engine;
+ *  - model — Table 3 expressions, paper-style fitting, Hockney fits,
+ *    and the closed-form predictor;
+ *  - fault — FaultSpec / FaultInjector / FaultReport for
+ *    deterministic fault-injection scenarios;
+ *  - sim::Trace plus the util table/units/logging helpers the above
+ *    hand out in their interfaces.
+ *
+ * Headers under src/ not reachable from here (sim/simulator.hh,
+ * net/*, msg/*, the collective algorithm internals) are library
+ * internals: they may change layout or signature without notice.
+ * See docs/EXTENDING.md for the internal-header map and how to grow
+ * the simulator itself.
+ */
+
+#ifndef CCSIM_CCSIM_HH
+#define CCSIM_CCSIM_HH
+
+#include "fault/fault_injector.hh"
+#include "fault/fault_report.hh"
+#include "fault/fault_spec.hh"
+#include "harness/measure.hh"
+#include "harness/sweep.hh"
+#include "machine/config_io.hh"
+#include "machine/machine.hh"
+#include "machine/machine_config.hh"
+#include "model/fit.hh"
+#include "model/hockney.hh"
+#include "model/paper_data.hh"
+#include "model/predictor.hh"
+#include "mpi/comm.hh"
+#include "sim/trace.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+#endif // CCSIM_CCSIM_HH

@@ -1,0 +1,162 @@
+#include "fault/fault_injector.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ccsim::fault {
+
+FaultInjector::FaultInjector(const FaultSpec &spec, int nodes, int links)
+    : spec_(spec),
+      msg_rng_(mixSeed(spec.seed, 0x6d657373616765ULL)) // "message"
+{
+    spec_.validate();
+    if (nodes < 1)
+        fatal("FaultInjector: need at least one node, got %d", nodes);
+    if (links < 0)
+        fatal("FaultInjector: negative link count %d", links);
+
+    // Static draws in a fixed order: nodes first, then links.  One
+    // draw per entity per fault family, unconditionally, so the
+    // assignment of entity k never depends on which rates are zero.
+    Rng rng(mixSeed(spec_.seed, 0x737461746963ULL)); // "static"
+    cpu_factor_.assign(static_cast<std::size_t>(nodes), 1.0);
+    for (auto &f : cpu_factor_) {
+        if (rng.nextBool(spec_.straggler_rate)) {
+            f = spec_.straggler_factor;
+            ++stragglers_;
+        }
+    }
+    link_degraded_.assign(static_cast<std::size_t>(links), false);
+    link_blackholed_.assign(static_cast<std::size_t>(links), false);
+    for (std::size_t l = 0; l < link_degraded_.size(); ++l) {
+        if (rng.nextBool(spec_.link_degrade_rate)) {
+            link_degraded_[l] = true;
+            ++degraded_count_;
+        }
+        if (rng.nextBool(spec_.link_blackhole_rate)) {
+            link_blackholed_[l] = true;
+            ++blackholed_count_;
+        }
+    }
+}
+
+double
+FaultInjector::cpuFactor(int node) const
+{
+    if (node < 0 || static_cast<std::size_t>(node) >= cpu_factor_.size())
+        panic("FaultInjector::cpuFactor: node %d out of range", node);
+    return cpu_factor_[static_cast<std::size_t>(node)];
+}
+
+Time
+FaultInjector::scaleCpu(int node, Time cost) const
+{
+    double f = cpuFactor(node);
+    if (f == 1.0)
+        return cost;
+    return static_cast<Time>(
+        std::llround(static_cast<double>(cost) * f));
+}
+
+bool
+FaultInjector::inWindow(Time t) const
+{
+    if (t < spec_.window_start)
+        return false;
+    if (spec_.window_duration <= 0)
+        return true; // open-ended window
+    return t < spec_.window_start + spec_.window_duration;
+}
+
+double
+FaultInjector::linkSlowdown(net::LinkId link, Time t) const
+{
+    if (link < 0 ||
+        static_cast<std::size_t>(link) >= link_degraded_.size())
+        panic("FaultInjector::linkSlowdown: link %d out of range",
+              static_cast<int>(link));
+    if (!link_degraded_[static_cast<std::size_t>(link)] || !inWindow(t))
+        return 1.0;
+    return 1.0 / spec_.link_degrade_factor;
+}
+
+net::LinkId
+FaultInjector::blackholedOnRoute(const std::vector<net::LinkId> &route,
+                                 Time t) const
+{
+    if (blackholed_count_ == 0 || !inWindow(t))
+        return -1;
+    for (net::LinkId l : route) {
+        if (l >= 0 &&
+            static_cast<std::size_t>(l) < link_blackholed_.size() &&
+            link_blackholed_[static_cast<std::size_t>(l)])
+            return l;
+    }
+    return -1;
+}
+
+bool
+FaultInjector::drawDrop()
+{
+    if (spec_.msg_drop_rate <= 0)
+        return false;
+    return msg_rng_.nextBool(spec_.msg_drop_rate);
+}
+
+Time
+FaultInjector::drawDelayPenalty()
+{
+    if (spec_.msg_delay_rate <= 0 || spec_.msg_delay <= 0)
+        return 0;
+    return msg_rng_.nextBool(spec_.msg_delay_rate) ? spec_.msg_delay
+                                                   : 0;
+}
+
+void
+FaultInjector::recordEvent(FaultEvent::Kind kind, int src, int dst,
+                           net::LinkId link, Time when, Bytes bytes,
+                           int attempt)
+{
+    if (report_.events.size() >= FaultReport::kMaxEvents)
+        return;
+    report_.events.push_back(
+        FaultEvent{kind, when, src, dst, link, bytes, attempt});
+}
+
+void
+FaultInjector::recordDrop(int src, int dst, net::LinkId link, Time when,
+                          Bytes bytes, int attempt)
+{
+    ++report_.drops;
+    recordEvent(FaultEvent::Kind::Drop, src, dst, link, when, bytes,
+                attempt);
+}
+
+void
+FaultInjector::recordDelay(int src, int dst, Time when, Bytes bytes)
+{
+    ++report_.delays;
+    recordEvent(FaultEvent::Kind::Delay, src, dst, -1, when, bytes, 0);
+}
+
+void
+FaultInjector::recordRetransmit(int src, int dst, Time when, Bytes bytes,
+                                int attempt)
+{
+    ++report_.retransmits;
+    recordEvent(FaultEvent::Kind::Retransmit, src, dst, -1, when, bytes,
+                attempt);
+}
+
+void
+FaultInjector::failExhausted(int src, int dst, net::LinkId link,
+                             Time when, Bytes bytes, int attempts)
+{
+    ++report_.exhausted;
+    recordEvent(FaultEvent::Kind::Exhausted, src, dst, link, when,
+                bytes, attempts);
+    throw FaultError(src, dst, link, when, bytes, attempts);
+}
+
+} // namespace ccsim::fault

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * FaultInjector: one machine's live fault state, drawn
+ * deterministically from a FaultSpec.
+ *
+ * Construction makes every *static* draw in a fixed order — first
+ * each node's straggler factor, then each link's degraded /
+ * black-holed state — from an Rng seeded by spec.seed, so two
+ * machines built from the same spec suffer identical faults
+ * regardless of when or on which thread they run.  *Dynamic*
+ * per-message draws (drop, delay) come from a second stream derived
+ * from the same seed; the single-threaded simulator consumes it in
+ * deterministic event order.
+ *
+ * The injector is consulted from three places:
+ *
+ *  - net::Network scales each transfer's wire serialisation by the
+ *    worst linkSlowdown() along its route (via a hook, so net does
+ *    not depend on this library);
+ *  - msg::Transport scales software overheads by cpuFactor() and,
+ *    when the spec makes loss possible, runs its timeout/retransmit
+ *    protocol against blackholedOnRoute() / drawDrop() /
+ *    drawDelayPenalty();
+ *  - the harness reads report() after a run.
+ */
+
+#ifndef CCSIM_FAULT_FAULT_INJECTOR_HH
+#define CCSIM_FAULT_FAULT_INJECTOR_HH
+
+#include <vector>
+
+#include "fault/fault_report.hh"
+#include "fault/fault_spec.hh"
+#include "net/topology.hh"
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace ccsim::fault {
+
+/** Per-machine fault state and RNG streams. */
+class FaultInjector
+{
+  public:
+    /** Draw the static fault assignment for @p nodes nodes and
+     *  @p links links from @p spec (validated first). */
+    FaultInjector(const FaultSpec &spec, int nodes, int links);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    const FaultSpec &spec() const { return spec_; }
+
+    // ---- node faults ---------------------------------------------------
+
+    /** Software-overhead multiplier of @p node (1.0 = healthy). */
+    double cpuFactor(int node) const;
+
+    /** Scale a CPU cost by cpuFactor (picosecond-rounded). */
+    Time scaleCpu(int node, Time cost) const;
+
+    /** Nodes assigned as stragglers. */
+    int stragglers() const { return stragglers_; }
+
+    // ---- link faults ---------------------------------------------------
+
+    /** Serialisation multiplier of @p link at time @p t (>= 1). */
+    double linkSlowdown(net::LinkId link, Time t) const;
+
+    /** First black-holed link on @p route at time @p t, or -1. */
+    net::LinkId blackholedOnRoute(const std::vector<net::LinkId> &route,
+                                  Time t) const;
+
+    /** Links assigned as degraded / black-holed. */
+    int degradedLinks() const { return degraded_count_; }
+    int blackholedLinks() const { return blackholed_count_; }
+
+    // ---- dynamic message faults ----------------------------------------
+
+    /** Bernoulli drop draw for one wire message. */
+    bool drawDrop();
+
+    /** Delay penalty for one delivered message (usually zero). */
+    Time drawDelayPenalty();
+
+    // ---- bookkeeping ---------------------------------------------------
+
+    void recordDrop(int src, int dst, net::LinkId link, Time when,
+                    Bytes bytes, int attempt);
+    void recordDelay(int src, int dst, Time when, Bytes bytes);
+    void recordRetransmit(int src, int dst, Time when, Bytes bytes,
+                          int attempt);
+
+    /** Record exhaustion and throw FaultError. */
+    [[noreturn]] void failExhausted(int src, int dst, net::LinkId link,
+                                    Time when, Bytes bytes,
+                                    int attempts);
+
+    const FaultReport &report() const { return report_; }
+
+  private:
+    void recordEvent(FaultEvent::Kind kind, int src, int dst,
+                     net::LinkId link, Time when, Bytes bytes,
+                     int attempt);
+
+    /** True when the link-fault window covers @p t. */
+    bool inWindow(Time t) const;
+
+    FaultSpec spec_;
+    std::vector<double> cpu_factor_;   // per node
+    std::vector<bool> link_degraded_;  // per link
+    std::vector<bool> link_blackholed_;
+    int stragglers_ = 0;
+    int degraded_count_ = 0;
+    int blackholed_count_ = 0;
+
+    Rng msg_rng_; //!< dynamic drop/delay stream
+    FaultReport report_;
+};
+
+} // namespace ccsim::fault
+
+#endif // CCSIM_FAULT_FAULT_INJECTOR_HH

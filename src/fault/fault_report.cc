@@ -1,0 +1,96 @@
+#include "fault/fault_report.hh"
+
+#include <cstdio>
+
+namespace ccsim::fault {
+
+namespace {
+
+const char *
+kindName(FaultEvent::Kind k)
+{
+    switch (k) {
+      case FaultEvent::Kind::Drop:
+        return "drop";
+      case FaultEvent::Kind::Delay:
+        return "delay";
+      case FaultEvent::Kind::Retransmit:
+        return "resend";
+      case FaultEvent::Kind::Exhausted:
+        return "exhausted";
+      default:
+        return "?";
+    }
+}
+
+} // namespace
+
+std::string
+FaultEvent::str() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-9s t=%-10s %d -> %d  link %d  %s  attempt %d",
+                  kindName(kind), formatTime(when).c_str(), src, dst,
+                  static_cast<int>(link), formatBytes(bytes).c_str(),
+                  attempt);
+    return buf;
+}
+
+std::string
+FaultReport::str() const
+{
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "faults: %llu dropped, %llu retransmitted, "
+                  "%llu delayed, %llu exhausted",
+                  static_cast<unsigned long long>(drops),
+                  static_cast<unsigned long long>(retransmits),
+                  static_cast<unsigned long long>(delays),
+                  static_cast<unsigned long long>(exhausted));
+    std::string out = head;
+    for (const FaultEvent &e : events) {
+        out += "\n  ";
+        out += e.str();
+    }
+    if (drops + delays + retransmits + exhausted > events.size() &&
+        events.size() == kMaxEvents)
+        out += "\n  ... (further events counted, not stored)";
+    return out;
+}
+
+namespace {
+
+std::string
+faultErrorMessage(int src, int dst, net::LinkId link, Time when,
+                  Bytes bytes, int attempts)
+{
+    char buf[200];
+    if (link >= 0)
+        std::snprintf(buf, sizeof(buf),
+                      "message %d -> %d (%s) undeliverable: link %d "
+                      "black-holed, %d attempts exhausted at t=%s",
+                      src, dst, formatBytes(bytes).c_str(),
+                      static_cast<int>(link), attempts,
+                      formatTime(when).c_str());
+    else
+        std::snprintf(buf, sizeof(buf),
+                      "message %d -> %d (%s) undeliverable: %d "
+                      "attempts all dropped, budget exhausted at t=%s",
+                      src, dst, formatBytes(bytes).c_str(), attempts,
+                      formatTime(when).c_str());
+    return buf;
+}
+
+} // namespace
+
+FaultError::FaultError(int src, int dst, net::LinkId link, Time when,
+                       Bytes bytes, int attempts)
+    : std::runtime_error(
+          faultErrorMessage(src, dst, link, when, bytes, attempts)),
+      src_(src), dst_(dst), link_(link), when_(when), bytes_(bytes),
+      attempts_(attempts)
+{
+}
+
+} // namespace ccsim::fault

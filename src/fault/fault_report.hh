@@ -1,0 +1,104 @@
+/**
+ * @file
+ * FaultReport: the diagnosable record of what fault injection did to
+ * a run — per-kind counters plus a bounded log of the first events —
+ * and FaultError, the exception a run fails fast with once a
+ * message's retry budget is exhausted.
+ *
+ * FaultError is self-contained (it owns its message text and the
+ * link/node/time fields) because the Machine that produced it is
+ * typically destroyed while the exception unwinds through
+ * Simulator::run back to the harness.
+ */
+
+#ifndef CCSIM_FAULT_FAULT_REPORT_HH
+#define CCSIM_FAULT_FAULT_REPORT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/topology.hh"
+#include "util/units.hh"
+
+namespace ccsim::fault {
+
+/** One recorded fault occurrence. */
+struct FaultEvent
+{
+    enum class Kind
+    {
+        Drop,       //!< a wire message was lost
+        Delay,      //!< a delivered message was delayed
+        Retransmit, //!< the sender retransmitted after a timeout
+        Exhausted,  //!< the retry budget ran out (run failed)
+    };
+
+    Kind kind = Kind::Drop;
+    Time when = 0;        //!< simulated time of the event
+    int src = -1;         //!< sending node
+    int dst = -1;         //!< destination node
+    net::LinkId link = -1; //!< faulted link, -1 when not link-caused
+    Bytes bytes = 0;      //!< payload size in flight
+    int attempt = 0;      //!< 0 = first transmission
+
+    /** One-line rendering, e.g.
+     *  "drop    t=1.2 ms  3 -> 7  link 12  64 KB  attempt 2". */
+    std::string str() const;
+};
+
+/** Aggregated outcome of fault injection over one run. */
+struct FaultReport
+{
+    std::uint64_t drops = 0;       //!< wire messages lost
+    std::uint64_t delays = 0;      //!< deliveries delayed
+    std::uint64_t retransmits = 0; //!< timeout-driven resends
+    std::uint64_t exhausted = 0;   //!< messages that ran out of retries
+
+    /** First events in occurrence order, capped at kMaxEvents. */
+    std::vector<FaultEvent> events;
+
+    /** Events recorded beyond the cap are counted, not stored. */
+    static constexpr std::size_t kMaxEvents = 64;
+
+    bool any() const { return drops || delays || retransmits; }
+
+    /** Multi-line human-readable summary. */
+    std::string str() const;
+};
+
+/**
+ * Raised when a message exhausts its retry budget: the run cannot
+ * complete and the collective in flight is undeliverable.  Carries
+ * everything needed to diagnose the failure without the (destroyed)
+ * Machine.
+ */
+class FaultError : public std::runtime_error
+{
+  public:
+    FaultError(int src, int dst, net::LinkId link, Time when,
+               Bytes bytes, int attempts);
+
+    int src() const { return src_; }
+    int dst() const { return dst_; }
+
+    /** The black-holed link, or -1 for random message loss. */
+    net::LinkId link() const { return link_; }
+
+    Time when() const { return when_; }
+    Bytes bytes() const { return bytes_; }
+    int attempts() const { return attempts_; }
+
+  private:
+    int src_;
+    int dst_;
+    net::LinkId link_;
+    Time when_;
+    Bytes bytes_;
+    int attempts_;
+};
+
+} // namespace ccsim::fault
+
+#endif // CCSIM_FAULT_FAULT_REPORT_HH

@@ -1,0 +1,162 @@
+#include "fault/fault_spec.hh"
+
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace ccsim::fault {
+
+bool
+FaultSpec::enabled() const
+{
+    return link_degrade_rate > 0 || link_blackhole_rate > 0 ||
+           straggler_rate > 0 || msg_drop_rate > 0 ||
+           msg_delay_rate > 0;
+}
+
+bool
+FaultSpec::lossPossible() const
+{
+    return msg_drop_rate > 0 || link_blackhole_rate > 0;
+}
+
+void
+FaultSpec::validate() const
+{
+    auto rate = [](const char *what, double r) {
+        if (r < 0 || r > 1)
+            fatal("FaultSpec: %s rate %g outside [0, 1]", what, r);
+    };
+    rate("link degrade", link_degrade_rate);
+    rate("link blackhole", link_blackhole_rate);
+    rate("straggler", straggler_rate);
+    rate("message drop", msg_drop_rate);
+    rate("message delay", msg_delay_rate);
+
+    if (link_degrade_factor <= 0 || link_degrade_factor > 1)
+        fatal("FaultSpec: degrade factor %g outside (0, 1]",
+              link_degrade_factor);
+    if (straggler_factor < 1)
+        fatal("FaultSpec: straggler factor %g < 1", straggler_factor);
+    if (window_start < 0)
+        fatal("FaultSpec: negative window start");
+    if (msg_delay < 0)
+        fatal("FaultSpec: negative message delay");
+    if (msg_drop_rate >= 1)
+        fatal("FaultSpec: message drop rate must be < 1 (1.0 can "
+              "never deliver; use a blackhole instead)");
+    if (retry_budget < 0)
+        fatal("FaultSpec: negative retry budget");
+    if (lossPossible() && retry_timeout <= 0)
+        fatal("FaultSpec: retry timeout must be positive when loss "
+              "is possible");
+    if (retry_backoff < 1)
+        fatal("FaultSpec: retry backoff %g < 1", retry_backoff);
+}
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    // One splitmix64 step over the xor — cheap, and any bit of either
+    // input flips roughly half the output bits.
+    std::uint64_t z = (seed ^ salt) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+double
+parseDoubleArg(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        double d = std::stod(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing");
+        return d;
+    } catch (const std::exception &) {
+        fatal("--faults: bad numeric value '%s' for '%s'",
+              value.c_str(), key.c_str());
+    }
+}
+
+long long
+parseIntArg(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        long long v = std::stoll(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing");
+        return v;
+    } catch (const std::exception &) {
+        fatal("--faults: bad integer value '%s' for '%s'",
+              value.c_str(), key.c_str());
+    }
+}
+
+} // namespace
+
+FaultSpec
+parseFaultSpec(const std::string &text)
+{
+    FaultSpec spec;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::string item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("--faults: expected key=value, got '%s'",
+                  item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+
+        if (key == "seed")
+            spec.seed =
+                static_cast<std::uint64_t>(parseIntArg(key, value));
+        else if (key == "degrade")
+            spec.link_degrade_rate = parseDoubleArg(key, value);
+        else if (key == "degrade_factor")
+            spec.link_degrade_factor = parseDoubleArg(key, value);
+        else if (key == "blackhole")
+            spec.link_blackhole_rate = parseDoubleArg(key, value);
+        else if (key == "straggler")
+            spec.straggler_rate = parseDoubleArg(key, value);
+        else if (key == "straggler_factor")
+            spec.straggler_factor = parseDoubleArg(key, value);
+        else if (key == "drop")
+            spec.msg_drop_rate = parseDoubleArg(key, value);
+        else if (key == "delay")
+            spec.msg_delay_rate = parseDoubleArg(key, value);
+        else if (key == "delay_us")
+            spec.msg_delay = microseconds(parseDoubleArg(key, value));
+        else if (key == "window_start_us")
+            spec.window_start =
+                microseconds(parseDoubleArg(key, value));
+        else if (key == "window_us")
+            spec.window_duration =
+                microseconds(parseDoubleArg(key, value));
+        else if (key == "retries")
+            spec.retry_budget =
+                static_cast<int>(parseIntArg(key, value));
+        else if (key == "timeout_us")
+            spec.retry_timeout =
+                microseconds(parseDoubleArg(key, value));
+        else if (key == "backoff")
+            spec.retry_backoff = parseDoubleArg(key, value);
+        else
+            fatal("--faults: unknown key '%s'", key.c_str());
+    }
+    spec.validate();
+    return spec;
+}
+
+} // namespace ccsim::fault

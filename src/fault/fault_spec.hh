@@ -1,0 +1,132 @@
+/**
+ * @file
+ * FaultSpec: the declarative description of every fault a simulated
+ * machine can suffer, plus the retry protocol that keeps collectives
+ * running (or failing diagnosably) under loss.
+ *
+ * The paper's closed-form models T(m, p) = T0(p) + D(m, p) assume
+ * pristine machines; the fault layer probes the *sensitivity* of
+ * those models.  Three fault families are supported:
+ *
+ *  - LINK faults: a deterministic subset of links is degraded (wire
+ *    serialisation slowed by 1/link_degrade_factor) or black-holed
+ *    (every wire message crossing the link during the fault window
+ *    is lost);
+ *  - NODE faults (stragglers): a subset of nodes runs all software
+ *    overheads straggler_factor times slower — send/receive
+ *    overheads, collective entry/stage costs, reduction arithmetic;
+ *  - MESSAGE faults: individual wire messages are dropped or
+ *    delayed, drawn per injection from the machine's fault RNG.
+ *
+ * All draws are made from a deterministic RNG seeded by `seed`, so a
+ * fault scenario is exactly reproducible; the sweep engine derives a
+ * distinct per-point seed the same way it seeds clock skew, keeping
+ * `--jobs N` output byte-identical to a serial run.
+ *
+ * When loss is possible (drops or black holes), the transport
+ * switches to an acknowledged protocol: every wire payload waits for
+ * a zero-byte ack, retransmitting on timeout with exponential
+ * backoff, and raising fault::FaultError (carrying a FaultReport
+ * naming the link/node and what was in flight) once the retry budget
+ * is exhausted.
+ */
+
+#ifndef CCSIM_FAULT_FAULT_SPEC_HH
+#define CCSIM_FAULT_FAULT_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hh"
+
+namespace ccsim::fault {
+
+/** Complete description of one fault-injection scenario. */
+struct FaultSpec
+{
+    /** Root seed of every deterministic fault draw. */
+    std::uint64_t seed = 1;
+
+    // ---- link faults ---------------------------------------------------
+
+    /** Fraction [0,1] of links that are degraded. */
+    double link_degrade_rate = 0.0;
+
+    /** Bandwidth multiplier (0,1] of a degraded link (0.5 = half
+     *  rate: wire serialisation takes twice as long). */
+    double link_degrade_factor = 0.5;
+
+    /** Fraction [0,1] of links that black-hole traffic during the
+     *  fault window. */
+    double link_blackhole_rate = 0.0;
+
+    /** Simulated time the link-fault window opens. */
+    Time window_start = 0;
+
+    /** Window length; <= 0 means the faults persist forever. */
+    Time window_duration = 0;
+
+    // ---- node faults (stragglers) --------------------------------------
+
+    /** Fraction [0,1] of nodes that straggle. */
+    double straggler_rate = 0.0;
+
+    /** Software-overhead multiplier (>= 1) of a straggling node. */
+    double straggler_factor = 2.0;
+
+    // ---- message faults ------------------------------------------------
+
+    /** Probability [0,1] that any wire message is dropped. */
+    double msg_drop_rate = 0.0;
+
+    /** Probability [0,1] that a delivered message is delayed. */
+    double msg_delay_rate = 0.0;
+
+    /** Delay penalty applied when the delay fault fires. */
+    Time msg_delay = 0;
+
+    // ---- retry protocol ------------------------------------------------
+
+    /** Retransmissions allowed per message before failing fast. */
+    int retry_budget = 4;
+
+    /** Initial ack timeout before the first retransmission. */
+    Time retry_timeout = 100 * time_literals::US;
+
+    /** Timeout multiplier (>= 1) per successive retransmission. */
+    double retry_backoff = 2.0;
+
+    /** True when any fault family is active. */
+    bool enabled() const;
+
+    /** True when messages can be lost, which switches the transport
+     *  to the acknowledged timeout/retransmit protocol. */
+    bool lossPossible() const;
+
+    /** Sanity-check all fields; fatal() on user error. */
+    void validate() const;
+};
+
+/**
+ * Deterministically derive a sub-seed (splitmix64 over seed ^ salt);
+ * used to give every sweep point its own fault universe from one
+ * root seed, independent of worker count or execution order.
+ */
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t salt);
+
+/**
+ * Parse the CLI's `--faults` argument: comma-separated key=value
+ * pairs over short names, e.g.
+ *
+ *     --faults "straggler=0.05,straggler_factor=3,drop=0.01,seed=7"
+ *
+ * Keys: seed, degrade, degrade_factor, blackhole, straggler,
+ * straggler_factor, drop, delay, delay_us, window_start_us,
+ * window_us, retries, timeout_us, backoff.  fatal() on unknown keys
+ * or malformed values; the result is validate()d.
+ */
+FaultSpec parseFaultSpec(const std::string &text);
+
+} // namespace ccsim::fault
+
+#endif // CCSIM_FAULT_FAULT_SPEC_HH

@@ -127,6 +127,12 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
     out.max_time = static_cast<Time>(max_s.mean());
     out.min_time = static_cast<Time>(min_s.mean());
     out.mean_time = static_cast<Time>(mean_s.mean());
+    if (const auto *fi = mach.faultInjector()) {
+        const fault::FaultReport &fr = fi->report();
+        out.fault_drops = fr.drops;
+        out.fault_retransmits = fr.retransmits;
+        out.fault_delays = fr.delays;
+    }
     return out;
 }
 

@@ -78,6 +78,12 @@ struct Measurement
     Time min_time = 0;  //!< min over ranks, averaged over reps
     Time mean_time = 0; //!< mean over ranks, averaged over reps
 
+    /** Fault-layer activity over the whole run (all zero when the
+     *  machine's FaultSpec is disabled). */
+    std::uint64_t fault_drops = 0;       //!< messages lost in flight
+    std::uint64_t fault_retransmits = 0; //!< retries issued
+    std::uint64_t fault_delays = 0;      //!< messages delayed in flight
+
     /** The headline number (the paper reports the maximum). */
     Time time() const { return max_time; }
 

@@ -25,6 +25,16 @@ SweepSpec::expand() const
     if (lengths.empty())
         default_lengths = paperMessageLengths();
 
+    // Each point gets its own fault universe, mixed from the spec's
+    // seed and the point's position in declaration order — the same
+    // scheme the harness uses for clock skew, so results are
+    // identical at any --jobs level.
+    auto seedPoint = [](SweepPoint &pt, std::uint64_t idx) {
+        if (pt.cfg.fault.enabled())
+            pt.cfg.fault.seed = fault::mixSeed(pt.cfg.fault.seed, idx);
+    };
+    std::uint64_t idx = 0;
+
     for (const auto &cfg : machines) {
         std::vector<int> machine_sizes =
             sizes.empty() ? paperMachineSizes(cfg.name) : sizes;
@@ -42,6 +52,7 @@ SweepSpec::expand() const
                     for (machine::Algo algo : algos) {
                         pt.algo = algo;
                         points.push_back(pt);
+                        seedPoint(points.back(), idx++);
                     }
                     if (op == machine::Coll::Barrier)
                         break; // barrier has no length axis

@@ -160,6 +160,44 @@ applyCollective(MachineConfig &cfg, Coll op, const std::string &field,
         fatal("config: unknown collective field '%s'", key.c_str());
 }
 
+/** Apply one fault.<field> setting. */
+void
+applyFault(MachineConfig &cfg, const std::string &field,
+           const std::string &key, const std::string &value)
+{
+    fault::FaultSpec &f = cfg.fault;
+    if (field == "seed")
+        f.seed = static_cast<std::uint64_t>(parseInt(key, value));
+    else if (field == "link_degrade_rate")
+        f.link_degrade_rate = parseDouble(key, value);
+    else if (field == "link_degrade_factor")
+        f.link_degrade_factor = parseDouble(key, value);
+    else if (field == "link_blackhole_rate")
+        f.link_blackhole_rate = parseDouble(key, value);
+    else if (field == "window_start_us")
+        f.window_start = microseconds(parseDouble(key, value));
+    else if (field == "window_duration_us")
+        f.window_duration = microseconds(parseDouble(key, value));
+    else if (field == "straggler_rate")
+        f.straggler_rate = parseDouble(key, value);
+    else if (field == "straggler_factor")
+        f.straggler_factor = parseDouble(key, value);
+    else if (field == "msg_drop_rate")
+        f.msg_drop_rate = parseDouble(key, value);
+    else if (field == "msg_delay_rate")
+        f.msg_delay_rate = parseDouble(key, value);
+    else if (field == "msg_delay_us")
+        f.msg_delay = microseconds(parseDouble(key, value));
+    else if (field == "retry_budget")
+        f.retry_budget = static_cast<int>(parseInt(key, value));
+    else if (field == "retry_timeout_us")
+        f.retry_timeout = microseconds(parseDouble(key, value));
+    else if (field == "retry_backoff")
+        f.retry_backoff = parseDouble(key, value);
+    else
+        fatal("config: unknown fault field '%s'", key.c_str());
+}
+
 } // namespace
 
 std::string
@@ -247,6 +285,33 @@ saveConfig(const MachineConfig &cfg, std::ostream &os)
     os << "hardware_barrier_latency_us = "
        << toMicros(cfg.hardware_barrier_latency) << "\n";
 
+    // Fault block only when active, so pristine configs round-trip
+    // byte-identically to their pre-fault-layer form.
+    if (cfg.fault.enabled()) {
+        const fault::FaultSpec &f = cfg.fault;
+        os << "\nfault.seed = " << f.seed << "\n";
+        os << "fault.link_degrade_rate = " << f.link_degrade_rate
+           << "\n";
+        os << "fault.link_degrade_factor = " << f.link_degrade_factor
+           << "\n";
+        os << "fault.link_blackhole_rate = " << f.link_blackhole_rate
+           << "\n";
+        os << "fault.window_start_us = " << toMicros(f.window_start)
+           << "\n";
+        os << "fault.window_duration_us = "
+           << toMicros(f.window_duration) << "\n";
+        os << "fault.straggler_rate = " << f.straggler_rate << "\n";
+        os << "fault.straggler_factor = " << f.straggler_factor
+           << "\n";
+        os << "fault.msg_drop_rate = " << f.msg_drop_rate << "\n";
+        os << "fault.msg_delay_rate = " << f.msg_delay_rate << "\n";
+        os << "fault.msg_delay_us = " << toMicros(f.msg_delay) << "\n";
+        os << "fault.retry_budget = " << f.retry_budget << "\n";
+        os << "fault.retry_timeout_us = " << toMicros(f.retry_timeout)
+           << "\n";
+        os << "fault.retry_backoff = " << f.retry_backoff << "\n";
+    }
+
     for (Coll op : kAllColls) {
         const CollCosts &c = cfg.costsFor(op);
         std::string k = collKey(op);
@@ -323,6 +388,10 @@ loadConfig(std::istream &is)
         } else {
             std::string op_key = key.substr(0, dot);
             std::string field = key.substr(dot + 1);
+            if (op_key == "fault") {
+                applyFault(cfg, field, key, value);
+                continue;
+            }
             auto it = collKeys().find(op_key);
             if (it == collKeys().end())
                 fatal("config line %d: unknown collective '%s'",

@@ -12,8 +12,18 @@ Machine::Machine(MachineConfig config, int p)
         fatal("Machine: need at least one node, got %d", p);
     network_ = std::make_unique<net::Network>(config_.makeTopology(p),
                                               config_.network);
+    if (config_.fault.enabled()) {
+        fault_ = std::make_unique<fault::FaultInjector>(
+            config_.fault, p, network_->topology().numLinks());
+        if (fault_->degradedLinks() > 0)
+            network_->setLinkSlowdownHook(
+                [fi = fault_.get()](net::LinkId l, Time t) {
+                    return fi->linkSlowdown(l, t);
+                });
+    }
     fabric_ = std::make_unique<msg::Fabric>(sim_, *network_, p,
-                                            config_.transport, &trace_);
+                                            config_.transport, &trace_,
+                                            fault_.get());
     if (config_.hardware_barrier)
         hw_barrier_ = std::make_unique<HardwareBarrier>(
             sim_, p, config_.hardware_barrier_latency);

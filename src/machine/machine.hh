@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "machine/hw_barrier.hh"
 #include "machine/machine_config.hh"
 #include "msg/transport.hh"
@@ -55,6 +56,15 @@ class Machine
     /** Barrier tree, or nullptr when the machine has none. */
     HardwareBarrier *hwBarrier() { return hw_barrier_.get(); }
 
+    /** Fault injector, or nullptr when config().fault is disabled. */
+    fault::FaultInjector *faultInjector() { return fault_.get(); }
+
+    /** Fault outcome of the run so far (empty when disabled). */
+    fault::FaultReport faultReport() const
+    {
+        return fault_ ? fault_->report() : fault::FaultReport{};
+    }
+
     /** Activity-trace sink (enable() it before running). */
     sim::Trace &trace() { return trace_; }
 
@@ -78,6 +88,7 @@ class Machine
     sim::Simulator sim_;
     sim::Trace trace_;
     std::unique_ptr<net::Network> network_;
+    std::unique_ptr<fault::FaultInjector> fault_;
     std::unique_ptr<msg::Fabric> fabric_;
     std::unique_ptr<HardwareBarrier> hw_barrier_;
     std::map<std::vector<int>, int> context_registry_;

@@ -78,6 +78,7 @@ MachineConfig::validate() const
     if (!hardware_barrier && algorithmFor(Coll::Barrier) == Algo::Hardware)
         fatal("MachineConfig %s: hardware barrier algorithm without "
               "hardware barrier support", name.c_str());
+    fault.validate();
 }
 
 namespace {

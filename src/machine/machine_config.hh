@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault_spec.hh"
 #include "machine/collective_types.hh"
 #include "msg/transport.hh"
 #include "net/network.hh"
@@ -57,6 +58,9 @@ struct MachineConfig
 
     /** Messaging software/protocol parameters. */
     msg::TransportParams transport;
+
+    /** Fault injection (disabled by default: all rates zero). */
+    fault::FaultSpec fault;
 
     /** Dedicated barrier network (T3D's hardwired AND tree). */
     bool hardware_barrier = false;

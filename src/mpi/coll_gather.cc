@@ -92,10 +92,14 @@ gatherBinomial(CollCtx ctx, Bytes m, int root, msg::PayloadPtr mine)
 } // namespace
 
 sim::Task<msg::PayloadPtr>
-gathervImpl(CollCtx ctx, const std::vector<Bytes> &counts, int root,
+gathervImpl(CollCtx ctx, machine::Algo algo,
+            const std::vector<Bytes> &counts, int root,
             msg::PayloadPtr mine)
 {
     int p = ctx.size;
+    if (algo != machine::Algo::Linear)
+        fatal("gatherv: only the linear algorithm is implemented, "
+              "got %s", machine::algoName(algo).c_str());
     if (root < 0 || root >= p)
         fatal("gatherv: root %d outside communicator of %d", root, p);
     if (static_cast<int>(counts.size()) != p)

@@ -75,10 +75,14 @@ scatterBinomial(CollCtx ctx, Bytes m, int root, msg::PayloadPtr all)
 } // namespace
 
 sim::Task<msg::PayloadPtr>
-scattervImpl(CollCtx ctx, const std::vector<Bytes> &counts, int root,
+scattervImpl(CollCtx ctx, machine::Algo algo,
+             const std::vector<Bytes> &counts, int root,
              msg::PayloadPtr all)
 {
     int p = ctx.size;
+    if (algo != machine::Algo::Linear)
+        fatal("scatterv: only the linear algorithm is implemented, "
+              "got %s", machine::algoName(algo).c_str());
     if (root < 0 || root >= p)
         fatal("scatterv: root %d outside communicator of %d", root, p);
     if (static_cast<int>(counts.size()) != p)

@@ -45,17 +45,19 @@ sim::Task<msg::PayloadPtr> scatterImpl(CollCtx ctx, machine::Algo algo,
                                        msg::PayloadPtr all);
 
 /** gatherv: rank i contributes counts[i] bytes; root returns the
- *  concatenation in rank order.  Linear algorithm only (the era's
- *  MPICH did the same — trees do not compose with ragged counts). */
-sim::Task<msg::PayloadPtr> gathervImpl(CollCtx ctx,
+ *  concatenation in rank order.  @p algo keeps the signature uniform
+ *  with gatherImpl, but only Linear is implemented (the era's MPICH
+ *  did the same — trees do not compose with ragged counts); anything
+ *  else is fatal(). */
+sim::Task<msg::PayloadPtr> gathervImpl(CollCtx ctx, machine::Algo algo,
                                        const std::vector<Bytes> &counts,
                                        int root, msg::PayloadPtr mine);
 
 /** scatterv: root holds sum(counts) bytes; rank i returns its
- *  counts[i]-byte block. */
+ *  counts[i]-byte block.  Linear only, like gathervImpl. */
 sim::Task<msg::PayloadPtr> scattervImpl(
-    CollCtx ctx, const std::vector<Bytes> &counts, int root,
-    msg::PayloadPtr all);
+    CollCtx ctx, machine::Algo algo, const std::vector<Bytes> &counts,
+    int root, msg::PayloadPtr all);
 
 sim::Task<msg::PayloadPtr> allgatherImpl(CollCtx ctx, machine::Algo algo,
                                          Bytes m, msg::PayloadPtr mine);

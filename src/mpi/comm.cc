@@ -164,6 +164,104 @@ Comm::makeCtx(Coll op, Algo &algo, Combiner combiner)
     return ctx;
 }
 
+// ---- per-operation cores ----------------------------------------------
+// The single place each collective assembles its context and calls
+// its Impl; the public size-only and *Data forms both forward here.
+
+sim::Task<msg::PayloadPtr>
+Comm::bcastCore(Bytes m, int root, Algo algo, msg::PayloadPtr data)
+{
+    CollCtx ctx = makeCtx(Coll::Bcast, algo, {});
+    return bcastImpl(std::move(ctx), algo, m, root, std::move(data));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::gatherCore(Bytes m, int root, Algo algo, msg::PayloadPtr mine)
+{
+    CollCtx ctx = makeCtx(Coll::Gather, algo, {});
+    return gatherImpl(std::move(ctx), algo, m, root, std::move(mine));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::scatterCore(Bytes m, int root, Algo algo, msg::PayloadPtr all)
+{
+    CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
+    return scatterImpl(std::move(ctx), algo, m, root, std::move(all));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::gathervCore(std::vector<Bytes> counts, int root, Algo algo,
+                  msg::PayloadPtr mine)
+{
+    // gatherv's only algorithm is Linear; Default means that, not
+    // the machine's (possibly tree-shaped) gather choice.
+    if (algo == Algo::Default)
+        algo = Algo::Linear;
+    CollCtx ctx = makeCtx(Coll::Gather, algo, {});
+    co_return co_await gathervImpl(std::move(ctx), algo, counts, root,
+                                   std::move(mine));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::scattervCore(std::vector<Bytes> counts, int root, Algo algo,
+                   msg::PayloadPtr all)
+{
+    if (algo == Algo::Default)
+        algo = Algo::Linear;
+    CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
+    co_return co_await scattervImpl(std::move(ctx), algo, counts, root,
+                                    std::move(all));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::allgatherCore(Bytes m, Algo algo, msg::PayloadPtr mine)
+{
+    CollCtx ctx = makeCtx(Coll::Allgather, algo, {});
+    return allgatherImpl(std::move(ctx), algo, m, std::move(mine));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::alltoallCore(Bytes m, Algo algo, msg::PayloadPtr mine)
+{
+    CollCtx ctx = makeCtx(Coll::Alltoall, algo, {});
+    return alltoallImpl(std::move(ctx), algo, m, std::move(mine));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::reduceCore(Bytes m, int root, Algo algo, Combiner combiner,
+                 msg::PayloadPtr mine)
+{
+    CollCtx ctx = makeCtx(Coll::Reduce, algo, std::move(combiner));
+    return reduceImpl(std::move(ctx), algo, m, root, std::move(mine));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::allreduceCore(Bytes m, Algo algo, Combiner combiner,
+                    msg::PayloadPtr mine)
+{
+    CollCtx ctx = makeCtx(Coll::Allreduce, algo, std::move(combiner));
+    return allreduceImpl(std::move(ctx), algo, m, std::move(mine));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::reduceScatterCore(Bytes m, Algo algo, Combiner combiner,
+                        msg::PayloadPtr mine)
+{
+    CollCtx ctx = makeCtx(Coll::ReduceScatter, algo,
+                          std::move(combiner));
+    return reduceScatterImpl(std::move(ctx), algo, m, std::move(mine));
+}
+
+sim::Task<msg::PayloadPtr>
+Comm::scanCore(Bytes m, Algo algo, Combiner combiner,
+               msg::PayloadPtr mine)
+{
+    CollCtx ctx = makeCtx(Coll::Scan, algo, std::move(combiner));
+    return scanImpl(std::move(ctx), algo, m, std::move(mine));
+}
+
+// ---- size-only front-ends ---------------------------------------------
+
 sim::Task<void>
 Comm::barrier(Algo algo)
 {
@@ -174,80 +272,67 @@ Comm::barrier(Algo algo)
 sim::Task<void>
 Comm::bcast(Bytes m, int root, Algo algo)
 {
-    CollCtx ctx = makeCtx(Coll::Bcast, algo, {});
-    co_await bcastImpl(ctx, algo, m, root, nullptr);
+    co_await bcastCore(m, root, algo, nullptr);
 }
 
 sim::Task<void>
 Comm::gather(Bytes m, int root, Algo algo)
 {
-    CollCtx ctx = makeCtx(Coll::Gather, algo, {});
-    co_await gatherImpl(ctx, algo, m, root, nullptr);
+    co_await gatherCore(m, root, algo, nullptr);
 }
 
 sim::Task<void>
 Comm::scatter(Bytes m, int root, Algo algo)
 {
-    CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
-    co_await scatterImpl(ctx, algo, m, root, nullptr);
+    co_await scatterCore(m, root, algo, nullptr);
 }
 
 sim::Task<void>
 Comm::allgather(Bytes m, Algo algo)
 {
-    CollCtx ctx = makeCtx(Coll::Allgather, algo, {});
-    co_await allgatherImpl(ctx, algo, m, nullptr);
+    co_await allgatherCore(m, algo, nullptr);
 }
 
 sim::Task<void>
-Comm::gatherv(const std::vector<Bytes> &counts, int root)
+Comm::gatherv(const std::vector<Bytes> &counts, int root, Algo algo)
 {
-    Algo algo = Algo::Linear;
-    CollCtx ctx = makeCtx(Coll::Gather, algo, {});
-    co_await gathervImpl(ctx, counts, root, nullptr);
+    co_await gathervCore(counts, root, algo, nullptr);
 }
 
 sim::Task<void>
-Comm::scatterv(const std::vector<Bytes> &counts, int root)
+Comm::scatterv(const std::vector<Bytes> &counts, int root, Algo algo)
 {
-    Algo algo = Algo::Linear;
-    CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
-    co_await scattervImpl(ctx, counts, root, nullptr);
+    co_await scattervCore(counts, root, algo, nullptr);
 }
 
 sim::Task<void>
 Comm::alltoall(Bytes m, Algo algo)
 {
-    CollCtx ctx = makeCtx(Coll::Alltoall, algo, {});
-    co_await alltoallImpl(ctx, algo, m, nullptr);
+    co_await alltoallCore(m, algo, nullptr);
 }
 
 sim::Task<void>
 Comm::reduce(Bytes m, int root, Algo algo)
 {
-    CollCtx ctx = makeCtx(Coll::Reduce, algo, {});
-    co_await reduceImpl(ctx, algo, m, root, nullptr);
+    co_await reduceCore(m, root, algo, {}, nullptr);
 }
 
 sim::Task<void>
 Comm::allreduce(Bytes m, Algo algo)
 {
-    CollCtx ctx = makeCtx(Coll::Allreduce, algo, {});
-    co_await allreduceImpl(ctx, algo, m, nullptr);
+    co_await allreduceCore(m, algo, {}, nullptr);
 }
 
 sim::Task<void>
 Comm::reduceScatter(Bytes m, Algo algo)
 {
-    CollCtx ctx = makeCtx(Coll::ReduceScatter, algo, {});
-    co_await reduceScatterImpl(ctx, algo, m, nullptr);
+    co_await reduceScatterCore(m, algo, {}, nullptr);
 }
 
 sim::Task<void>
 Comm::scan(Bytes m, Algo algo)
 {
-    CollCtx ctx = makeCtx(Coll::Scan, algo, {});
-    co_await scanImpl(ctx, algo, m, nullptr);
+    co_await scanCore(m, algo, {}, nullptr);
 }
 
 } // namespace ccsim::mpi

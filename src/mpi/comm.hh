@@ -94,6 +94,10 @@ class Comm
     // m is the paper's "message length": bytes exchanged per node
     // pair (per-operand bytes for reduce/scan).
 
+    // Every size-only method is its *Data sibling with a null
+    // payload: both forward to one private *Core per operation, so
+    // timing and tag allocation cannot diverge between the two forms.
+
     sim::Task<void> barrier(Algo algo = Algo::Default);
     sim::Task<void> bcast(Bytes m, int root = 0,
                           Algo algo = Algo::Default);
@@ -103,9 +107,9 @@ class Comm
                             Algo algo = Algo::Default);
     sim::Task<void> allgather(Bytes m, Algo algo = Algo::Default);
     sim::Task<void> gatherv(const std::vector<Bytes> &counts,
-                            int root = 0);
+                            int root = 0, Algo algo = Algo::Default);
     sim::Task<void> scatterv(const std::vector<Bytes> &counts,
-                             int root = 0);
+                             int root = 0, Algo algo = Algo::Default);
     sim::Task<void> alltoall(Bytes m, Algo algo = Algo::Default);
     sim::Task<void> reduce(Bytes m, int root = 0,
                            Algo algo = Algo::Default);
@@ -123,11 +127,10 @@ class Comm
     bcastData(std::vector<T> v, int root = 0, Algo algo = Algo::Default)
     {
         Bytes m = byteSize(v);
-        CollCtx ctx = makeCtx(Coll::Bcast, algo, {});
         msg::PayloadPtr data =
             rank_ == root ? msg::makePayload(v) : nullptr;
         msg::PayloadPtr out =
-            co_await bcastImpl(ctx, algo, m, root, std::move(data));
+            co_await bcastCore(m, root, algo, std::move(data));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -138,9 +141,8 @@ class Comm
     gatherData(const std::vector<T> &mine, int root = 0,
                Algo algo = Algo::Default)
     {
-        CollCtx ctx = makeCtx(Coll::Gather, algo, {});
-        msg::PayloadPtr out = co_await gatherImpl(
-            ctx, algo, byteSize(mine), root, msg::makePayload(mine));
+        msg::PayloadPtr out = co_await gatherCore(
+            byteSize(mine), root, algo, msg::makePayload(mine));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -153,11 +155,10 @@ class Comm
     {
         Bytes m = static_cast<Bytes>(count) *
                   static_cast<Bytes>(sizeof(T));
-        CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
         msg::PayloadPtr data =
             rank_ == root ? msg::makePayload(all) : nullptr;
         msg::PayloadPtr out =
-            co_await scatterImpl(ctx, algo, m, root, std::move(data));
+            co_await scatterCore(m, root, algo, std::move(data));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -166,12 +167,12 @@ class Comm
     template <typename T>
     sim::Task<std::vector<T>>
     gathervData(const std::vector<T> &mine,
-                const std::vector<int> &counts, int root = 0)
+                const std::vector<int> &counts, int root = 0,
+                Algo algo = Algo::Default)
     {
-        Algo algo = Algo::Linear;
-        CollCtx ctx = makeCtx(Coll::Gather, algo, {});
-        msg::PayloadPtr out = co_await gathervImpl(
-            ctx, toByteCounts<T>(counts), root, msg::makePayload(mine));
+        msg::PayloadPtr out = co_await gathervCore(
+            toByteCounts<T>(counts), root, algo,
+            msg::makePayload(mine));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -180,14 +181,13 @@ class Comm
     template <typename T>
     sim::Task<std::vector<T>>
     scattervData(const std::vector<T> &all,
-                 const std::vector<int> &counts, int root = 0)
+                 const std::vector<int> &counts, int root = 0,
+                 Algo algo = Algo::Default)
     {
-        Algo algo = Algo::Linear;
-        CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
         msg::PayloadPtr data =
             rank_ == root ? msg::makePayload(all) : nullptr;
-        msg::PayloadPtr out = co_await scattervImpl(
-            ctx, toByteCounts<T>(counts), root, std::move(data));
+        msg::PayloadPtr out = co_await scattervCore(
+            toByteCounts<T>(counts), root, algo, std::move(data));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -196,9 +196,8 @@ class Comm
     sim::Task<std::vector<T>>
     allgatherData(const std::vector<T> &mine, Algo algo = Algo::Default)
     {
-        CollCtx ctx = makeCtx(Coll::Allgather, algo, {});
-        msg::PayloadPtr out = co_await allgatherImpl(
-            ctx, algo, byteSize(mine), msg::makePayload(mine));
+        msg::PayloadPtr out = co_await allgatherCore(
+            byteSize(mine), algo, msg::makePayload(mine));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -212,9 +211,8 @@ class Comm
             fatal("alltoallData: %zu elements not divisible by %d "
                   "ranks", mine.size(), size_);
         Bytes m = byteSize(mine) / size_;
-        CollCtx ctx = makeCtx(Coll::Alltoall, algo, {});
-        msg::PayloadPtr out = co_await alltoallImpl(
-            ctx, algo, m, msg::makePayload(mine));
+        msg::PayloadPtr out =
+            co_await alltoallCore(m, algo, msg::makePayload(mine));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -224,10 +222,9 @@ class Comm
     reduceData(const std::vector<T> &mine, ReduceOp op, int root = 0,
                Algo algo = Algo::Default)
     {
-        CollCtx ctx = makeCtx(Coll::Reduce, algo,
-                              makeCombiner(op, datatypeOf<T>()));
-        msg::PayloadPtr out = co_await reduceImpl(
-            ctx, algo, byteSize(mine), root, msg::makePayload(mine));
+        msg::PayloadPtr out = co_await reduceCore(
+            byteSize(mine), root, algo,
+            makeCombiner(op, datatypeOf<T>()), msg::makePayload(mine));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -237,10 +234,9 @@ class Comm
     allreduceData(const std::vector<T> &mine, ReduceOp op,
                   Algo algo = Algo::Default)
     {
-        CollCtx ctx = makeCtx(Coll::Allreduce, algo,
-                              makeCombiner(op, datatypeOf<T>()));
-        msg::PayloadPtr out = co_await allreduceImpl(
-            ctx, algo, byteSize(mine), msg::makePayload(mine));
+        msg::PayloadPtr out = co_await allreduceCore(
+            byteSize(mine), algo, makeCombiner(op, datatypeOf<T>()),
+            msg::makePayload(mine));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -255,10 +251,9 @@ class Comm
             fatal("reduceScatterData: %zu elements not divisible by "
                   "%d ranks", mine.size(), size_);
         Bytes m = byteSize(mine) / size_;
-        CollCtx ctx = makeCtx(Coll::ReduceScatter, algo,
-                              makeCombiner(op, datatypeOf<T>()));
-        msg::PayloadPtr out = co_await reduceScatterImpl(
-            ctx, algo, m, msg::makePayload(mine));
+        msg::PayloadPtr out = co_await reduceScatterCore(
+            m, algo, makeCombiner(op, datatypeOf<T>()),
+            msg::makePayload(mine));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -268,10 +263,9 @@ class Comm
     scanData(const std::vector<T> &mine, ReduceOp op,
              Algo algo = Algo::Default)
     {
-        CollCtx ctx = makeCtx(Coll::Scan, algo,
-                              makeCombiner(op, datatypeOf<T>()));
-        msg::PayloadPtr out = co_await scanImpl(
-            ctx, algo, byteSize(mine), msg::makePayload(mine));
+        msg::PayloadPtr out = co_await scanCore(
+            byteSize(mine), algo, makeCombiner(op, datatypeOf<T>()),
+            msg::makePayload(mine));
         co_return msg::payloadAs<T>(out);
     }
 
@@ -281,6 +275,38 @@ class Comm
 
     /** Resolve Algo::Default and assemble the per-call context. */
     CollCtx makeCtx(Coll op, Algo &algo, Combiner combiner);
+
+    // One Core per collective: context assembly + Impl dispatch.
+    // Both public forms (size-only, *Data) land here, so a null and a
+    // real payload take byte-identical simulated time.
+    sim::Task<msg::PayloadPtr> bcastCore(Bytes m, int root, Algo algo,
+                                         msg::PayloadPtr data);
+    sim::Task<msg::PayloadPtr> gatherCore(Bytes m, int root, Algo algo,
+                                          msg::PayloadPtr mine);
+    sim::Task<msg::PayloadPtr> scatterCore(Bytes m, int root, Algo algo,
+                                           msg::PayloadPtr all);
+    sim::Task<msg::PayloadPtr> gathervCore(std::vector<Bytes> counts,
+                                           int root, Algo algo,
+                                           msg::PayloadPtr mine);
+    sim::Task<msg::PayloadPtr> scattervCore(std::vector<Bytes> counts,
+                                            int root, Algo algo,
+                                            msg::PayloadPtr all);
+    sim::Task<msg::PayloadPtr> allgatherCore(Bytes m, Algo algo,
+                                             msg::PayloadPtr mine);
+    sim::Task<msg::PayloadPtr> alltoallCore(Bytes m, Algo algo,
+                                            msg::PayloadPtr mine);
+    sim::Task<msg::PayloadPtr> reduceCore(Bytes m, int root, Algo algo,
+                                          Combiner combiner,
+                                          msg::PayloadPtr mine);
+    sim::Task<msg::PayloadPtr> allreduceCore(Bytes m, Algo algo,
+                                             Combiner combiner,
+                                             msg::PayloadPtr mine);
+    sim::Task<msg::PayloadPtr> reduceScatterCore(Bytes m, Algo algo,
+                                                 Combiner combiner,
+                                                 msg::PayloadPtr mine);
+    sim::Task<msg::PayloadPtr> scanCore(Bytes m, Algo algo,
+                                        Combiner combiner,
+                                        msg::PayloadPtr mine);
 
     template <typename T>
     static std::vector<Bytes>

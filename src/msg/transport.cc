@@ -20,9 +20,9 @@ scaleTime(Time t, double f)
 
 Transport::Transport(sim::Simulator &sim, net::Network &net, Fabric &fabric,
                      int node, const TransportParams &params,
-                     sim::Trace *trace)
+                     sim::Trace *trace, fault::FaultInjector *fi)
     : sim_(sim), net_(net), fabric_(fabric), node_(node),
-      params_(params), trace_(trace)
+      params_(params), trace_(trace), fi_(fi)
 {
     if (params_.send_overhead < 0 || params_.recv_overhead < 0 ||
         params_.rendezvous_overhead < 0 || params_.blt_setup < 0)
@@ -42,6 +42,8 @@ Transport::busy(Time cost)
 {
     if (cost < 0)
         panic("Transport::busy: negative cost");
+    if (fi_)
+        cost = fi_->scaleCpu(node_, cost); // straggler injection
     Time start = std::max(sim_.now(), cpu_free_);
     Time end = start + cost;
     cpu_free_ = end;
@@ -62,6 +64,73 @@ Time
 Transport::injectAt(int dst, Bytes bytes, Time when)
 {
     return net_.transfer(node_, dst, bytes, when);
+}
+
+void
+Transport::transmitWire(int dst, Bytes bytes, Time when,
+                        std::function<void(Time)> deliver)
+{
+    if (fi_ && fi_->spec().lossPossible()) {
+        sim_.spawn(
+            reliableDeliver(dst, bytes, when, std::move(deliver)));
+        return;
+    }
+    Time arrival = injectAt(dst, bytes, when);
+    if (fi_) {
+        Time penalty = fi_->drawDelayPenalty();
+        if (penalty > 0) {
+            fi_->recordDelay(node_, dst, when, bytes);
+            arrival += penalty;
+        }
+    }
+    deliver(arrival);
+}
+
+sim::Task<void>
+Transport::reliableDeliver(int dst, Bytes bytes, Time when,
+                           std::function<void(Time)> deliver)
+{
+    const fault::FaultSpec &spec = fi_->spec();
+    Time timeout = spec.retry_timeout;
+    for (int attempt = 0;; ++attempt) {
+        Time xmit = std::max(when, sim_.now());
+        net::LinkId hole =
+            fi_->blackholedOnRoute(net_.cachedRoute(node_, dst), xmit);
+        bool lost = hole >= 0 || fi_->drawDrop();
+
+        // The worm occupies the route either way; a lost message
+        // held the wires up to the failure point.
+        Time arrival = injectAt(dst, bytes, xmit);
+
+        if (!lost) {
+            Time penalty = fi_->drawDelayPenalty();
+            if (penalty > 0) {
+                fi_->recordDelay(node_, dst, xmit, bytes);
+                arrival += penalty;
+            }
+            deliver(arrival);
+            // Zero-byte ack on the reverse route; the protocol
+            // engine is done when it lands.
+            Time acked = net_.transfer(dst, node_, 0, arrival);
+            if (acked > sim_.now())
+                co_await sim_.delay(acked - sim_.now());
+            co_return;
+        }
+
+        fi_->recordDrop(node_, dst, hole, xmit, bytes, attempt);
+        if (attempt >= spec.retry_budget)
+            fi_->failExhausted(node_, dst, hole, xmit, bytes,
+                               attempt + 1);
+
+        // Ack-timeout expiry, then exponential backoff.
+        Time resend_at = xmit + timeout;
+        if (resend_at > sim_.now())
+            co_await sim_.delay(resend_at - sim_.now());
+        timeout = scaleTime(timeout, spec.retry_backoff);
+        fi_->recordRetransmit(node_, dst, sim_.now(), bytes,
+                              attempt + 1);
+        when = sim_.now();
+    }
 }
 
 sim::Task<void>
@@ -104,12 +173,17 @@ Transport::send(int dst, int tag, int context, Bytes bytes,
         Time copy_start = std::max(sim_.now(), copro_free_);
         Time inject_done = copy_start + copy;
         copro_free_ = inject_done;
-        Time arrival = injectAt(dst, bytes, inject_done);
         Message m{node_, dst, tag, context, bytes, std::move(payload),
-                  arrival, 0};
-        sim_.scheduleAt(arrival, [peer, m = std::move(m)]() mutable {
-            peer->deliverEager(std::move(m));
-        });
+                  0, 0};
+        transmitWire(dst, bytes, inject_done,
+                     [this, peer, m = std::move(m)](Time arrival) mutable {
+                         m.arrival = arrival;
+                         sim_.scheduleAt(arrival,
+                                         [peer, m = std::move(m)]() mutable {
+                                             peer->deliverEager(
+                                                 std::move(m));
+                                         });
+                     });
         co_await busy(
             scaleTime(copy, 1.0 - params_.coprocessor_overlap));
         traceSpan(sim::SpanKind::Send, span_start, bytes, dst);
@@ -120,31 +194,35 @@ Transport::send(int dst, int tag, int context, Bytes bytes,
     co_await busy(o_send + params_.rendezvous_overhead);
     auto hs = std::make_shared<Handshake>(sim_);
     Rts rts{node_, tag, context, bytes, payload, hs, 0};
-    Time rts_arrival = injectAt(dst, 0, sim_.now());
-    sim_.scheduleAt(rts_arrival, [peer, rts = std::move(rts)]() mutable {
-        peer->deliverRts(std::move(rts));
-    });
+    transmitWire(dst, 0, sim_.now(),
+                 [this, peer, rts = std::move(rts)](Time arrival) mutable {
+                     sim_.scheduleAt(arrival,
+                                     [peer, rts = std::move(rts)]() mutable {
+                                         peer->deliverRts(
+                                             std::move(rts));
+                                     });
+                 });
 
     co_await hs->cts.wait();
 
     Message m{node_, dst, tag, context, bytes, std::move(payload), 0, 0};
     bool use_blt = params_.blt_enabled && bytes >= params_.blt_threshold;
+    auto fire_data = [this, hs](Time arrival) {
+        hs->msg.arrival = arrival;
+        sim_.scheduleAt(arrival, [hs] { hs->data.fire(); });
+    };
     if (use_blt) {
         // Block-transfer engine: descriptor setup instead of a
         // memory copy; the engine streams straight from user memory.
         co_await busy(params_.blt_setup);
-        Time arrival = injectAt(dst, bytes, sim_.now());
-        m.arrival = arrival;
         hs->msg = std::move(m);
-        sim_.scheduleAt(arrival, [hs] { hs->data.fire(); });
+        transmitWire(dst, bytes, sim_.now(), fire_data);
     } else {
         Time copy_start = std::max(sim_.now(), copro_free_);
         Time inject_done = copy_start + copy;
         copro_free_ = inject_done;
-        Time arrival = injectAt(dst, bytes, inject_done);
-        m.arrival = arrival;
         hs->msg = std::move(m);
-        sim_.scheduleAt(arrival, [hs] { hs->data.fire(); });
+        transmitWire(dst, bytes, inject_done, fire_data);
         co_await busy(
             scaleTime(copy, 1.0 - params_.coprocessor_overlap));
     }
@@ -353,7 +431,8 @@ Transport::sendrecv(int dst, int send_tag, Bytes bytes, int src,
 }
 
 Fabric::Fabric(sim::Simulator &sim, net::Network &net, int n,
-               const TransportParams &params, sim::Trace *trace)
+               const TransportParams &params, sim::Trace *trace,
+               fault::FaultInjector *fi)
 {
     if (n < 1)
         fatal("Fabric: need at least one node, got %d", n);
@@ -362,8 +441,8 @@ Fabric::Fabric(sim::Simulator &sim, net::Network &net, int n,
               net.topology().numNodes());
     nodes_.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i)
-        nodes_.push_back(std::make_unique<Transport>(sim, net, *this,
-                                                     i, params, trace));
+        nodes_.push_back(std::make_unique<Transport>(
+            sim, net, *this, i, params, trace, fi));
 }
 
 Transport &

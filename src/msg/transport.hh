@@ -37,10 +37,12 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "msg/message.hh"
 #include "net/network.hh"
 #include "sim/simulator.hh"
@@ -123,9 +125,14 @@ struct Request
 class Transport
 {
   public:
+    /** @p fi (optional) injects faults: software overheads are
+     *  scaled by the node's straggler factor, and when the fault
+     *  spec makes message loss possible every wire payload runs the
+     *  acknowledged timeout/retransmit protocol (see transmitWire). */
     Transport(sim::Simulator &sim, net::Network &net, Fabric &fabric,
               int node, const TransportParams &params,
-              sim::Trace *trace = nullptr);
+              sim::Trace *trace = nullptr,
+              fault::FaultInjector *fi = nullptr);
 
     Transport(const Transport &) = delete;
     Transport &operator=(const Transport &) = delete;
@@ -247,6 +254,35 @@ class Transport
     /** Inject one wire message; returns its arrival time at dst. */
     Time injectAt(int dst, Bytes bytes, Time when);
 
+    /**
+     * Dispatch one wire message (eager payload, RTS, or rendezvous
+     * data), transmitted no earlier than @p when; @p deliver is
+     * invoked exactly once with the final arrival time and must
+     * schedule the actual delivery itself.
+     *
+     * Without an injector this is injectAt + deliver, unchanged
+     * timing.  With message loss possible it spawns the
+     * reliableDeliver protocol coroutine instead; with delay faults
+     * only, the penalty is added to the arrival time inline.
+     */
+    void transmitWire(int dst, Bytes bytes, Time when,
+                      std::function<void(Time)> deliver);
+
+    /**
+     * The acknowledged wire protocol used when faults can lose
+     * messages.  Each attempt occupies the route (a lost worm still
+     * held the wires), then either delivers and waits for a zero-byte
+     * ack on the reverse route, or — on a black-holed link or a drop
+     * draw — retransmits after an exponentially backed-off timeout in
+     * simulated time.  Raises fault::FaultError through the
+     * simulator's run loop once spec.retry_budget retransmissions
+     * have failed.  Control traffic (acks, rendezvous CTS) is modelled
+     * as reliable; a real protocol would piggyback sequence numbers,
+     * which changes nothing observable at collective granularity.
+     */
+    sim::Task<void> reliableDeliver(int dst, Bytes bytes, Time when,
+                                    std::function<void(Time)> deliver);
+
     sim::Task<void> runSend(std::shared_ptr<ReqState> st, int dst,
                             int tag, int context, Bytes bytes,
                             PayloadPtr payload, CostOverride ov);
@@ -268,6 +304,7 @@ class Transport
     int node_;
     TransportParams params_;
     sim::Trace *trace_ = nullptr;
+    fault::FaultInjector *fi_ = nullptr;
 
     Time cpu_free_ = 0;   // node CPU timeline
     Time copro_free_ = 0; // message coprocessor / DMA timeline
@@ -287,9 +324,11 @@ class Fabric
 {
   public:
     /** Build @p n transports sharing one network and parameter set;
-     *  @p trace (optional) receives activity spans from every node. */
+     *  @p trace (optional) receives activity spans from every node;
+     *  @p fi (optional) threads fault injection into every endpoint. */
     Fabric(sim::Simulator &sim, net::Network &net, int n,
-           const TransportParams &params, sim::Trace *trace = nullptr);
+           const TransportParams &params, sim::Trace *trace = nullptr,
+           fault::FaultInjector *fi = nullptr);
 
     /** Endpoint of node @p i. */
     Transport &node(int i);

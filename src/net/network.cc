@@ -1,6 +1,7 @@
 #include "net/network.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hh"
 
@@ -17,6 +18,7 @@ Network::Network(std::unique_ptr<Topology> topo, const NetworkParams &params)
     if (params_.hop_latency < 0 || params_.packet_overhead < 0)
         fatal("Network: negative hop latency or packet overhead");
     link_free_.assign(topo_->numLinks(), 0);
+    link_busy_.assign(topo_->numLinks(), 0);
     route_cache_.resize(static_cast<std::size_t>(topo_->numNodes()) *
                         static_cast<std::size_t>(topo_->numNodes()));
 }
@@ -62,12 +64,26 @@ Network::transfer(int src, int dst, Bytes bytes, Time now)
     Time ser = transferTime(wire, params_.link_bandwidth_mbs);
 
     Time start = now;
-    if (params_.contention) {
+    if (params_.contention)
         for (LinkId l : path)
             start = std::max(start, link_free_[static_cast<size_t>(l)]);
+
+    if (slowdown_hook_) {
+        // A degraded link slows the whole cut-through worm: the
+        // serialisation rate is set by the slowest link on the route.
+        double worst = 1.0;
+        for (LinkId l : path)
+            worst = std::max(worst, slowdown_hook_(l, start));
+        if (worst > 1.0)
+            ser = static_cast<Time>(
+                std::llround(static_cast<double>(ser) * worst));
+    }
+
+    if (params_.contention)
         for (LinkId l : path)
             link_free_[static_cast<size_t>(l)] = start + ser;
-    }
+    for (LinkId l : path)
+        link_busy_[static_cast<size_t>(l)] += ser;
 
     ++messages_;
     total_bytes_ += bytes;
@@ -103,10 +119,36 @@ Network::utilization(Time horizon) const
     return u;
 }
 
+Network::Utilization
+Network::exactUtilization(Time horizon) const
+{
+    Utilization u;
+    if (horizon <= 0)
+        return u;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < link_busy_.size(); ++i) {
+        Time busy = std::min(link_busy_[i], horizon);
+        if (busy <= 0)
+            continue;
+        ++u.links_used;
+        double frac = static_cast<double>(busy) /
+                      static_cast<double>(horizon);
+        sum += frac;
+        if (frac > u.max) {
+            u.max = frac;
+            u.hottest = static_cast<LinkId>(i);
+        }
+    }
+    if (!link_busy_.empty())
+        u.mean = sum / static_cast<double>(link_busy_.size());
+    return u;
+}
+
 void
 Network::reset()
 {
     std::fill(link_free_.begin(), link_free_.end(), 0);
+    std::fill(link_busy_.begin(), link_busy_.end(), 0);
     for (auto &path : route_cache_)
         path.clear();
     route_hits_ = 0;

@@ -31,6 +31,7 @@
 #define CCSIM_NET_NETWORK_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -121,10 +122,37 @@ class Network
      */
     Utilization utilization(Time horizon) const;
 
+    /**
+     * Exact per-link busy accounting: link i's accumulated wire
+     * serialisation time (unlike utilization(), which approximates by
+     * last reservation end).  Added for the fault layer's degraded-
+     * link diagnostics; always maintained, reset() clears it.
+     */
+    const std::vector<Time> &linkBusyTimes() const { return link_busy_; }
+
+    /** Exact busy fractions over @p horizon, from linkBusyTimes(). */
+    Utilization exactUtilization(Time horizon) const;
+
+    /**
+     * Per-link serialisation slowdown hook (>= 1.0).  When set, each
+     * transfer's wire time is scaled by the worst factor along its
+     * route, sampled at the transfer's start time.  Installed by
+     * machine::Machine when a fault spec degrades links; net stays
+     * independent of the fault library.
+     */
+    using LinkSlowdownHook = std::function<double(LinkId, Time)>;
+    void
+    setLinkSlowdownHook(LinkSlowdownHook hook)
+    {
+        slowdown_hook_ = std::move(hook);
+    }
+
   private:
     std::unique_ptr<Topology> topo_;
     NetworkParams params_;
     std::vector<Time> link_free_;
+    std::vector<Time> link_busy_;
+    LinkSlowdownHook slowdown_hook_;
 
     /** Per-(src,dst) memoised routes, indexed src * numNodes + dst.
      *  An unfilled slot is empty; every legal route has >= 1 link. */

@@ -9,10 +9,15 @@
  *
  *     ccsim measure --machine T3D --op alltoall --p 64 --m 65536
  *                   [--algo pairwise] [--config FILE] [--paper]
+ *                   [--faults SPEC]
  *         Run the Section 2 measurement procedure for one point and
  *         print max/mean/min over ranks plus the paper's Table 3
  *         prediction when one exists.  --paper uses the full
- *         22-run procedure with clock-skew injection.
+ *         22-run procedure with clock-skew injection.  --faults
+ *         injects deterministic faults, e.g.
+ *         --faults "straggler=0.1,drop=0.01,seed=7" (see
+ *         fault::parseFaultSpec for the key list); a fault summary
+ *         (drops / retransmits / delays) is printed after the times.
  *
  *     ccsim sweep --machine SP2 --op bcast [--config FILE] [--jobs N]
  *         Full (m, p) sweep with a fitted closed-form expression.
@@ -32,14 +37,7 @@
 #include <map>
 #include <string>
 
-#include "harness/measure.hh"
-#include "harness/sweep.hh"
-#include "machine/config_io.hh"
-#include "model/fit.hh"
-#include "model/hockney.hh"
-#include "model/paper_data.hh"
-#include "util/logging.hh"
-#include "util/table.hh"
+#include "ccsim.hh"
 
 using namespace ccsim;
 
@@ -101,9 +99,12 @@ parseArgs(int argc, char **argv)
 machine::MachineConfig
 resolveMachine(const Args &a)
 {
-    if (a.has("config"))
-        return machine::loadConfigFile(a.get("config"));
-    return machine::presetByName(a.get("machine", "T3D"));
+    machine::MachineConfig cfg =
+        a.has("config") ? machine::loadConfigFile(a.get("config"))
+                        : machine::presetByName(a.get("machine", "T3D"));
+    if (a.has("faults"))
+        cfg.fault = fault::parseFaultSpec(a.get("faults"));
+    return cfg;
 }
 
 machine::Coll
@@ -215,6 +216,13 @@ cmdMeasure(const Args &a)
         std::printf("  aggregated bw  : %.1f MB/s over f(m,p) = %s\n",
                     bandwidthMBs(f, meas.max_time),
                     formatBytes(f).c_str());
+    if (cfg.fault.enabled())
+        std::printf("  faults         : %llu dropped, %llu "
+                    "retransmitted, %llu delayed\n",
+                    static_cast<unsigned long long>(meas.fault_drops),
+                    static_cast<unsigned long long>(
+                        meas.fault_retransmits),
+                    static_cast<unsigned long long>(meas.fault_delays));
     return 0;
 }
 
