@@ -15,6 +15,10 @@
  *    and the closed-form predictor;
  *  - fault — FaultSpec / FaultInjector / FaultReport for
  *    deterministic fault-injection scenarios;
+ *  - replay — TraceParser / Recorder / Replayer: record any run as a
+ *    plain-text action trace and replay it on any machine (plus
+ *    machine::CommHook, the observation interface the Recorder
+ *    implements);
  *  - sim::Trace plus the util table/units/logging helpers the above
  *    hand out in their interfaces.
  *
@@ -33,6 +37,7 @@
 #include "fault/fault_spec.hh"
 #include "harness/measure.hh"
 #include "harness/sweep.hh"
+#include "machine/comm_hook.hh"
 #include "machine/config_io.hh"
 #include "machine/machine.hh"
 #include "machine/machine_config.hh"
@@ -41,6 +46,9 @@
 #include "model/paper_data.hh"
 #include "model/predictor.hh"
 #include "mpi/comm.hh"
+#include "replay/recorder.hh"
+#include "replay/replayer.hh"
+#include "replay/trace_parser.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
 #include "util/table.hh"

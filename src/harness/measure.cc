@@ -14,9 +14,10 @@ namespace {
 using machine::Algo;
 using machine::Coll;
 
-/** Issue one call of the measured collective. */
+} // namespace
+
 sim::Task<void>
-callCollective(mpi::Comm &comm, Coll op, Bytes m, Algo algo)
+runCollectiveOnce(mpi::Comm &comm, Coll op, Bytes m, Algo algo)
 {
     switch (op) {
       case Coll::Barrier:
@@ -50,11 +51,10 @@ callCollective(mpi::Comm &comm, Coll op, Bytes m, Algo algo)
         co_await comm.scan(m, algo);
         break;
       default:
-        panic("callCollective: bad collective %d", static_cast<int>(op));
+        panic("runCollectiveOnce: bad collective %d",
+              static_cast<int>(op));
     }
 }
-
-} // namespace
 
 Measurement
 measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
@@ -86,13 +86,13 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
         co_await comm.compute(skew[static_cast<size_t>(rank)]);
 
         for (int w = 0; w < opt.warmup; ++w)
-            co_await callCollective(comm, op, m, algo);
+            co_await runCollectiveOnce(comm, op, m, algo);
 
         for (int rep = 0; rep < opt.repetitions; ++rep) {
             co_await comm.barrier();
             Time start = mach.sim().now();
             for (int i = 0; i < opt.iterations; ++i)
-                co_await callCollective(comm, op, m, algo);
+                co_await runCollectiveOnce(comm, op, m, algo);
             Time end = mach.sim().now();
             local_times[static_cast<size_t>(rep)]
                        [static_cast<size_t>(rank)] =

@@ -96,6 +96,17 @@ using CollectiveCall =
     std::function<sim::Task<void>(mpi::Comm &, Bytes)>;
 
 /**
+ * Issue a single call of @p op on @p comm (root 0 for the rooted
+ * operations) — the building block of the Section 2 loop, public so
+ * other drivers (the CLI's --trace-out path, the replay recorder
+ * tools) can run one traced call without duplicating the dispatch.
+ */
+sim::Task<void> runCollectiveOnce(mpi::Comm &comm, machine::Coll op,
+                                  Bytes m,
+                                  machine::Algo algo
+                                  = machine::Algo::Default);
+
+/**
  * Run the Section 2 procedure for one collective on one machine.
  *
  * @param cfg   machine description (instantiated fresh)

@@ -79,21 +79,29 @@ std::vector<Measurement>
 SweepRunner::run(const std::vector<SweepPoint> &points)
 {
     std::vector<Measurement> results(points.size());
-    auto wall_start = std::chrono::steady_clock::now();
-
-    auto simulate = [&](std::size_t i) {
+    runTasks(points.size(), [&](std::size_t i) {
         const SweepPoint &pt = points[i];
         results[i] = measureCollective(pt.cfg, pt.p, pt.op, pt.m,
                                        pt.algo, pt.options);
-    };
+    });
+    return results;
+}
+
+void
+SweepRunner::runTasks(std::size_t n,
+                      const std::function<void(std::size_t)> &task)
+{
+    auto wall_start = std::chrono::steady_clock::now();
+
+    auto simulate = [&](std::size_t i) { task(i); };
 
     int workers = jobs_;
-    if (static_cast<std::size_t>(workers) > points.size())
-        workers = static_cast<int>(points.size());
+    if (static_cast<std::size_t>(workers) > n)
+        workers = static_cast<int>(n);
 
     if (workers <= 1) {
         // Serial reference path: no pool, no atomics.
-        for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t i = 0; i < n; ++i)
             simulate(i);
     } else {
         // Dynamic work-stealing over a shared index: points vary in
@@ -108,8 +116,7 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
             for (;;) {
                 std::size_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= points.size() ||
-                    stop.load(std::memory_order_relaxed))
+                if (i >= n || stop.load(std::memory_order_relaxed))
                     return;
                 try {
                     simulate(i);
@@ -135,9 +142,8 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
 
     std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - wall_start;
-    stats_.points = points.size();
+    stats_.points = n;
     stats_.wall_seconds = wall.count();
-    return results;
 }
 
 } // namespace ccsim::harness

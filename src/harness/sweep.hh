@@ -24,6 +24,7 @@
 #define CCSIM_HARNESS_SWEEP_HH
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "harness/measure.hh"
@@ -104,6 +105,18 @@ class SweepRunner
      * rethrown on the calling thread after the pool drains.
      */
     std::vector<Measurement> run(const std::vector<SweepPoint> &points);
+
+    /**
+     * The generic engine underneath run(): execute task(0..n-1) on
+     * the pool with the same contract — jobs() == 1 runs inline in
+     * index order (the serial reference path), the first exception
+     * is rethrown after the pool drains, and lastStats() records the
+     * batch.  Tasks must be independent; writing only to index-owned
+     * slots keeps output identical at any --jobs level.  The replay
+     * sweep (replay::replaySweep) runs on this directly.
+     */
+    void runTasks(std::size_t n,
+                  const std::function<void(std::size_t)> &task);
 
     /** Expand @p spec and run it. */
     std::vector<Measurement>

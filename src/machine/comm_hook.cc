@@ -1,0 +1,39 @@
+#include "machine/comm_hook.hh"
+
+namespace ccsim::machine {
+
+// Out-of-line no-op defaults keep the vtable in one translation unit.
+
+void
+CommHook::onCompute(int, Time)
+{
+}
+
+void
+CommHook::onSend(int, int, int, Bytes, bool)
+{
+}
+
+void
+CommHook::onRecv(int, int, int, bool)
+{
+}
+
+void
+CommHook::onWait(int)
+{
+}
+
+void
+CommHook::onSendrecv(int, int, int, Bytes, int, int)
+{
+}
+
+void
+CommHook::onCollective(int, Coll, Bytes, int, Algo,
+                       const std::vector<Bytes> *,
+                       const std::vector<int> *)
+{
+}
+
+} // namespace ccsim::machine

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * CommHook: observation points for MPI-level communication calls.
+ *
+ * A Machine optionally carries one CommHook; mpi::Comm invokes it at
+ * the top of every public operation (compute, point-to-point,
+ * collectives) with the call's arguments *as requested* — before
+ * algorithm resolution, before any simulated time passes.  This is
+ * the mechanism the replay Recorder uses to turn any live run into a
+ * time-independent action trace (see src/replay/), but the interface
+ * is generic: statistics collectors or call-order checkers can attach
+ * the same way.
+ *
+ * The hook lives in the machine layer (not src/replay) so that
+ * machine::Machine and mpi::Comm depend only on types they already
+ * know: Coll/Algo, Bytes/Time, global node ids.
+ *
+ * All callbacks default to no-ops; implementations override what
+ * they need.  Callbacks run synchronously on the calling rank's
+ * coroutine and must not block or re-enter the communicator.
+ */
+
+#ifndef CCSIM_MACHINE_COMM_HOOK_HH
+#define CCSIM_MACHINE_COMM_HOOK_HH
+
+#include <vector>
+
+#include "machine/collective_types.hh"
+#include "util/units.hh"
+
+namespace ccsim::machine {
+
+/** Observer of mpi::Comm calls; attach with Machine::setCommHook. */
+class CommHook
+{
+  public:
+    virtual ~CommHook() = default;
+
+    /** Comm::compute(@p t) on global rank @p node. */
+    virtual void onCompute(int node, Time t);
+
+    /** Blocking (or @p nonblocking) send of @p bytes to global rank
+     *  @p dst. */
+    virtual void onSend(int node, int dst, int tag, Bytes bytes,
+                        bool nonblocking);
+
+    /** Blocking (or @p nonblocking) receive from global rank @p src
+     *  (msg::kAnySource / kAnyTag pass through as -1). */
+    virtual void onRecv(int node, int src, int tag, bool nonblocking);
+
+    /** Comm::wait on an outstanding request. */
+    virtual void onWait(int node);
+
+    /** Combined Comm::sendrecv. */
+    virtual void onSendrecv(int node, int dst, int send_tag, Bytes bytes,
+                            int src, int recv_tag);
+
+    /**
+     * Any collective call.
+     *
+     * @param node    calling global rank
+     * @param op      the operation (gatherv/scatterv report their
+     *                base op with @p counts non-null)
+     * @param m       message length in bytes (0 for barrier and the
+     *                vector collectives)
+     * @param root    communicator-local root, -1 for rootless ops
+     * @param algo    the algorithm *as requested* (Algo::Default when
+     *                the caller left the choice to the machine)
+     * @param counts  per-rank byte counts (gatherv/scatterv), else
+     *                null
+     * @param group   global ranks of the communicator, null for the
+     *                world communicator
+     */
+    virtual void onCollective(int node, Coll op, Bytes m, int root,
+                              Algo algo,
+                              const std::vector<Bytes> *counts,
+                              const std::vector<int> *group);
+};
+
+} // namespace ccsim::machine
+
+#endif // CCSIM_MACHINE_COMM_HOOK_HH

@@ -30,6 +30,8 @@
 
 namespace ccsim::machine {
 
+class CommHook;
+
 /** A ready-to-run simulated multicomputer. */
 class Machine
 {
@@ -68,6 +70,11 @@ class Machine
     /** Activity-trace sink (enable() it before running). */
     sim::Trace &trace() { return trace_; }
 
+    /** Observer of mpi::Comm calls (e.g.\ the replay Recorder), or
+     *  null.  Not owned; must outlive the run. */
+    CommHook *commHook() const { return comm_hook_; }
+    void setCommHook(CommHook *hook) { comm_hook_ = hook; }
+
     /** Spawn one rank program per node (rank passed to the factory). */
     void spawnAll(const std::function<sim::Task<void>(int)> &factory);
 
@@ -91,6 +98,7 @@ class Machine
     std::unique_ptr<fault::FaultInjector> fault_;
     std::unique_ptr<msg::Fabric> fabric_;
     std::unique_ptr<HardwareBarrier> hw_barrier_;
+    CommHook *comm_hook_ = nullptr;
     std::map<std::vector<int>, int> context_registry_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "machine/comm_hook.hh"
 #include "util/logging.hh"
 
 namespace ccsim::mpi {
@@ -89,34 +90,46 @@ Comm::subgroup(const std::vector<int> &members) const
 sim::Task<void>
 Comm::send(int dst, int tag, Bytes bytes, msg::PayloadPtr payload) const
 {
-    return transport().send(globalRank(dst), tag, ptpContext(ctx_id_),
-                            bytes, std::move(payload));
+    int g = globalRank(dst);
+    if (auto *h = mach_->commHook())
+        h->onSend(globalRank(rank_), g, tag, bytes, false);
+    return transport().send(g, tag, ptpContext(ctx_id_), bytes,
+                            std::move(payload));
 }
 
 sim::Task<msg::Message>
 Comm::recv(int src, int tag) const
 {
     int g = src == msg::kAnySource ? src : globalRank(src);
+    if (auto *h = mach_->commHook())
+        h->onRecv(globalRank(rank_), g, tag, false);
     return transport().recv(g, tag, ptpContext(ctx_id_));
 }
 
 msg::Request
 Comm::isend(int dst, int tag, Bytes bytes, msg::PayloadPtr payload) const
 {
-    return transport().isend(globalRank(dst), tag, ptpContext(ctx_id_),
-                             bytes, std::move(payload));
+    int g = globalRank(dst);
+    if (auto *h = mach_->commHook())
+        h->onSend(globalRank(rank_), g, tag, bytes, true);
+    return transport().isend(g, tag, ptpContext(ctx_id_), bytes,
+                             std::move(payload));
 }
 
 msg::Request
 Comm::irecv(int src, int tag) const
 {
     int g = src == msg::kAnySource ? src : globalRank(src);
+    if (auto *h = mach_->commHook())
+        h->onRecv(globalRank(rank_), g, tag, true);
     return transport().irecv(g, tag, ptpContext(ctx_id_));
 }
 
 sim::Task<msg::Message>
 Comm::wait(msg::Request req) const
 {
+    if (auto *h = mach_->commHook())
+        h->onWait(globalRank(rank_));
     return transport().wait(std::move(req));
 }
 
@@ -124,21 +137,36 @@ sim::Task<msg::Message>
 Comm::sendrecv(int dst, int send_tag, Bytes bytes, int src, int recv_tag,
                msg::PayloadPtr payload) const
 {
-    return transport().sendrecv(globalRank(dst), send_tag, bytes,
-                                globalRank(src), recv_tag,
+    int gdst = globalRank(dst);
+    int gsrc = globalRank(src);
+    if (auto *h = mach_->commHook())
+        h->onSendrecv(globalRank(rank_), gdst, send_tag, bytes, gsrc,
+                      recv_tag);
+    return transport().sendrecv(gdst, send_tag, bytes, gsrc, recv_tag,
                                 ptpContext(ctx_id_), std::move(payload));
 }
 
 sim::Task<void>
 Comm::compute(Time t) const
 {
+    if (auto *h = mach_->commHook())
+        h->onCompute(globalRank(rank_), t);
     msg::Transport &tp = transport();
     Time start = mach_->sim().now();
     co_await tp.busy(t);
     if (tp.trace() && tp.trace()->enabled())
         tp.trace()->record(sim::Span{globalRank(rank_),
                                      sim::SpanKind::Compute, start,
-                                     mach_->sim().now(), 0, -1});
+                                     mach_->sim().now(), 0, -1, {}});
+}
+
+void
+Comm::hookCollective(Coll op, Bytes m, int root, Algo algo,
+                     const std::vector<Bytes> *counts) const
+{
+    if (auto *h = mach_->commHook())
+        h->onCollective(globalRank(rank_), op, m, root, algo, counts,
+                        group_.get());
 }
 
 CollCtx
@@ -171,6 +199,7 @@ Comm::makeCtx(Coll op, Algo &algo, Combiner combiner)
 sim::Task<msg::PayloadPtr>
 Comm::bcastCore(Bytes m, int root, Algo algo, msg::PayloadPtr data)
 {
+    hookCollective(Coll::Bcast, m, root, algo);
     CollCtx ctx = makeCtx(Coll::Bcast, algo, {});
     return bcastImpl(std::move(ctx), algo, m, root, std::move(data));
 }
@@ -178,6 +207,7 @@ Comm::bcastCore(Bytes m, int root, Algo algo, msg::PayloadPtr data)
 sim::Task<msg::PayloadPtr>
 Comm::gatherCore(Bytes m, int root, Algo algo, msg::PayloadPtr mine)
 {
+    hookCollective(Coll::Gather, m, root, algo);
     CollCtx ctx = makeCtx(Coll::Gather, algo, {});
     return gatherImpl(std::move(ctx), algo, m, root, std::move(mine));
 }
@@ -185,6 +215,7 @@ Comm::gatherCore(Bytes m, int root, Algo algo, msg::PayloadPtr mine)
 sim::Task<msg::PayloadPtr>
 Comm::scatterCore(Bytes m, int root, Algo algo, msg::PayloadPtr all)
 {
+    hookCollective(Coll::Scatter, m, root, algo);
     CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
     return scatterImpl(std::move(ctx), algo, m, root, std::move(all));
 }
@@ -193,6 +224,7 @@ sim::Task<msg::PayloadPtr>
 Comm::gathervCore(std::vector<Bytes> counts, int root, Algo algo,
                   msg::PayloadPtr mine)
 {
+    hookCollective(Coll::Gather, 0, root, algo, &counts);
     // gatherv's only algorithm is Linear; Default means that, not
     // the machine's (possibly tree-shaped) gather choice.
     if (algo == Algo::Default)
@@ -206,6 +238,7 @@ sim::Task<msg::PayloadPtr>
 Comm::scattervCore(std::vector<Bytes> counts, int root, Algo algo,
                    msg::PayloadPtr all)
 {
+    hookCollective(Coll::Scatter, 0, root, algo, &counts);
     if (algo == Algo::Default)
         algo = Algo::Linear;
     CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
@@ -216,6 +249,7 @@ Comm::scattervCore(std::vector<Bytes> counts, int root, Algo algo,
 sim::Task<msg::PayloadPtr>
 Comm::allgatherCore(Bytes m, Algo algo, msg::PayloadPtr mine)
 {
+    hookCollective(Coll::Allgather, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::Allgather, algo, {});
     return allgatherImpl(std::move(ctx), algo, m, std::move(mine));
 }
@@ -223,6 +257,7 @@ Comm::allgatherCore(Bytes m, Algo algo, msg::PayloadPtr mine)
 sim::Task<msg::PayloadPtr>
 Comm::alltoallCore(Bytes m, Algo algo, msg::PayloadPtr mine)
 {
+    hookCollective(Coll::Alltoall, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::Alltoall, algo, {});
     return alltoallImpl(std::move(ctx), algo, m, std::move(mine));
 }
@@ -231,6 +266,7 @@ sim::Task<msg::PayloadPtr>
 Comm::reduceCore(Bytes m, int root, Algo algo, Combiner combiner,
                  msg::PayloadPtr mine)
 {
+    hookCollective(Coll::Reduce, m, root, algo);
     CollCtx ctx = makeCtx(Coll::Reduce, algo, std::move(combiner));
     return reduceImpl(std::move(ctx), algo, m, root, std::move(mine));
 }
@@ -239,6 +275,7 @@ sim::Task<msg::PayloadPtr>
 Comm::allreduceCore(Bytes m, Algo algo, Combiner combiner,
                     msg::PayloadPtr mine)
 {
+    hookCollective(Coll::Allreduce, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::Allreduce, algo, std::move(combiner));
     return allreduceImpl(std::move(ctx), algo, m, std::move(mine));
 }
@@ -247,6 +284,7 @@ sim::Task<msg::PayloadPtr>
 Comm::reduceScatterCore(Bytes m, Algo algo, Combiner combiner,
                         msg::PayloadPtr mine)
 {
+    hookCollective(Coll::ReduceScatter, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::ReduceScatter, algo,
                           std::move(combiner));
     return reduceScatterImpl(std::move(ctx), algo, m, std::move(mine));
@@ -256,6 +294,7 @@ sim::Task<msg::PayloadPtr>
 Comm::scanCore(Bytes m, Algo algo, Combiner combiner,
                msg::PayloadPtr mine)
 {
+    hookCollective(Coll::Scan, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::Scan, algo, std::move(combiner));
     return scanImpl(std::move(ctx), algo, m, std::move(mine));
 }
@@ -265,6 +304,7 @@ Comm::scanCore(Bytes m, Algo algo, Combiner combiner,
 sim::Task<void>
 Comm::barrier(Algo algo)
 {
+    hookCollective(Coll::Barrier, 0, -1, algo);
     CollCtx ctx = makeCtx(Coll::Barrier, algo, {});
     co_await barrierImpl(ctx, algo);
 }

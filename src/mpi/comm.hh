@@ -276,6 +276,11 @@ class Comm
     /** Resolve Algo::Default and assemble the per-call context. */
     CollCtx makeCtx(Coll op, Algo &algo, Combiner combiner);
 
+    /** Report a collective to the machine's CommHook (if any) with
+     *  its arguments as requested, before algorithm resolution. */
+    void hookCollective(Coll op, Bytes m, int root, Algo algo,
+                        const std::vector<Bytes> *counts = nullptr) const;
+
     // One Core per collective: context assembly + Impl dispatch.
     // Both public forms (size-only, *Data) land here, so a null and a
     // real payload take byte-identical simulated time.

@@ -295,7 +295,7 @@ class Transport
     {
         if (trace_ && trace_->enabled())
             trace_->record(sim::Span{node_, kind, start, sim_.now(),
-                                     bytes, peer});
+                                     bytes, peer, {}});
     }
 
     sim::Simulator &sim_;

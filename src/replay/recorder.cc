@@ -1,0 +1,139 @@
+#include "replay/recorder.hh"
+
+#include <fstream>
+#include <utility>
+
+#include "machine/machine.hh"
+#include "replay/trace_parser.hh"
+#include "util/logging.hh"
+
+namespace ccsim::replay {
+
+Recorder::Recorder(int np)
+{
+    if (np < 1)
+        fatal("Recorder: rank count %d must be positive", np);
+    prog_.np = np;
+    prog_.ranks.assign(static_cast<std::size_t>(np), {});
+    prog_.source = "<recording>";
+}
+
+void
+Recorder::attach(machine::Machine &m)
+{
+    if (m.size() != prog_.np)
+        fatal("Recorder for %d ranks attached to a %d-node machine",
+              prog_.np, m.size());
+    m.setCommHook(this);
+}
+
+Program
+Recorder::take()
+{
+    Program out = std::move(prog_);
+    prog_ = Program{};
+    prog_.np = out.np;
+    prog_.ranks.assign(static_cast<std::size_t>(out.np), {});
+    prog_.source = "<recording>";
+    return out;
+}
+
+void
+Recorder::write(std::ostream &os) const
+{
+    writeProgram(prog_, os);
+}
+
+void
+Recorder::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot write trace file '%s'", path.c_str());
+    write(f);
+}
+
+std::vector<Action> &
+Recorder::rankList(int node)
+{
+    if (node < 0 || node >= prog_.np)
+        panic("Recorder: hook fired for rank %d of %d", node,
+              prog_.np);
+    return prog_.ranks[static_cast<std::size_t>(node)];
+}
+
+void
+Recorder::onCompute(int node, Time t)
+{
+    Action a;
+    a.kind = ActionKind::Compute;
+    a.duration = t;
+    rankList(node).push_back(std::move(a));
+}
+
+void
+Recorder::onSend(int node, int dst, int tag, Bytes bytes,
+                 bool nonblocking)
+{
+    Action a;
+    a.kind = nonblocking ? ActionKind::Isend : ActionKind::Send;
+    a.peer = dst;
+    a.tag = tag;
+    a.bytes = bytes;
+    rankList(node).push_back(std::move(a));
+}
+
+void
+Recorder::onRecv(int node, int src, int tag, bool nonblocking)
+{
+    Action a;
+    a.kind = nonblocking ? ActionKind::Irecv : ActionKind::Recv;
+    a.peer = src;
+    a.tag = tag;
+    rankList(node).push_back(std::move(a));
+}
+
+void
+Recorder::onWait(int node)
+{
+    Action a;
+    a.kind = ActionKind::Wait;
+    rankList(node).push_back(std::move(a));
+}
+
+void
+Recorder::onSendrecv(int node, int dst, int send_tag, Bytes bytes,
+                     int src, int recv_tag)
+{
+    Action a;
+    a.kind = ActionKind::Sendrecv;
+    a.peer = dst;
+    a.peer2 = src;
+    a.tag = send_tag;
+    a.tag2 = recv_tag;
+    a.bytes = bytes;
+    rankList(node).push_back(std::move(a));
+}
+
+void
+Recorder::onCollective(int node, machine::Coll op, Bytes m, int root,
+                       machine::Algo algo,
+                       const std::vector<Bytes> *counts,
+                       const std::vector<int> *group)
+{
+    Action a;
+    a.kind = ActionKind::Coll;
+    a.op = op;
+    a.bytes = m;
+    a.root = root < 0 ? 0 : root;
+    a.algo = algo;
+    if (counts) {
+        a.vector_variant = true;
+        a.counts = *counts;
+    }
+    if (group)
+        a.group = *group;
+    rankList(node).push_back(std::move(a));
+}
+
+} // namespace ccsim::replay

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Recorder: a machine::CommHook that turns any live run into a
+ * replayable Program.
+ *
+ * Attach it before spawning rank programs:
+ *
+ * @code
+ *     machine::Machine m(cfg, p);
+ *     replay::Recorder rec(p);
+ *     m.setCommHook(&rec);
+ *     m.spawnAll(...);
+ *     m.run();
+ *     rec.writeFile("app.trace");
+ * @endcode
+ *
+ * The hook fires with each call's arguments *as requested* (before
+ * algorithm resolution), so recorded traces are machine-portable:
+ * Algo::Default stays "default" and re-resolves against whichever
+ * machine replays the trace.  Replaying a recording on the machine it
+ * was taken from reproduces the original simulated times
+ * byte-identically (compute durations are stored with full picosecond
+ * resolution).
+ */
+
+#ifndef CCSIM_REPLAY_RECORDER_HH
+#define CCSIM_REPLAY_RECORDER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "machine/comm_hook.hh"
+#include "replay/program.hh"
+
+namespace ccsim::machine {
+class Machine;
+}
+
+namespace ccsim::replay {
+
+/** Captures mpi::Comm calls into a Program. */
+class Recorder : public machine::CommHook
+{
+  public:
+    /** Record a run of @p np ranks. */
+    explicit Recorder(int np);
+
+    /** Convenience: machine.setCommHook(this).  The recorder must
+     *  outlive the machine's run. */
+    void attach(machine::Machine &m);
+
+    /** The trace recorded so far. */
+    const Program &program() const { return prog_; }
+
+    /** Move the recording out (the recorder resets to empty). */
+    Program take();
+
+    /** Write the recording in trace format. */
+    void write(std::ostream &os) const;
+
+    /** write() to a file (fatal on I/O failure). */
+    void writeFile(const std::string &path) const;
+
+    // -- CommHook --------------------------------------------------------
+
+    void onCompute(int node, Time t) override;
+    void onSend(int node, int dst, int tag, Bytes bytes,
+                bool nonblocking) override;
+    void onRecv(int node, int src, int tag, bool nonblocking) override;
+    void onWait(int node) override;
+    void onSendrecv(int node, int dst, int send_tag, Bytes bytes,
+                    int src, int recv_tag) override;
+    void onCollective(int node, machine::Coll op, Bytes m, int root,
+                      machine::Algo algo,
+                      const std::vector<Bytes> *counts,
+                      const std::vector<int> *group) override;
+
+  private:
+    std::vector<Action> &rankList(int node);
+
+    Program prog_;
+};
+
+} // namespace ccsim::replay
+
+#endif // CCSIM_REPLAY_RECORDER_HH

@@ -1,0 +1,206 @@
+#include "replay/replayer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "machine/machine.hh"
+#include "mpi/comm.hh"
+#include "replay/trace_parser.hh"
+#include "util/logging.hh"
+
+namespace ccsim::replay {
+
+namespace {
+
+using machine::Coll;
+
+/** Scale a byte count; 1.0 is the exact identity (no FP at all). */
+Bytes
+scaleBytes(Bytes b, double scale)
+{
+    if (scale == 1.0)
+        return b;
+    return static_cast<Bytes>(
+        std::llround(static_cast<double>(b) * scale));
+}
+
+/** Issue one collective action on @p comm. */
+sim::Task<void>
+runCollective(mpi::Comm &comm, const Action &a, double scale)
+{
+    if (a.vector_variant) {
+        std::vector<Bytes> counts = a.counts;
+        for (Bytes &c : counts)
+            c = scaleBytes(c, scale);
+        if (a.op == Coll::Gather)
+            co_await comm.gatherv(counts, a.root, a.algo);
+        else
+            co_await comm.scatterv(counts, a.root, a.algo);
+        co_return;
+    }
+
+    Bytes m = scaleBytes(a.bytes, scale);
+    switch (a.op) {
+      case Coll::Barrier:
+        co_await comm.barrier(a.algo);
+        break;
+      case Coll::Bcast:
+        co_await comm.bcast(m, a.root, a.algo);
+        break;
+      case Coll::Gather:
+        co_await comm.gather(m, a.root, a.algo);
+        break;
+      case Coll::Scatter:
+        co_await comm.scatter(m, a.root, a.algo);
+        break;
+      case Coll::Allgather:
+        co_await comm.allgather(m, a.algo);
+        break;
+      case Coll::Alltoall:
+        co_await comm.alltoall(m, a.algo);
+        break;
+      case Coll::Reduce:
+        co_await comm.reduce(m, a.root, a.algo);
+        break;
+      case Coll::Allreduce:
+        co_await comm.allreduce(m, a.algo);
+        break;
+      case Coll::ReduceScatter:
+        co_await comm.reduceScatter(m, a.algo);
+        break;
+      case Coll::Scan:
+        co_await comm.scan(m, a.algo);
+        break;
+      default:
+        panic("replay: bad collective %d", static_cast<int>(a.op));
+    }
+}
+
+/**
+ * One rank's replay coroutine.  Sub-communicators are created
+ * lazily and cached per member list, so repeated collectives on the
+ * same group reuse one Comm (and hence the same tag sequence the
+ * recorded run produced).  Outstanding isend/irecv requests form a
+ * FIFO queue that `wait` drains oldest-first — the standard
+ * time-independent-trace convention (see docs/REPLAY.md).
+ */
+sim::Task<void>
+runRank(machine::Machine &mach, const Program &prog, int rank,
+        double scale, std::vector<Time> &completion)
+{
+    mpi::Comm world(mach, rank);
+    std::map<std::vector<int>, mpi::Comm> subgroups;
+    std::deque<msg::Request> pending;
+    sim::Trace &trace = mach.trace();
+
+    for (const Action &a : prog.ranks[static_cast<std::size_t>(rank)]) {
+        trace.setPhase(rank, actionKeyword(a.kind, a.op,
+                                           a.vector_variant));
+        switch (a.kind) {
+          case ActionKind::Compute:
+            co_await world.compute(a.duration);
+            break;
+          case ActionKind::Send:
+            co_await world.send(a.peer, a.tag,
+                                scaleBytes(a.bytes, scale));
+            break;
+          case ActionKind::Isend:
+            pending.push_back(world.isend(
+                a.peer, a.tag, scaleBytes(a.bytes, scale)));
+            break;
+          case ActionKind::Recv:
+            co_await world.recv(a.peer, a.tag);
+            break;
+          case ActionKind::Irecv:
+            pending.push_back(world.irecv(a.peer, a.tag));
+            break;
+          case ActionKind::Wait: {
+            if (pending.empty())
+                fatal("%s: rank %d: wait with no outstanding request "
+                      "(line %d)", prog.source.c_str(), rank, a.line);
+            msg::Request req = pending.front();
+            pending.pop_front();
+            co_await world.wait(req);
+            break;
+          }
+          case ActionKind::Sendrecv:
+            co_await world.sendrecv(a.peer, a.tag,
+                                    scaleBytes(a.bytes, scale),
+                                    a.peer2, a.tag2);
+            break;
+          case ActionKind::Coll: {
+            mpi::Comm *comm = &world;
+            if (!a.group.empty()) {
+                auto it = subgroups.find(a.group);
+                if (it == subgroups.end())
+                    it = subgroups
+                             .emplace(a.group,
+                                      world.subgroup(a.group))
+                             .first;
+                comm = &it->second;
+            }
+            co_await runCollective(*comm, a, scale);
+            break;
+          }
+        }
+    }
+    trace.setPhase(rank, "");
+    completion[static_cast<std::size_t>(rank)] = mach.sim().now();
+}
+
+} // namespace
+
+Time
+ReplayResult::makespan() const
+{
+    Time t = 0;
+    for (Time c : completion)
+        t = std::max(t, c);
+    return t;
+}
+
+ReplayResult
+Replayer::run(const machine::MachineConfig &cfg, const Program &prog,
+              const ReplayOptions &opt)
+{
+    if (prog.np < 1)
+        fatal("replay: program '%s' has no ranks",
+              prog.source.c_str());
+    if (opt.scale <= 0.0)
+        fatal("replay: scale %g must be positive", opt.scale);
+
+    machine::Machine mach(cfg, prog.np);
+    if (opt.collect_trace)
+        mach.trace().enable(true);
+
+    ReplayResult res;
+    res.machine = cfg.name;
+    res.np = prog.np;
+    res.scale = opt.scale;
+    res.completion.assign(static_cast<std::size_t>(prog.np), 0);
+
+    for (int r = 0; r < prog.np; ++r)
+        mach.sim().spawn(
+            runRank(mach, prog, r, opt.scale, res.completion));
+    mach.run();
+
+    res.trace = mach.trace();
+    res.faults = mach.faultReport();
+    return res;
+}
+
+std::vector<ReplayResult>
+replaySweep(const Program &prog, const std::vector<ReplayPoint> &points,
+            harness::SweepRunner &runner)
+{
+    std::vector<ReplayResult> results(points.size());
+    runner.runTasks(points.size(), [&](std::size_t i) {
+        results[i] =
+            Replayer::run(points[i].cfg, prog, points[i].options);
+    });
+    return results;
+}
+
+} // namespace ccsim::replay

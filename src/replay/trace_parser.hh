@@ -1,0 +1,65 @@
+/**
+ * @file
+ * TraceParser: the plain-text action-trace format, both directions.
+ *
+ * The format (one action per line, rank-prefixed; see docs/REPLAY.md
+ * for the full grammar):
+ *
+ * @verbatim
+ *     # ccsim trace v1
+ *     np 4
+ *     0 compute 125.5
+ *     0 isend 1 4096 tag=7
+ *     0 wait
+ *     2 bcast 1024 root=1 algo=binomial
+ *     3 gatherv 4,8,12,16 root=0
+ *     1 alltoall 65536 group=0,1,2,3
+ * @endverbatim
+ *
+ * Compute durations are decimal microseconds with up to six fraction
+ * digits — exactly one picosecond of resolution, so a recorded trace
+ * round-trips the simulator's integer timebase losslessly (the
+ * byte-identical record -> replay contract depends on this).
+ *
+ * Parsing is strict: every diagnostic is a user error (fatal())
+ * carrying source:line and, where known, the rank, e.g.
+ * "app.trace:17: rank 3: unknown collective 'allsum'".
+ */
+
+#ifndef CCSIM_REPLAY_TRACE_PARSER_HH
+#define CCSIM_REPLAY_TRACE_PARSER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "replay/program.hh"
+
+namespace ccsim::replay {
+
+/** Parses the plain-text trace format into validated Programs. */
+class TraceParser
+{
+  public:
+    /** Parse a trace file; fatal() (with path:line) on any error. */
+    static Program parseFile(const std::string &path);
+
+    /** Parse from a stream; @p name labels diagnostics. */
+    static Program parse(std::istream &is, const std::string &name);
+};
+
+/** Render one action as a trace-format line body (no rank prefix);
+ *  parse(format(a)) reproduces @p a exactly. */
+std::string formatAction(const Action &a);
+
+/** Write @p prog in trace format (header, np, then each rank's
+ *  actions in rank order).  parse(write(p)) == p. */
+void writeProgram(const Program &prog, std::ostream &os);
+
+/** Exact Time <-> decimal-microsecond rendering used by the format:
+ *  integer picoseconds as "<us>[.<frac>]" with trailing zeros
+ *  trimmed (6 fraction digits max). */
+std::string formatMicrosExact(Time t);
+
+} // namespace ccsim::replay
+
+#endif // CCSIM_REPLAY_TRACE_PARSER_HH

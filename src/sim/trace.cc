@@ -28,7 +28,26 @@ Trace::record(const Span &s)
         panic("Trace::record: span ends (%lld) before it starts (%lld)",
               static_cast<long long>(s.end),
               static_cast<long long>(s.start));
+    // A traced collective records thousands of spans; grab a big
+    // block up front so the hot path never reallocates early and
+    // often.
+    if (spans_.capacity() == spans_.size())
+        spans_.reserve(spans_.empty() ? 4096 : 2 * spans_.size());
     spans_.push_back(s);
+    Span &sp = spans_.back();
+    if (sp.label.empty() && sp.rank >= 0 &&
+        static_cast<std::size_t>(sp.rank) < phase_.size())
+        sp.label = phase_[static_cast<std::size_t>(sp.rank)];
+}
+
+void
+Trace::setPhase(int rank, std::string label)
+{
+    if (!enabled_ || rank < 0)
+        return;
+    if (static_cast<std::size_t>(rank) >= phase_.size())
+        phase_.resize(static_cast<std::size_t>(rank) + 1);
+    phase_[static_cast<std::size_t>(rank)] = std::move(label);
 }
 
 void
@@ -40,13 +59,16 @@ Trace::writeChromeJson(std::ostream &os) const
         if (!first)
             os << ",";
         first = false;
-        os << "\n  {\"name\": \"" << spanKindName(s.kind) << "\""
+        const std::string &name =
+            s.label.empty() ? spanKindName(s.kind) : s.label;
+        os << "\n  {\"name\": \"" << name << "\""
            << ", \"ph\": \"X\""
            << ", \"ts\": " << toMicros(s.start)
            << ", \"dur\": " << toMicros(s.duration())
            << ", \"pid\": 0"
-           << ", \"tid\": " << s.rank << ", \"args\": {\"bytes\": "
-           << s.bytes << ", \"peer\": " << s.peer << "}}";
+           << ", \"tid\": " << s.rank << ", \"args\": {\"kind\": \""
+           << spanKindName(s.kind) << "\", \"bytes\": " << s.bytes
+           << ", \"peer\": " << s.peer << "}}";
     }
     os << "\n]\n";
 }
@@ -54,11 +76,11 @@ Trace::writeChromeJson(std::ostream &os) const
 void
 Trace::writeCsv(std::ostream &os) const
 {
-    os << "rank,kind,start_us,end_us,bytes,peer\n";
+    os << "rank,kind,start_us,end_us,bytes,peer,label\n";
     for (const Span &s : spans_) {
         os << s.rank << ',' << spanKindName(s.kind) << ','
            << toMicros(s.start) << ',' << toMicros(s.end) << ','
-           << s.bytes << ',' << s.peer << '\n';
+           << s.bytes << ',' << s.peer << ',' << s.label << '\n';
     }
 }
 

@@ -45,7 +45,8 @@ struct Span
     Time start = 0;
     Time end = 0;
     Bytes bytes = 0;
-    int peer = -1; //!< other endpoint (-1: none)
+    int peer = -1;     //!< other endpoint (-1: none)
+    std::string label; //!< optional phase/collective name
 
     Time duration() const { return end - start; }
 };
@@ -71,20 +72,35 @@ class Trace
     /** True while recording. */
     bool enabled() const { return enabled_; }
 
-    /** Record a span (no-op while disabled). */
+    /** Record a span (no-op while disabled).  Spans with an empty
+     *  label inherit the recording rank's current phase label. */
     void record(const Span &s);
+
+    /**
+     * Set the phase label stamped onto subsequent spans of @p rank
+     * (the replay engine labels each action — "alltoall", "halo
+     * exchange" — so timelines read at collective granularity in
+     * Perfetto).  An empty @p label clears it.  No-op while disabled.
+     */
+    void setPhase(int rank, std::string label);
 
     /** All recorded spans, in recording order. */
     const std::vector<Span> &spans() const { return spans_; }
 
-    /** Drop all recorded spans. */
-    void clear() { spans_.clear(); }
+    /** Drop all recorded spans and phase labels. */
+    void
+    clear()
+    {
+        spans_.clear();
+        phase_.clear();
+    }
 
     /** Chrome trace-event JSON (complete "X" events; ts/dur in us;
-     *  tid = rank). */
+     *  tid = rank; labelled spans use the label as the event name,
+     *  with the kind preserved in args). */
     void writeChromeJson(std::ostream &os) const;
 
-    /** CSV: rank,kind,start_us,end_us,bytes,peer. */
+    /** CSV: rank,kind,start_us,end_us,bytes,peer,label. */
     void writeCsv(std::ostream &os) const;
 
     /** Aggregate per-rank totals. */
@@ -93,6 +109,7 @@ class Trace
   private:
     bool enabled_ = false;
     std::vector<Span> spans_;
+    std::vector<std::string> phase_; //!< per-rank current label
 };
 
 } // namespace ccsim::sim

@@ -17,7 +17,7 @@ using namespace time_literals;
 TEST(Trace, DisabledRecordsNothing)
 {
     Trace t;
-    t.record(Span{0, SpanKind::Send, 0, 10, 4, 1});
+    t.record(Span{0, SpanKind::Send, 0, 10, 4, 1, {}});
     EXPECT_TRUE(t.spans().empty());
 }
 
@@ -25,7 +25,7 @@ TEST(Trace, RecordsWhenEnabled)
 {
     Trace t;
     t.enable(true);
-    t.record(Span{3, SpanKind::Recv, 5 * US, 9 * US, 128, 1});
+    t.record(Span{3, SpanKind::Recv, 5 * US, 9 * US, 128, 1, {}});
     ASSERT_EQ(t.spans().size(), 1u);
     EXPECT_EQ(t.spans()[0].rank, 3);
     EXPECT_EQ(t.spans()[0].duration(), 4 * US);
@@ -38,7 +38,7 @@ TEST(Trace, RejectsBackwardsSpan)
     throwOnError(true);
     Trace t;
     t.enable(true);
-    EXPECT_THROW(t.record(Span{0, SpanKind::Compute, 10, 5, 0, -1}),
+    EXPECT_THROW(t.record(Span{0, SpanKind::Compute, 10, 5, 0, -1, {}}),
                  PanicError);
     throwOnError(false);
 }
@@ -47,9 +47,9 @@ TEST(Trace, SummarizeAccumulatesPerRankAndKind)
 {
     Trace t;
     t.enable(true);
-    t.record(Span{0, SpanKind::Compute, 0, 10 * US, 0, -1});
-    t.record(Span{0, SpanKind::Send, 10 * US, 15 * US, 64, 1});
-    t.record(Span{1, SpanKind::Recv, 0, 30 * US, 64, 0});
+    t.record(Span{0, SpanKind::Compute, 0, 10 * US, 0, -1, {}});
+    t.record(Span{0, SpanKind::Send, 10 * US, 15 * US, 64, 1, {}});
+    t.record(Span{1, SpanKind::Recv, 0, 30 * US, 64, 0, {}});
     auto sum = t.summarize();
     EXPECT_EQ(sum[0].compute, 10 * US);
     EXPECT_EQ(sum[0].send, 5 * US);
@@ -62,7 +62,7 @@ TEST(Trace, ChromeJsonAndCsvShapes)
 {
     Trace t;
     t.enable(true);
-    t.record(Span{2, SpanKind::Send, 1 * US, 3 * US, 16, 5});
+    t.record(Span{2, SpanKind::Send, 1 * US, 3 * US, 16, 5, {}});
     std::ostringstream json;
     t.writeChromeJson(json);
     std::string j = json.str();
@@ -73,9 +73,57 @@ TEST(Trace, ChromeJsonAndCsvShapes)
 
     std::ostringstream csv;
     t.writeCsv(csv);
-    EXPECT_NE(csv.str().find("rank,kind,start_us,end_us,bytes,peer"),
+    EXPECT_NE(csv.str().find(
+                  "rank,kind,start_us,end_us,bytes,peer,label"),
               std::string::npos);
-    EXPECT_NE(csv.str().find("2,send,1,3,16,5"), std::string::npos);
+    EXPECT_NE(csv.str().find("2,send,1,3,16,5,"), std::string::npos);
+}
+
+TEST(Trace, PhaseLabelsStampSubsequentSpans)
+{
+    Trace t;
+    t.enable(true);
+    t.setPhase(0, "halo exchange");
+    t.record(Span{0, SpanKind::Send, 0, 1 * US, 8, 1, {}});
+    t.setPhase(0, ""); // clear
+    t.record(Span{0, SpanKind::Send, 1 * US, 2 * US, 8, 1, {}});
+    // An explicit label wins over the phase.
+    t.setPhase(1, "phase");
+    t.record(Span{1, SpanKind::Recv, 0, 1 * US, 8, 0, "explicit"});
+    ASSERT_EQ(t.spans().size(), 3u);
+    EXPECT_EQ(t.spans()[0].label, "halo exchange");
+    EXPECT_EQ(t.spans()[1].label, "");
+    EXPECT_EQ(t.spans()[2].label, "explicit");
+
+    // Labelled spans become the Chrome event name; unlabelled keep
+    // the kind.  The kind always survives in args.
+    std::ostringstream json;
+    t.writeChromeJson(json);
+    std::string j = json.str();
+    EXPECT_NE(j.find("\"name\": \"halo exchange\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"name\": \"send\""), std::string::npos);
+    EXPECT_NE(j.find("\"kind\": \"send\""), std::string::npos);
+
+    // CSV carries the label as the trailing column.
+    std::ostringstream csv;
+    t.writeCsv(csv);
+    EXPECT_NE(csv.str().find("0,send,0,1,8,1,halo exchange"),
+              std::string::npos);
+
+    // clear() also resets phases.
+    t.clear();
+    t.record(Span{0, SpanKind::Send, 0, 1, 8, 1, {}});
+    EXPECT_EQ(t.spans()[0].label, "");
+}
+
+TEST(Trace, SetPhaseIsNoopWhileDisabled)
+{
+    Trace t;
+    t.setPhase(0, "ignored");
+    t.enable(true);
+    t.record(Span{0, SpanKind::Send, 0, 1, 8, 1, {}});
+    EXPECT_EQ(t.spans()[0].label, "");
 }
 
 TEST(Trace, MachineIntegrationCapturesTransportActivity)

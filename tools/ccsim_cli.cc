@@ -27,15 +27,33 @@
  *     ccsim pingpong --machine Paragon [--config FILE]
  *         Point-to-point latency/bandwidth curve + Hockney fit.
  *
+ *     ccsim replay --trace FILE [--machine SP2,T3D,Paragon] [--np N]
+ *                  [--scale 0.25,1,4] [--faults SPEC] [--jobs N]
+ *                  [--chrome-json FILE] [--csv]
+ *         Replay a recorded workload trace (see docs/REPLAY.md) on
+ *         each named machine at each message scale — the cross
+ *         product runs on the sweep worker pool and the output is
+ *         identical at any --jobs level.  --np asserts the trace's
+ *         rank count; --chrome-json dumps the first point's
+ *         activity timeline; --csv emits exact picosecond makespans
+ *         (the golden-trace regression format).
+ *
  *     ccsim dump-config --machine SP2
  *         Emit a preset as an editable config file (see --config).
+ *
+ * Global option: --trace-out FILE makes measure and pingpong write a
+ * Chrome trace-event JSON timeline of one traced call (load in
+ * chrome://tracing or Perfetto).
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "ccsim.hh"
 
@@ -77,7 +95,7 @@ parseArgs(int argc, char **argv)
 {
     Args a;
     if (argc < 2)
-        fatal("usage: ccsim <machines|measure|sweep|pingpong|"
+        fatal("usage: ccsim <machines|measure|sweep|pingpong|replay|"
               "dump-config> [options]");
     a.command = argv[1];
     for (int i = 2; i < argc; ++i) {
@@ -85,7 +103,7 @@ parseArgs(int argc, char **argv)
         if (arg.rfind("--", 0) != 0)
             fatal("expected --option, got '%s'", arg.c_str());
         std::string key = arg.substr(2);
-        if (key == "paper") {
+        if (key == "paper" || key == "csv") {
             a.options[key] = "1";
         } else {
             if (i + 1 >= argc)
@@ -131,6 +149,80 @@ resolveRunner(const Args &a)
     if (a.has("jobs") && jobs < 1)
         fatal("--jobs wants a positive integer, got %lld", jobs);
     return harness::SweepRunner(static_cast<int>(jobs));
+}
+
+/** Split a comma-separated option value. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::stringstream ss(s);
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/**
+ * --trace-out: run one traced call of @p op and dump the timeline.
+ * A separate single-shot Machine keeps the measurement above
+ * unperturbed (tracing is observational, but the timeline of one
+ * clean call is what a reader wants to look at anyway).
+ */
+void
+dumpCollectiveTrace(const machine::MachineConfig &cfg, int p,
+                    machine::Coll op, Bytes m, machine::Algo algo,
+                    const std::string &path)
+{
+    machine::Machine mach(cfg, p);
+    mach.trace().enable(true);
+    auto program = [&](int rank) -> sim::Task<void> {
+        mpi::Comm comm(mach, rank);
+        co_await comm.barrier();
+        mach.trace().setPhase(rank, machine::collKey(op));
+        co_await harness::runCollectiveOnce(comm, op, m, algo);
+    };
+    for (int r = 0; r < p; ++r)
+        mach.sim().spawn(program(r));
+    mach.run();
+
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot write trace file '%s'", path.c_str());
+    mach.trace().writeChromeJson(f);
+    std::fprintf(stderr, "wrote Chrome trace to %s (%zu spans)\n",
+                 path.c_str(), mach.trace().spans().size());
+}
+
+/** --trace-out for pingpong: one traced m-byte round trip. */
+void
+dumpPingPongTrace(const machine::MachineConfig &cfg, Bytes m,
+                  const std::string &path)
+{
+    machine::Machine mach(cfg, 2);
+    mach.trace().enable(true);
+    auto program = [&](int rank) -> sim::Task<void> {
+        mpi::Comm comm(mach, rank);
+        mach.trace().setPhase(rank, "pingpong");
+        if (rank == 0) {
+            co_await comm.send(1, 0, m);
+            co_await comm.recv(1, 1);
+        } else {
+            co_await comm.recv(0, 0);
+            co_await comm.send(0, 1, m);
+        }
+    };
+    for (int r = 0; r < 2; ++r)
+        mach.sim().spawn(program(r));
+    mach.run();
+
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot write trace file '%s'", path.c_str());
+    mach.trace().writeChromeJson(f);
+    std::fprintf(stderr, "wrote Chrome trace to %s (%zu spans)\n",
+                 path.c_str(), mach.trace().spans().size());
 }
 
 /** Right-aligned numeric cell used by the sweep table. */
@@ -223,6 +315,8 @@ cmdMeasure(const Args &a)
                     static_cast<unsigned long long>(
                         meas.fault_retransmits),
                     static_cast<unsigned long long>(meas.fault_delays));
+    if (a.has("trace-out"))
+        dumpCollectiveTrace(cfg, p, op, m, algo, a.get("trace-out"));
     return 0;
 }
 
@@ -310,6 +404,104 @@ cmdPingPong(const Args &a)
     t.print(std::cout);
     std::printf("\nHockney fit: %s\n",
                 model::fitHockney(samples).str().c_str());
+    if (a.has("trace-out"))
+        dumpPingPongTrace(cfg, a.getInt("m", 1024),
+                          a.get("trace-out"));
+    return 0;
+}
+
+int
+cmdReplay(const Args &a)
+{
+    if (!a.has("trace"))
+        fatal("replay needs --trace FILE (see docs/REPLAY.md for the "
+              "format; bundled workloads live in workloads/)");
+    replay::Program prog =
+        replay::TraceParser::parseFile(a.get("trace"));
+    if (a.has("np") && a.getInt("np", 0) != prog.np)
+        fatal("--np %lld does not match the trace's np %d",
+              a.getInt("np", 0), prog.np);
+
+    // The (machine, scale) cross product, machines outermost.
+    std::vector<replay::ReplayPoint> points;
+    for (const std::string &name :
+         splitList(a.get("machine", "SP2,T3D,Paragon"))) {
+        machine::MachineConfig cfg =
+            a.has("config") ? machine::loadConfigFile(a.get("config"))
+                            : machine::presetByName(name);
+        if (a.has("faults"))
+            cfg.fault = fault::parseFaultSpec(a.get("faults"));
+        for (const std::string &s : splitList(a.get("scale", "1"))) {
+            replay::ReplayPoint pt;
+            pt.cfg = cfg;
+            try {
+                pt.options.scale = std::stod(s);
+            } catch (const std::exception &) {
+                fatal("bad --scale entry '%s'", s.c_str());
+            }
+            pt.options.collect_trace = true;
+            points.push_back(std::move(pt));
+        }
+    }
+    if (points.empty())
+        fatal("replay: no machines selected");
+
+    harness::SweepRunner runner = resolveRunner(a);
+    auto results = replay::replaySweep(prog, points, runner);
+
+    if (a.has("chrome-json")) {
+        std::ofstream f(a.get("chrome-json"));
+        if (!f)
+            fatal("cannot write trace file '%s'",
+                  a.get("chrome-json").c_str());
+        results.front().trace.writeChromeJson(f);
+    }
+
+    if (a.has("csv")) {
+        // Exact integer picoseconds: the golden-regression format.
+        std::printf("machine,scale,np,makespan_ps\n");
+        for (std::size_t i = 0; i < results.size(); ++i)
+            std::printf("%s,%g,%d,%lld\n",
+                        results[i].machine.c_str(),
+                        points[i].options.scale, results[i].np,
+                        static_cast<long long>(results[i].makespan()));
+        return 0;
+    }
+
+    std::printf("workload %s: np = %d, %zu actions\n\n",
+                a.get("trace").c_str(), prog.np, prog.actions());
+    TableWriter t;
+    t.header({"machine", "scale", "makespan", "compute/rank",
+              "comm/rank", "comm %", "faults"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        double compute_us = 0, comm_us = 0;
+        for (const auto &[rank, s] : r.trace.summarize()) {
+            compute_us += toMicros(s.compute);
+            comm_us += toMicros(s.comm());
+        }
+        compute_us /= r.np;
+        comm_us /= r.np;
+        double busy = compute_us + comm_us;
+        // Stragglers and degraded links slow the run without dynamic
+        // events, so an active spec with zero counters still says so.
+        std::string faults = "-";
+        if (r.faults.any())
+            faults = std::to_string(r.faults.drops) + "d/" +
+                     std::to_string(r.faults.retransmits) + "r/" +
+                     std::to_string(r.faults.delays) + "y";
+        else if (points[i].cfg.fault.enabled())
+            faults = "static";
+        t.row({r.machine, formatG(points[i].options.scale),
+               formatTime(r.makespan()), formatF(compute_us, 1),
+               formatF(comm_us, 1),
+               formatF(busy > 0 ? 100.0 * comm_us / busy : 0.0, 1),
+               faults});
+    }
+    t.print(std::cout);
+    std::fprintf(stderr, "replayed %zu points in %.2f s (%d jobs)\n",
+                 runner.lastStats().points,
+                 runner.lastStats().wall_seconds, runner.jobs());
     return 0;
 }
 
@@ -336,8 +528,10 @@ main(int argc, char **argv)
         return cmdSweep(a);
     if (a.command == "pingpong")
         return cmdPingPong(a);
+    if (a.command == "replay")
+        return cmdReplay(a);
     if (a.command == "dump-config")
         return cmdDumpConfig(a);
     fatal("unknown command '%s' (machines, measure, sweep, pingpong, "
-          "dump-config)", a.command.c_str());
+          "replay, dump-config)", a.command.c_str());
 }

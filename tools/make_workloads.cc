@@ -1,0 +1,195 @@
+/**
+ * @file
+ * make_workloads — (re)generate the bundled application traces.
+ *
+ *     make_workloads [output-dir]     (default: workloads)
+ *
+ * Three miniature applications with the communication skeletons the
+ * paper's workloads exercised run under a replay::Recorder, and the
+ * recordings are written as plain-text traces:
+ *
+ *  - stencil2d_p16.trace: 2-D Jacobi halo exchange on a 4 x 4
+ *    periodic process grid (irecv / isend / wait plus a periodic
+ *    convergence allreduce) — nearest-neighbour traffic;
+ *  - summa_p16.trace: SUMMA dense matrix multiply on the same grid
+ *    (row- and column-subgroup panel broadcasts per step) —
+ *    sub-communicator collectives;
+ *  - stap_p16.trace: the STAP radar pipeline of the paper (Doppler
+ *    FFTs, corner-turn alltoall, beamforming, detection allreduce)
+ *    — machine-wide total exchange.
+ *
+ * Compute durations are explicit in the rank programs, so the
+ * recorded traces are machine-independent; the recording machine
+ * (Ideal) never shows in the output.  golden_times.csv replays each
+ * trace on the three paper machines and records the exact
+ * picosecond makespans — CI diffs both the traces and the times
+ * against the checked-in copies to catch drift.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ccsim.hh"
+
+using namespace ccsim;
+using namespace ccsim::time_literals;
+
+namespace {
+
+// ---- 2-D stencil ------------------------------------------------------
+
+constexpr int kGrid = 4; //!< process grid side (np = 16)
+constexpr int kStencilIters = 10;
+constexpr int kStencilCheckEvery = 5;
+constexpr Bytes kHaloBytes = 64 * 8;     //!< one 64-double halo row
+constexpr Time kStencilCompute = 480 * US; //!< 5-point sweep per iter
+
+sim::Task<void>
+stencilRank(machine::Machine &mach, int rank)
+{
+    mpi::Comm comm(mach, rank);
+    int row = rank / kGrid, col = rank % kGrid;
+    auto at = [](int r, int c) {
+        return ((r + kGrid) % kGrid) * kGrid + (c + kGrid) % kGrid;
+    };
+    // Periodic neighbours, direction-coded tags.
+    const int peer[4] = {at(row - 1, col), at(row + 1, col),
+                         at(row, col - 1), at(row, col + 1)};
+    const int opposite[4] = {1, 0, 3, 2};
+
+    for (int it = 0; it < kStencilIters; ++it) {
+        std::vector<msg::Request> reqs;
+        for (int d = 0; d < 4; ++d)
+            reqs.push_back(comm.irecv(peer[d], opposite[d]));
+        for (int d = 0; d < 4; ++d)
+            reqs.push_back(comm.isend(peer[d], d, kHaloBytes));
+        for (auto &r : reqs) // issue order = replay's FIFO order
+            co_await comm.wait(r);
+        co_await comm.compute(kStencilCompute);
+        if ((it + 1) % kStencilCheckEvery == 0)
+            co_await comm.allreduce(8); // residual norm
+    }
+}
+
+// ---- SUMMA ------------------------------------------------------------
+
+constexpr int kSummaSteps = 4;             //!< n / nb
+constexpr Bytes kPanelBytes = 64 * 64 * 8; //!< one nb x nb panel
+constexpr Time kSummaCompute = 10 * MS;    //!< local GEMM per step
+
+sim::Task<void>
+summaRank(machine::Machine &mach, int rank)
+{
+    mpi::Comm comm(mach, rank);
+    int row = rank / kGrid, col = rank % kGrid;
+
+    std::vector<int> row_group, col_group;
+    for (int i = 0; i < kGrid; ++i) {
+        row_group.push_back(row * kGrid + i);
+        col_group.push_back(i * kGrid + col);
+    }
+    mpi::Comm row_comm = comm.subgroup(row_group);
+    mpi::Comm col_comm = comm.subgroup(col_group);
+
+    for (int k = 0; k < kSummaSteps; ++k) {
+        // A panel travels along rows from the owner column, B along
+        // columns from the owner row.
+        co_await row_comm.bcast(kPanelBytes, k);
+        co_await col_comm.bcast(kPanelBytes, k);
+        co_await comm.compute(kSummaCompute);
+    }
+    co_await comm.barrier();
+}
+
+// ---- STAP -------------------------------------------------------------
+
+constexpr int kStapP = kGrid * kGrid;
+constexpr int kStapCpis = 3;                 //!< processing intervals
+constexpr Bytes kCubeBytes = 16 << 20;       //!< data cube per CPI
+constexpr Time kStapFlopTime = 100 * MS;     //!< 1-node FFT workload
+
+sim::Task<void>
+stapRank(machine::Machine &mach, int rank)
+{
+    mpi::Comm comm(mach, rank);
+    int p = comm.size();
+    Bytes m = kCubeBytes / (static_cast<Bytes>(p) * p);
+
+    for (int cpi = 0; cpi < kStapCpis; ++cpi) {
+        co_await comm.barrier();
+        co_await comm.compute(kStapFlopTime / p); // Doppler FFTs
+        co_await comm.alltoall(m);                // corner turn
+        co_await comm.compute(kStapFlopTime / p); // beamforming
+        co_await comm.allreduce(8);               // detection score
+    }
+}
+
+// ---- driver -----------------------------------------------------------
+
+using RankProgram = sim::Task<void> (*)(machine::Machine &, int);
+
+replay::Program
+record(RankProgram prog, int np)
+{
+    machine::Machine mach(machine::presetByName("Ideal"), np);
+    replay::Recorder rec(np);
+    rec.attach(mach);
+    for (int r = 0; r < np; ++r)
+        mach.sim().spawn(prog(mach, r));
+    mach.run();
+    return rec.take();
+}
+
+struct Workload
+{
+    const char *file;
+    RankProgram prog;
+    int np;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = argc > 1 ? argv[1] : "workloads";
+    const Workload workloads[] = {
+        {"stencil2d_p16.trace", stencilRank, kGrid * kGrid},
+        {"summa_p16.trace", summaRank, kGrid * kGrid},
+        {"stap_p16.trace", stapRank, kStapP},
+    };
+
+    std::ofstream golden(dir + "/golden_times.csv");
+    if (!golden)
+        fatal("cannot write %s/golden_times.csv (does the directory "
+              "exist?)", dir.c_str());
+    golden << "workload,machine,scale,np,makespan_ps\n";
+
+    harness::SweepRunner runner(1); // serial: golden is tiny
+    for (const Workload &w : workloads) {
+        replay::Program prog = record(w.prog, w.np);
+        std::string path = dir + "/" + w.file;
+        std::ofstream f(path);
+        if (!f)
+            fatal("cannot write '%s'", path.c_str());
+        replay::writeProgram(prog, f);
+        std::printf("%-24s np %2d  %4zu actions\n", w.file, prog.np,
+                    prog.actions());
+
+        std::vector<replay::ReplayPoint> points;
+        for (const char *m : {"SP2", "T3D", "Paragon"}) {
+            replay::ReplayPoint pt;
+            pt.cfg = machine::presetByName(m);
+            points.push_back(std::move(pt));
+        }
+        auto results = replay::replaySweep(prog, points, runner);
+        for (const auto &r : results)
+            golden << w.file << ',' << r.machine << ",1," << r.np
+                   << ',' << r.makespan() << '\n';
+    }
+    std::printf("golden makespans -> %s/golden_times.csv\n",
+                dir.c_str());
+    return 0;
+}
