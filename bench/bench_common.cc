@@ -1,11 +1,10 @@
 #include "bench_common.hh"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include "util/cli.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 
@@ -14,38 +13,29 @@ namespace ccsim::bench {
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
-    BenchOptions o;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0) {
-            o.quick = true;
-        } else if (std::strcmp(argv[i], "--csv") == 0) {
-            if (i + 1 >= argc)
-                fatal("missing value for --csv");
-            o.csv_dir = argv[++i];
-        } else if (std::strcmp(argv[i], "--jobs") == 0) {
-            if (i + 1 >= argc)
-                fatal("missing value for --jobs");
-            char *end = nullptr;
-            long n = std::strtol(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0' || n < 1)
-                fatal("bad value for --jobs: '%s' (want a positive "
-                      "integer)", argv[i]);
-            o.jobs = static_cast<int>(n);
-        } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [--quick] [--csv DIR] [--jobs N]\n",
-                        argv[0]);
-            std::exit(0);
-        } else {
-            fatal("unknown argument '%s' (try --help)", argv[i]);
-        }
-    }
-    return o;
+    cli::Options o(argv[0]);
+    o.flag("quick", "trim sweeps for smoke runs");
+    o.value("csv", "dump machine-readable series under DIR", "DIR");
+    o.value("jobs", "sweep worker threads (default: all cores)", "N");
+    o.flag("metrics", "collect per-point metrics snapshots");
+    o.parse(argc, argv);
+
+    BenchOptions out;
+    out.quick = o.has("quick");
+    out.csv_dir = o.get("csv");
+    long long jobs = o.getInt("jobs", 0);
+    if (o.has("jobs") && jobs < 1)
+        fatal("bad value for --jobs: want a positive integer");
+    out.jobs = static_cast<int>(jobs);
+    out.metrics = o.has("metrics");
+    return out;
 }
 
 SweepSession::SweepSession(const BenchOptions &opts,
                            harness::MeasureOptions mopt)
     : runner_(opts.jobs), mopt_(mopt)
 {
+    mopt_.metrics = mopt_.metrics || opts.metrics;
 }
 
 SweepSession::Key
@@ -135,6 +125,19 @@ const harness::SweepRunner::Stats &
 SweepSession::stats() const
 {
     return runner_.lastStats();
+}
+
+stats::MetricsSnapshot
+SweepSession::mergedMetrics() const
+{
+    if (!ran_)
+        panic("SweepSession::mergedMetrics before run()");
+    stats::MetricsSnapshot merged;
+    // Declaration order == results_ order: the merge is identical at
+    // any --jobs level.
+    for (const auto &r : results_)
+        merged.merge(r.metrics);
+    return merged;
 }
 
 harness::MeasureOptions

@@ -27,12 +27,14 @@
 
 namespace ccsim::bench {
 
-/** Command-line options common to every bench binary. */
+/** Command-line options common to every bench binary (parsed with
+ *  cli::Options, the same schema machinery the ccsim CLI uses). */
 struct BenchOptions
 {
     bool quick = false;      //!< trim sweeps (CI smoke mode)
     std::string csv_dir;     //!< dump CSV series here when non-empty
     int jobs = 0;            //!< sweep workers (0: hardware concurrency)
+    bool metrics = false;    //!< collect MetricsSnapshots per point
 
     static BenchOptions parse(int argc, char **argv);
 };
@@ -83,6 +85,14 @@ class SweepSession
 
     /** Throughput of the last run() (points/sec, wall seconds). */
     const harness::SweepRunner::Stats &stats() const;
+
+    /**
+     * All declared points' MetricsSnapshots merged in declaration
+     * order — deterministic at any --jobs level, because results are
+     * collected in spec order regardless of worker schedule.  Empty
+     * unless the session's MeasureOptions enabled metrics.
+     */
+    stats::MetricsSnapshot mergedMetrics() const;
 
   private:
     using Key = std::tuple<std::string, int, int, Bytes, int>;

@@ -227,6 +227,25 @@ BM_SimulateCollective(benchmark::State &state)
 }
 BENCHMARK(BM_SimulateCollective)->Arg(8)->Arg(32);
 
+/** Same collective with the metrics registry live — the pair bounds
+ *  the observability layer's overhead (CI guards the disabled side
+ *  against regression, see .github/workflows/ci.yml). */
+void
+BM_SimulateCollectiveMetrics(benchmark::State &state)
+{
+    const int p = static_cast<int>(state.range(0));
+    harness::MeasureOptions mo{1, 1, 0};
+    mo.metrics = true;
+    for (auto _ : state) {
+        auto meas = harness::measureCollective(
+            machine::t3dConfig(), p, machine::Coll::Alltoall, 1024,
+            machine::Algo::Default, mo);
+        benchmark::DoNotOptimize(meas.max_time);
+    }
+    state.SetItemsProcessed(state.iterations() * p * (p - 1));
+}
+BENCHMARK(BM_SimulateCollectiveMetrics)->Arg(8)->Arg(32);
+
 /** One representative sweep, timed by SweepRunner itself; the
  *  numbers land in BENCH_sweep.json for CI tracking. */
 void

@@ -19,6 +19,12 @@
  *    plain-text action trace and replay it on any machine (plus
  *    machine::CommHook, the observation interface the Recorder
  *    implements);
+ *  - stats — the metrics registry and MetricsSnapshot, the
+ *    observability layer every run can expose (docs/METRICS.md);
+ *  - ccsim::Error and its typed subclasses (FatalError, PanicError,
+ *    fault::FaultError, replay::TraceError, machine::ConfigError) —
+ *    catch the base once, exit with exitCode();
+ *  - cli::Options — the one flag-schema parser every binary uses;
  *  - sim::Trace plus the util table/units/logging helpers the above
  *    hand out in their interfaces.
  *
@@ -50,6 +56,10 @@
 #include "replay/replayer.hh"
 #include "replay/trace_parser.hh"
 #include "sim/trace.hh"
+#include "stats/metrics.hh"
+#include "stats/snapshot.hh"
+#include "util/cli.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/units.hh"

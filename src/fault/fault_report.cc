@@ -86,8 +86,9 @@ faultErrorMessage(int src, int dst, net::LinkId link, Time when,
 
 FaultError::FaultError(int src, int dst, net::LinkId link, Time when,
                        Bytes bytes, int attempts)
-    : std::runtime_error(
-          faultErrorMessage(src, dst, link, when, bytes, attempts)),
+    : Error("fault",
+            faultErrorMessage(src, dst, link, when, bytes, attempts),
+            kFaultExit),
       src_(src), dst_(dst), link_(link), when_(when), bytes_(bytes),
       attempts_(attempts)
 {

@@ -15,11 +15,11 @@
 #define CCSIM_FAULT_FAULT_REPORT_HH
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "net/topology.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 namespace ccsim::fault {
@@ -74,7 +74,7 @@ struct FaultReport
  * everything needed to diagnose the failure without the (destroyed)
  * Machine.
  */
-class FaultError : public std::runtime_error
+class FaultError : public Error
 {
   public:
     FaultError(int src, int dst, net::LinkId link, Time when,

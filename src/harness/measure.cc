@@ -66,7 +66,9 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
     if (opt.max_skew < 0)
         fatal("measureCollective: negative clock skew bound");
 
-    machine::Machine mach(cfg, p);
+    machine::MachineConfig run_cfg = cfg;
+    run_cfg.collect_metrics = cfg.collect_metrics || opt.metrics;
+    machine::Machine mach(run_cfg, p);
 
     // Per-rank clock-skew offsets (the paper: "allocated nodes are
     // often not time synchronized").
@@ -133,6 +135,7 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
         out.fault_retransmits = fr.retransmits;
         out.fault_delays = fr.delays;
     }
+    out.metrics = mach.metricsSnapshot(); // empty when metrics are off
     return out;
 }
 
@@ -208,7 +211,9 @@ measurePingPong(const machine::MachineConfig &cfg, Bytes m,
     if (m < 0)
         fatal("measurePingPong: negative message length");
 
-    machine::Machine mach(cfg, 2);
+    machine::MachineConfig run_cfg = cfg;
+    run_cfg.collect_metrics = cfg.collect_metrics || opt.metrics;
+    machine::Machine mach(run_cfg, 2);
     Time round_trip_total = 0;
     const int total = opt.warmup + opt.iterations;
 
@@ -241,6 +246,7 @@ measurePingPong(const machine::MachineConfig &cfg, Bytes m,
         round_trip_total / (2 * static_cast<Time>(opt.iterations));
     out.min_time = out.max_time;
     out.mean_time = out.max_time;
+    out.metrics = mach.metricsSnapshot();
     return out;
 }
 

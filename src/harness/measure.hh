@@ -50,6 +50,10 @@ struct MeasureOptions
     Time max_skew = 0;    //!< per-rank clock-skew injection bound
     std::uint64_t seed = 12345; //!< skew RNG seed
 
+    /** Collect a MetricsSnapshot alongside the timings (observation
+     *  only: the measured times are identical either way). */
+    bool metrics = false;
+
     /** The paper's full procedure: k = 20, 5 reps, 2 warm-up runs. */
     static MeasureOptions
     paperFaithful()
@@ -83,6 +87,10 @@ struct Measurement
     std::uint64_t fault_drops = 0;       //!< messages lost in flight
     std::uint64_t fault_retransmits = 0; //!< retries issued
     std::uint64_t fault_delays = 0;      //!< messages delayed in flight
+
+    /** Full observability snapshot of the run; empty() unless
+     *  MeasureOptions::metrics (or cfg.collect_metrics) was set. */
+    stats::MetricsSnapshot metrics;
 
     /** The headline number (the paper reports the maximum). */
     Time time() const { return max_time; }

@@ -36,4 +36,9 @@ CommHook::onCollective(int, Coll, Bytes, int, Algo,
 {
 }
 
+void
+CommHook::onMetricsReset()
+{
+}
+
 } // namespace ccsim::machine

@@ -75,6 +75,14 @@ class CommHook
                               Algo algo,
                               const std::vector<Bytes> *counts,
                               const std::vector<int> *group);
+
+    /**
+     * Machine::resetMetrics() was called (sweep/replay point
+     * boundary).  Observers that accumulate per-point state — the
+     * Replayer's per-run caches, metric aggregators — must drop it
+     * here so repeated points stay byte-identical.
+     */
+    virtual void onMetricsReset();
 };
 
 } // namespace ccsim::machine

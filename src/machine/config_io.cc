@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdarg>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -9,6 +10,27 @@
 #include "util/logging.hh"
 
 namespace ccsim::machine {
+
+namespace {
+
+/** fatal() analogue that raises ConfigError (component "config",
+ *  exit kConfigExit) so config mistakes are distinguishable from
+ *  generic user errors. */
+[[noreturn]] void
+configFatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void
+configFatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrFormat(fmt, ap);
+    va_end(ap);
+    raiseError(ConfigError(msg));
+}
+
+} // namespace
 
 namespace {
 
@@ -34,7 +56,7 @@ parseDouble(const std::string &key, const std::string &value)
             throw std::invalid_argument("trailing");
         return d;
     } catch (const std::exception &) {
-        fatal("config: bad numeric value '%s' for key '%s'",
+        configFatal("bad numeric value '%s' for key '%s'",
               value.c_str(), key.c_str());
     }
 }
@@ -49,7 +71,7 @@ parseInt(const std::string &key, const std::string &value)
             throw std::invalid_argument("trailing");
         return v;
     } catch (const std::exception &) {
-        fatal("config: bad integer value '%s' for key '%s'",
+        configFatal("bad integer value '%s' for key '%s'",
               value.c_str(), key.c_str());
     }
 }
@@ -61,7 +83,7 @@ parseBool(const std::string &key, const std::string &value)
         return true;
     if (value == "false" || value == "0" || value == "no")
         return false;
-    fatal("config: bad boolean value '%s' for key '%s'", value.c_str(),
+    configFatal("bad boolean value '%s' for key '%s'", value.c_str(),
           key.c_str());
 }
 
@@ -131,7 +153,7 @@ applyGlobal(MachineConfig &cfg, const std::string &key,
         cfg.hardware_barrier_latency =
             microseconds(parseDouble(key, value));
     else
-        fatal("config: unknown key '%s'", key.c_str());
+        configFatal("unknown key '%s'", key.c_str());
 }
 
 /** Apply one <op>.<field> setting. */
@@ -157,7 +179,7 @@ applyCollective(MachineConfig &cfg, Coll op, const std::string &field,
         costs.recv_overhead_override =
             microseconds(parseDouble(key, value));
     else
-        fatal("config: unknown collective field '%s'", key.c_str());
+        configFatal("unknown collective field '%s'", key.c_str());
 }
 
 /** Apply one fault.<field> setting. */
@@ -195,7 +217,7 @@ applyFault(MachineConfig &cfg, const std::string &field,
     else if (field == "retry_backoff")
         f.retry_backoff = parseDouble(key, value);
     else
-        fatal("config: unknown fault field '%s'", key.c_str());
+        configFatal("unknown fault field '%s'", key.c_str());
 }
 
 } // namespace
@@ -217,7 +239,7 @@ algoByName(const std::string &name)
         if (algoName(a) == name)
             return a;
     }
-    fatal("config: unknown algorithm '%s'", name.c_str());
+    configFatal("unknown algorithm '%s'", name.c_str());
 }
 
 TopologyKind
@@ -230,22 +252,28 @@ topologyKindByName(const std::string &name)
         if (topologyKindName(k) == name)
             return k;
     }
-    fatal("config: unknown topology '%s'", name.c_str());
+    configFatal("unknown topology '%s'", name.c_str());
 }
 
 MachineConfig
 presetByName(const std::string &name)
 {
-    if (name == "SP2")
+    // Case-insensitive: "paragon" from a shell is as valid as
+    // "Paragon" from the paper.
+    std::string lower(name);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "sp2")
         return sp2Config();
-    if (name == "T3D")
+    if (lower == "t3d")
         return t3dConfig();
-    if (name == "Paragon")
+    if (lower == "paragon")
         return paragonConfig();
-    if (name == "Ideal")
+    if (lower == "ideal")
         return idealConfig();
-    fatal("config: unknown preset '%s' (SP2, T3D, Paragon, Ideal)",
-          name.c_str());
+    configFatal("unknown preset '%s' (SP2, T3D, Paragon, Ideal)",
+                name.c_str());
 }
 
 void
@@ -338,7 +366,7 @@ saveConfigFile(const MachineConfig &cfg, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        fatal("config: cannot write '%s'", path.c_str());
+        configFatal("cannot write '%s'", path.c_str());
     saveConfig(cfg, out);
 }
 
@@ -363,16 +391,16 @@ loadConfig(std::istream &is)
 
         auto eq = s.find('=');
         if (eq == std::string::npos)
-            fatal("config line %d: expected 'key = value', got '%s'",
+            configFatal("config line %d: expected 'key = value', got '%s'",
                   lineno, line.c_str());
         std::string key = trim(s.substr(0, eq));
         std::string value = trim(s.substr(eq + 1));
         if (key.empty() || value.empty())
-            fatal("config line %d: empty key or value", lineno);
+            configFatal("config line %d: empty key or value", lineno);
 
         if (key == "base") {
             if (!first_setting)
-                fatal("config line %d: 'base' must be the first "
+                configFatal("config line %d: 'base' must be the first "
                       "setting", lineno);
             std::string name = cfg.name;
             cfg = presetByName(value);
@@ -394,7 +422,7 @@ loadConfig(std::istream &is)
             }
             auto it = collKeys().find(op_key);
             if (it == collKeys().end())
-                fatal("config line %d: unknown collective '%s'",
+                configFatal("config line %d: unknown collective '%s'",
                       lineno, op_key.c_str());
             applyCollective(cfg, it->second, field, key, value);
         }
@@ -408,7 +436,7 @@ loadConfigFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("config: cannot read '%s'", path.c_str());
+        configFatal("cannot read '%s'", path.c_str());
     return loadConfig(in);
 }
 

@@ -19,7 +19,7 @@
  *
  * saveConfig() emits a complete round-trippable file; loadConfig()
  * is strict — unknown keys, malformed values, or out-of-range
- * settings are user errors (fatal()).
+ * settings raise ConfigError.
  */
 
 #ifndef CCSIM_MACHINE_CONFIG_IO_HH
@@ -29,31 +29,47 @@
 #include <string>
 
 #include "machine/machine_config.hh"
+#include "util/error.hh"
 
 namespace ccsim::machine {
+
+/**
+ * A bad machine configuration: unknown preset/key/algorithm, a
+ * malformed value, or an unreadable config file.  Derives from
+ * FatalError (a user error, catchable as one) but refines the
+ * component to "config" and the CLI exit code to kConfigExit.
+ */
+struct ConfigError : FatalError
+{
+    explicit ConfigError(const std::string &message)
+        : FatalError("config", message, kConfigExit)
+    {
+    }
+};
 
 /** Write @p cfg as a complete key = value document. */
 void saveConfig(const MachineConfig &cfg, std::ostream &os);
 
-/** saveConfig() to a file (fatal on I/O failure). */
+/** saveConfig() to a file (ConfigError on I/O failure). */
 void saveConfigFile(const MachineConfig &cfg, const std::string &path);
 
 /** Parse a config document (see file comment for the format). */
 MachineConfig loadConfig(std::istream &is);
 
-/** loadConfig() from a file (fatal if unreadable). */
+/** loadConfig() from a file (ConfigError if unreadable). */
 MachineConfig loadConfigFile(const std::string &path);
 
-/** Preset lookup by name ("SP2", "T3D", "Paragon", "Ideal"). */
+/** Preset lookup by name ("SP2", "T3D", "Paragon", "Ideal");
+ *  case-insensitive, so CLI spellings like "paragon" work. */
 MachineConfig presetByName(const std::string &name);
 
 /** Key-name slug of a collective ("alltoall", "reduce_scatter"...). */
 std::string collKey(Coll op);
 
-/** Inverse of algoName(); fatal on unknown names. */
+/** Inverse of algoName(); ConfigError on unknown names. */
 Algo algoByName(const std::string &name);
 
-/** Inverse of topologyKindName(); fatal on unknown names. */
+/** Inverse of topologyKindName(); ConfigError on unknown names. */
 TopologyKind topologyKindByName(const std::string &name);
 
 } // namespace ccsim::machine

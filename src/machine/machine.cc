@@ -1,5 +1,9 @@
 #include "machine/machine.hh"
 
+#include <cstdio>
+
+#include "machine/comm_hook.hh"
+#include "machine/config_io.hh"
 #include "util/logging.hh"
 
 namespace ccsim::machine {
@@ -21,9 +25,13 @@ Machine::Machine(MachineConfig config, int p)
                     return fi->linkSlowdown(l, t);
                 });
     }
-    fabric_ = std::make_unique<msg::Fabric>(sim_, *network_, p,
-                                            config_.transport, &trace_,
-                                            fault_.get());
+    if (config_.collect_metrics) {
+        metrics_ = std::make_unique<stats::MachineMetrics>(kNumColl);
+        network_->enableCounters();
+    }
+    fabric_ = std::make_unique<msg::Fabric>(
+        sim_, *network_, p, config_.transport, &trace_, fault_.get(),
+        metrics_ ? &metrics_->transport : nullptr);
     if (config_.hardware_barrier)
         hw_barrier_ = std::make_unique<HardwareBarrier>(
             sim_, p, config_.hardware_barrier_latency);
@@ -41,6 +49,106 @@ Machine::contextFor(const std::vector<int> &global_ranks)
     auto [it, inserted] = context_registry_.try_emplace(
         global_ranks, static_cast<int>(context_registry_.size()) + 1);
     return it->second;
+}
+
+stats::MetricsSnapshot
+Machine::metricsSnapshot()
+{
+    stats::MetricsSnapshot snap;
+    if (!metrics_)
+        return snap;
+
+    snap.horizon_us = toMicros(sim_.now());
+
+    const stats::TransportMetrics &t = metrics_->transport;
+    snap.counters["msg.sends.eager"] = t.eager_sends.value();
+    snap.counters["msg.sends.rdv"] = t.rdv_sends.value();
+    snap.counters["msg.sends.self"] = t.self_sends.value();
+    snap.counters["msg.sends.blt"] = t.blt_sends.value();
+    snap.counters["msg.recvs"] = t.recvs.value();
+    snap.gauges["msg.unexpected_queue"] = t.unexpected_hw.value();
+    snap.gauges["msg.pending_rts_queue"] = t.pending_rts_hw.value();
+    snap.gauges["msg.pending_recv_queue"] = t.pending_recv_hw.value();
+    snap.gauges["msg.inject_backlog_us"] = t.inject_backlog_us.value();
+    snap.histograms["msg.bytes_per_send"] =
+        stats::HistogramSnapshot::of(t.msg_bytes);
+
+    for (Coll op : kAllColls) {
+        const stats::CollOpMetrics &c =
+            metrics_->coll[static_cast<std::size_t>(op)];
+        if (c.calls.value() == 0)
+            continue;
+        std::string prefix = "coll." + collKey(op);
+        snap.counters[prefix + ".calls"] = c.calls.value();
+        snap.counters[prefix + ".stages"] = c.stages.value();
+        snap.counters[prefix + ".msgs"] = c.msgs.value();
+        snap.histograms[prefix + ".time_us"] =
+            stats::HistogramSnapshot::of(c.time_us);
+    }
+
+    snap.counters["net.messages"] = network_->messages();
+    snap.counters["net.payload_bytes"] =
+        static_cast<std::uint64_t>(network_->totalBytes());
+    snap.counters["net.route_cache_hits"] = network_->routeCacheHits();
+    snap.counters["net.route_cache_misses"] =
+        network_->routeCacheMisses();
+
+    snap.counters["sim.events"] = sim_.eventsFired();
+    snap.counters["sim.tasks"] = sim_.tasksSpawned();
+    snap.gauges["sim.event_queue_depth"] =
+        static_cast<double>(sim_.queue().maxDepth());
+
+    // The fault layer's counters, unified into the same snapshot so
+    // one report answers "what did this run's faults cost".
+    fault::FaultReport fr = faultReport();
+    snap.counters["fault.drops"] = fr.drops;
+    snap.counters["fault.delays"] = fr.delays;
+    snap.counters["fault.retransmits"] = fr.retransmits;
+    snap.counters["fault.exhausted"] = fr.exhausted;
+
+    if (const net::Network::LinkCounters *lc = network_->counters()) {
+        snap.counters["net.stalled_transfers"] = lc->stalled_transfers;
+        const std::vector<Time> &busy = network_->linkBusyTimes();
+        for (std::size_t i = 0; i < lc->bytes.size(); ++i) {
+            if (lc->bytes[i] == 0 && lc->stall[i] == 0)
+                continue;
+            // Zero-padded ids keep the name-sorted link table in
+            // numeric order.
+            char label[16];
+            std::snprintf(label, sizeof(label), "link%05zu", i);
+            stats::LinkRow row;
+            row.link = label;
+            row.bytes = static_cast<std::uint64_t>(lc->bytes[i]);
+            row.busy_us = toMicros(busy[i]);
+            row.stall_us = toMicros(lc->stall[i]);
+            row.util = snap.horizon_us > 0.0
+                           ? row.busy_us / snap.horizon_us
+                           : 0.0;
+            snap.links.push_back(std::move(row));
+        }
+    }
+
+    // Extension-point registry entries, folded in under their own
+    // names (extensions should pick a distinct prefix).
+    for (const auto &[name, c] : metrics_->registry.counters())
+        snap.counters[name] = c.value();
+    for (const auto &[name, g] : metrics_->registry.gauges())
+        snap.gauges[name] = g.value();
+    for (const auto &[name, h] : metrics_->registry.histograms())
+        snap.histograms[name] = stats::HistogramSnapshot::of(h);
+
+    return snap;
+}
+
+void
+Machine::resetMetrics()
+{
+    if (metrics_) {
+        metrics_->reset();
+        network_->resetCounters();
+    }
+    if (comm_hook_)
+        comm_hook_->onMetricsReset();
 }
 
 void

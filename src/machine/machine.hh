@@ -27,6 +27,8 @@
 #include "net/network.hh"
 #include "sim/simulator.hh"
 #include "sim/trace.hh"
+#include "stats/metrics.hh"
+#include "stats/snapshot.hh"
 
 namespace ccsim::machine {
 
@@ -70,6 +72,25 @@ class Machine
     /** Activity-trace sink (enable() it before running). */
     sim::Trace &trace() { return trace_; }
 
+    /** Live metrics, or nullptr unless config().collect_metrics. */
+    stats::MachineMetrics *metrics() { return metrics_.get(); }
+
+    /**
+     * Assemble the machine-wide MetricsSnapshot: every live metric
+     * group under stable names, plus the per-link traffic table and
+     * the fault / simulator counters (see docs/METRICS.md for the
+     * schema).  Empty when metrics are off.
+     */
+    stats::MetricsSnapshot metricsSnapshot();
+
+    /**
+     * Zero all metric state (sweep/replay point boundary) without
+     * touching any simulated state, and notify the CommHook via
+     * onMetricsReset().  No-op on the simulation itself: times after
+     * a reset are identical to times without one.
+     */
+    void resetMetrics();
+
     /** Observer of mpi::Comm calls (e.g.\ the replay Recorder), or
      *  null.  Not owned; must outlive the run. */
     CommHook *commHook() const { return comm_hook_; }
@@ -96,6 +117,7 @@ class Machine
     sim::Trace trace_;
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<fault::FaultInjector> fault_;
+    std::unique_ptr<stats::MachineMetrics> metrics_;
     std::unique_ptr<msg::Fabric> fabric_;
     std::unique_ptr<HardwareBarrier> hw_barrier_;
     CommHook *comm_hook_ = nullptr;

@@ -62,6 +62,16 @@ struct MachineConfig
     /** Fault injection (disabled by default: all rates zero). */
     fault::FaultSpec fault;
 
+    /**
+     * Collect runtime metrics (stats::MachineMetrics) on machines
+     * built from this config.  Off by default — the hot paths then
+     * skip all metric updates — and deliberately not persisted by
+     * config-file I/O: observability is a per-run choice
+     * (--metrics), not a machine property, and simulated results are
+     * identical either way.
+     */
+    bool collect_metrics = false;
+
     /** Dedicated barrier network (T3D's hardwired AND tree). */
     bool hardware_barrier = false;
 

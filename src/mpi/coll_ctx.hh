@@ -44,6 +44,12 @@ struct CollCtx
 
     Combiner combiner; //!< null in size-only mode
 
+    /** This operation's metrics group (null: collection off).  The
+     *  ctx-level helpers count stages and messages here, so every
+     *  algorithm in coll_*.cc is covered without per-algorithm
+     *  instrumentation. */
+    stats::CollOpMetrics *om = nullptr;
+
     /** Global node id of communicator rank @p r. */
     int
     global(int r) const
@@ -62,6 +68,8 @@ struct CollCtx
     sim::Task<void>
     stage(Bytes bytes = 0) const
     {
+        if (om)
+            om->stages.add();
         Time per_byte = nanoseconds(costs.per_stage_ns_per_byte *
                                     static_cast<double>(bytes));
         return tp->busy(costs.per_stage + per_byte);
@@ -81,6 +89,8 @@ struct CollCtx
     sim::Task<void>
     send(int to, Bytes bytes, msg::PayloadPtr payload = nullptr) const
     {
+        if (om)
+            om->msgs.add();
         return tp->send(global(to), tag, context, bytes,
                         std::move(payload), ov);
     }
@@ -97,6 +107,8 @@ struct CollCtx
     msg::Request
     isend(int to, Bytes bytes, msg::PayloadPtr payload = nullptr) const
     {
+        if (om)
+            om->msgs.add();
         return tp->isend(global(to), tag, context, bytes,
                          std::move(payload), ov);
     }
@@ -121,6 +133,8 @@ struct CollCtx
     sendrecv(int to, Bytes bytes, int from,
              msg::PayloadPtr payload = nullptr) const
     {
+        if (om)
+            om->msgs.add();
         return tp->sendrecv(global(to), tag, bytes, global(from), tag,
                             context, std::move(payload), ov);
     }

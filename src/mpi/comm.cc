@@ -22,6 +22,30 @@ collContext(int ctx_id)
     return ctx_id * 2 + 1;
 }
 
+/**
+ * Close out one timed collective call: bump the op's call count,
+ * record the per-rank duration, and (rank 0 only, trace enabled)
+ * sample machine-wide network counters so Chrome timelines carry
+ * "C" counter tracks next to the activity spans.
+ */
+void
+finishColl(machine::Machine *mach, int grank, stats::CollOpMetrics *om,
+           Time t0)
+{
+    Time now = mach->sim().now();
+    om->calls.add();
+    om->time_us.add(toMicros(now - t0));
+    if (grank == 0 && mach->trace().enabled()) {
+        net::Network &net = mach->network();
+        mach->trace().recordCounter(
+            now, "net.payload_bytes",
+            static_cast<double>(net.totalBytes()));
+        if (const auto *lc = net.counters())
+            mach->trace().recordCounter(now, "net.stall_us",
+                                        toMicros(lc->total_stall));
+    }
+}
+
 } // namespace
 
 Comm::Comm(machine::Machine &mach, int rank)
@@ -189,6 +213,8 @@ Comm::makeCtx(Coll op, Algo &algo, Combiner combiner)
                                ctx.costs.recv_overhead_override};
     ctx.reduce_bw = cfg.reduce_bandwidth_mbs;
     ctx.combiner = std::move(combiner);
+    if (auto *mm = mach_->metrics())
+        ctx.om = &mm->coll[static_cast<std::size_t>(op)];
     return ctx;
 }
 
@@ -201,7 +227,12 @@ Comm::bcastCore(Bytes m, int root, Algo algo, msg::PayloadPtr data)
 {
     hookCollective(Coll::Bcast, m, root, algo);
     CollCtx ctx = makeCtx(Coll::Bcast, algo, {});
-    return bcastImpl(std::move(ctx), algo, m, root, std::move(data));
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await bcastImpl(std::move(ctx), algo, m, root, std::move(data));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -209,7 +240,12 @@ Comm::gatherCore(Bytes m, int root, Algo algo, msg::PayloadPtr mine)
 {
     hookCollective(Coll::Gather, m, root, algo);
     CollCtx ctx = makeCtx(Coll::Gather, algo, {});
-    return gatherImpl(std::move(ctx), algo, m, root, std::move(mine));
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await gatherImpl(std::move(ctx), algo, m, root, std::move(mine));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -217,7 +253,12 @@ Comm::scatterCore(Bytes m, int root, Algo algo, msg::PayloadPtr all)
 {
     hookCollective(Coll::Scatter, m, root, algo);
     CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
-    return scatterImpl(std::move(ctx), algo, m, root, std::move(all));
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await scatterImpl(std::move(ctx), algo, m, root, std::move(all));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -230,8 +271,13 @@ Comm::gathervCore(std::vector<Bytes> counts, int root, Algo algo,
     if (algo == Algo::Default)
         algo = Algo::Linear;
     CollCtx ctx = makeCtx(Coll::Gather, algo, {});
-    co_return co_await gathervImpl(std::move(ctx), algo, counts, root,
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await gathervImpl(std::move(ctx), algo, counts, root,
                                    std::move(mine));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -242,8 +288,13 @@ Comm::scattervCore(std::vector<Bytes> counts, int root, Algo algo,
     if (algo == Algo::Default)
         algo = Algo::Linear;
     CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
-    co_return co_await scattervImpl(std::move(ctx), algo, counts, root,
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await scattervImpl(std::move(ctx), algo, counts, root,
                                     std::move(all));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -251,7 +302,12 @@ Comm::allgatherCore(Bytes m, Algo algo, msg::PayloadPtr mine)
 {
     hookCollective(Coll::Allgather, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::Allgather, algo, {});
-    return allgatherImpl(std::move(ctx), algo, m, std::move(mine));
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await allgatherImpl(std::move(ctx), algo, m, std::move(mine));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -259,7 +315,12 @@ Comm::alltoallCore(Bytes m, Algo algo, msg::PayloadPtr mine)
 {
     hookCollective(Coll::Alltoall, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::Alltoall, algo, {});
-    return alltoallImpl(std::move(ctx), algo, m, std::move(mine));
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await alltoallImpl(std::move(ctx), algo, m, std::move(mine));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -268,7 +329,12 @@ Comm::reduceCore(Bytes m, int root, Algo algo, Combiner combiner,
 {
     hookCollective(Coll::Reduce, m, root, algo);
     CollCtx ctx = makeCtx(Coll::Reduce, algo, std::move(combiner));
-    return reduceImpl(std::move(ctx), algo, m, root, std::move(mine));
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await reduceImpl(std::move(ctx), algo, m, root, std::move(mine));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -277,7 +343,12 @@ Comm::allreduceCore(Bytes m, Algo algo, Combiner combiner,
 {
     hookCollective(Coll::Allreduce, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::Allreduce, algo, std::move(combiner));
-    return allreduceImpl(std::move(ctx), algo, m, std::move(mine));
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await allreduceImpl(std::move(ctx), algo, m, std::move(mine));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -287,7 +358,12 @@ Comm::reduceScatterCore(Bytes m, Algo algo, Combiner combiner,
     hookCollective(Coll::ReduceScatter, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::ReduceScatter, algo,
                           std::move(combiner));
-    return reduceScatterImpl(std::move(ctx), algo, m, std::move(mine));
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await reduceScatterImpl(std::move(ctx), algo, m, std::move(mine));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 sim::Task<msg::PayloadPtr>
@@ -296,7 +372,12 @@ Comm::scanCore(Bytes m, Algo algo, Combiner combiner,
 {
     hookCollective(Coll::Scan, m, -1, algo);
     CollCtx ctx = makeCtx(Coll::Scan, algo, std::move(combiner));
-    return scanImpl(std::move(ctx), algo, m, std::move(mine));
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
+    msg::PayloadPtr out = co_await scanImpl(std::move(ctx), algo, m, std::move(mine));
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
+    co_return out;
 }
 
 // ---- size-only front-ends ---------------------------------------------
@@ -306,7 +387,11 @@ Comm::barrier(Algo algo)
 {
     hookCollective(Coll::Barrier, 0, -1, algo);
     CollCtx ctx = makeCtx(Coll::Barrier, algo, {});
+    stats::CollOpMetrics *om = ctx.om;
+    const Time t0 = mach_->sim().now();
     co_await barrierImpl(ctx, algo);
+    if (om)
+        finishColl(mach_, globalRank(rank_), om, t0);
 }
 
 sim::Task<void>

@@ -20,9 +20,10 @@ scaleTime(Time t, double f)
 
 Transport::Transport(sim::Simulator &sim, net::Network &net, Fabric &fabric,
                      int node, const TransportParams &params,
-                     sim::Trace *trace, fault::FaultInjector *fi)
+                     sim::Trace *trace, fault::FaultInjector *fi,
+                     stats::TransportMetrics *tm)
     : sim_(sim), net_(net), fabric_(fabric), node_(node),
-      params_(params), trace_(trace), fi_(fi)
+      params_(params), trace_(trace), fi_(fi), tm_(tm)
 {
     if (params_.send_overhead < 0 || params_.recv_overhead < 0 ||
         params_.rendezvous_overhead < 0 || params_.blt_setup < 0)
@@ -153,9 +154,14 @@ Transport::send(int dst, int tag, int context, Bytes bytes,
 
     Time copy = transferTime(bytes, params_.copy_bandwidth_mbs);
 
+    if (tm_)
+        tm_->msg_bytes.add(static_cast<double>(bytes));
+
     if (dst == node_) {
         // Buffered local delivery: full copy on the sending side,
         // nothing touches the network.
+        if (tm_)
+            tm_->self_sends.add();
         co_await busy(o_send + copy);
         Message m{node_, dst, tag, context, bytes, std::move(payload),
                   sim_.now(), 0};
@@ -167,12 +173,17 @@ Transport::send(int dst, int tag, int context, Bytes bytes,
     Transport *peer = &fabric_.node(dst);
 
     if (bytes <= params_.eager_threshold) {
+        if (tm_)
+            tm_->eager_sends.add();
         co_await busy(o_send);
         // The injection copy runs on the coprocessor/DMA timeline;
         // the main CPU is held only for its (1 - overlap) share.
         Time copy_start = std::max(sim_.now(), copro_free_);
         Time inject_done = copy_start + copy;
         copro_free_ = inject_done;
+        if (tm_)
+            tm_->inject_backlog_us.observe(
+                toMicros(inject_done - sim_.now()));
         Message m{node_, dst, tag, context, bytes, std::move(payload),
                   0, 0};
         transmitWire(dst, bytes, inject_done,
@@ -191,6 +202,8 @@ Transport::send(int dst, int tag, int context, Bytes bytes,
     }
 
     // Rendezvous: RTS -> CTS -> DATA.
+    if (tm_)
+        tm_->rdv_sends.add();
     co_await busy(o_send + params_.rendezvous_overhead);
     auto hs = std::make_shared<Handshake>(sim_);
     Rts rts{node_, tag, context, bytes, payload, hs, 0};
@@ -214,6 +227,8 @@ Transport::send(int dst, int tag, int context, Bytes bytes,
     if (use_blt) {
         // Block-transfer engine: descriptor setup instead of a
         // memory copy; the engine streams straight from user memory.
+        if (tm_)
+            tm_->blt_sends.add();
         co_await busy(params_.blt_setup);
         hs->msg = std::move(m);
         transmitWire(dst, bytes, sim_.now(), fire_data);
@@ -221,6 +236,9 @@ Transport::send(int dst, int tag, int context, Bytes bytes,
         Time copy_start = std::max(sim_.now(), copro_free_);
         Time inject_done = copy_start + copy;
         copro_free_ = inject_done;
+        if (tm_)
+            tm_->inject_backlog_us.observe(
+                toMicros(inject_done - sim_.now()));
         hs->msg = std::move(m);
         transmitWire(dst, bytes, inject_done, fire_data);
         co_await busy(
@@ -270,6 +288,8 @@ Transport::recv(int src, int tag, int context, CostOverride ov)
         co_await busy(o_recv +
                       transferTime(m.bytes, params_.copy_bandwidth_mbs));
         ++recvs_;
+        if (tm_)
+            tm_->recvs.add();
         traceSpan(sim::SpanKind::Recv, span_start, m.bytes, m.src);
         co_return m;
     }
@@ -289,6 +309,9 @@ Transport::recv(int src, int tag, int context, CostOverride ov)
     co_await sim::suspendWith([&](std::coroutine_handle<> h) {
         pr.handle = h;
         pending_recvs_.push_back(&pr);
+        if (tm_)
+            tm_->pending_recv_hw.observe(
+                static_cast<double>(pending_recvs_.size()));
     });
 
     if (pr.eager) {
@@ -296,6 +319,8 @@ Transport::recv(int src, int tag, int context, CostOverride ov)
         co_await busy(o_recv +
                       transferTime(m.bytes, params_.copy_bandwidth_mbs));
         ++recvs_;
+        if (tm_)
+            tm_->recvs.add();
         traceSpan(sim::SpanKind::Recv, span_start, m.bytes, m.src);
         co_return m;
     }
@@ -322,6 +347,8 @@ Transport::recvRendezvous(Rts rts, CostOverride ov)
     // Direct deposit into the user buffer: completion cost only.
     co_await busy(o_recv);
     ++recvs_;
+    if (tm_)
+        tm_->recvs.add();
     co_return std::move(rts.hs->msg);
 }
 
@@ -341,6 +368,9 @@ Transport::deliverEager(Message m)
         }
     }
     unexpected_.push_back(std::move(m));
+    if (tm_)
+        tm_->unexpected_hw.observe(
+            static_cast<double>(unexpected_.size()));
 }
 
 void
@@ -359,6 +389,9 @@ Transport::deliverRts(Rts rts)
         }
     }
     pending_rts_.push_back(std::move(rts));
+    if (tm_)
+        tm_->pending_rts_hw.observe(
+            static_cast<double>(pending_rts_.size()));
 }
 
 sim::Task<void>
@@ -432,7 +465,7 @@ Transport::sendrecv(int dst, int send_tag, Bytes bytes, int src,
 
 Fabric::Fabric(sim::Simulator &sim, net::Network &net, int n,
                const TransportParams &params, sim::Trace *trace,
-               fault::FaultInjector *fi)
+               fault::FaultInjector *fi, stats::TransportMetrics *tm)
 {
     if (n < 1)
         fatal("Fabric: need at least one node, got %d", n);
@@ -442,7 +475,7 @@ Fabric::Fabric(sim::Simulator &sim, net::Network &net, int n,
     nodes_.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i)
         nodes_.push_back(std::make_unique<Transport>(
-            sim, net, *this, i, params, trace, fi));
+            sim, net, *this, i, params, trace, fi, tm));
 }
 
 Transport &

@@ -48,6 +48,7 @@
 #include "sim/simulator.hh"
 #include "sim/task.hh"
 #include "sim/trace.hh"
+#include "stats/metrics.hh"
 #include "util/units.hh"
 
 namespace ccsim::msg {
@@ -128,11 +129,14 @@ class Transport
     /** @p fi (optional) injects faults: software overheads are
      *  scaled by the node's straggler factor, and when the fault
      *  spec makes message loss possible every wire payload runs the
-     *  acknowledged timeout/retransmit protocol (see transmitWire). */
+     *  acknowledged timeout/retransmit protocol (see transmitWire).
+     *  @p tm (optional) is the machine-wide transport metrics group;
+     *  null means no collection and no overhead. */
     Transport(sim::Simulator &sim, net::Network &net, Fabric &fabric,
               int node, const TransportParams &params,
               sim::Trace *trace = nullptr,
-              fault::FaultInjector *fi = nullptr);
+              fault::FaultInjector *fi = nullptr,
+              stats::TransportMetrics *tm = nullptr);
 
     Transport(const Transport &) = delete;
     Transport &operator=(const Transport &) = delete;
@@ -305,6 +309,7 @@ class Transport
     TransportParams params_;
     sim::Trace *trace_ = nullptr;
     fault::FaultInjector *fi_ = nullptr;
+    stats::TransportMetrics *tm_ = nullptr;
 
     Time cpu_free_ = 0;   // node CPU timeline
     Time copro_free_ = 0; // message coprocessor / DMA timeline
@@ -325,10 +330,12 @@ class Fabric
   public:
     /** Build @p n transports sharing one network and parameter set;
      *  @p trace (optional) receives activity spans from every node;
-     *  @p fi (optional) threads fault injection into every endpoint. */
+     *  @p fi (optional) threads fault injection into every endpoint;
+     *  @p tm (optional) collects transport metrics across all nodes. */
     Fabric(sim::Simulator &sim, net::Network &net, int n,
            const TransportParams &params, sim::Trace *trace = nullptr,
-           fault::FaultInjector *fi = nullptr);
+           fault::FaultInjector *fi = nullptr,
+           stats::TransportMetrics *tm = nullptr);
 
     /** Endpoint of node @p i. */
     Transport &node(int i);

@@ -64,9 +64,13 @@ Network::transfer(int src, int dst, Bytes bytes, Time now)
     Time ser = transferTime(wire, params_.link_bandwidth_mbs);
 
     Time start = now;
+    LinkId constraining = -1;
     if (params_.contention)
         for (LinkId l : path)
-            start = std::max(start, link_free_[static_cast<size_t>(l)]);
+            if (link_free_[static_cast<size_t>(l)] > start) {
+                start = link_free_[static_cast<size_t>(l)];
+                constraining = l;
+            }
 
     if (slowdown_hook_) {
         // A degraded link slows the whole cut-through worm: the
@@ -88,6 +92,20 @@ Network::transfer(int src, int dst, Bytes bytes, Time now)
     ++messages_;
     total_bytes_ += bytes;
     total_link_busy_ += ser * static_cast<Time>(path.size());
+
+    if (counters_) {
+        for (LinkId l : path)
+            counters_->bytes[static_cast<size_t>(l)] += bytes;
+        if (constraining >= 0) {
+            // The wait from arrival to grant, charged to the link
+            // whose occupancy set the start time — "who is the
+            // bottleneck", the paper's contention question.
+            Time stall = start - now;
+            counters_->stall[static_cast<size_t>(constraining)] += stall;
+            counters_->total_stall += stall;
+            ++counters_->stalled_transfers;
+        }
+    }
 
     Time hops_delay =
         params_.hop_latency * static_cast<Time>(path.size());
@@ -145,6 +163,27 @@ Network::exactUtilization(Time horizon) const
 }
 
 void
+Network::enableCounters()
+{
+    if (counters_)
+        return;
+    counters_ = std::make_unique<LinkCounters>();
+    counters_->bytes.assign(topo_->numLinks(), 0);
+    counters_->stall.assign(topo_->numLinks(), 0);
+}
+
+void
+Network::resetCounters()
+{
+    if (!counters_)
+        return;
+    std::fill(counters_->bytes.begin(), counters_->bytes.end(), 0);
+    std::fill(counters_->stall.begin(), counters_->stall.end(), 0);
+    counters_->total_stall = 0;
+    counters_->stalled_transfers = 0;
+}
+
+void
 Network::reset()
 {
     std::fill(link_free_.begin(), link_free_.end(), 0);
@@ -156,6 +195,7 @@ Network::reset()
     messages_ = 0;
     total_bytes_ = 0;
     total_link_busy_ = 0;
+    resetCounters();
 }
 
 } // namespace ccsim::net

@@ -134,6 +134,31 @@ class Network
     Utilization exactUtilization(Time horizon) const;
 
     /**
+     * Optional per-link traffic/contention counters for the metrics
+     * layer.  Off by default: transfer() pays nothing for them until
+     * enableCounters() is called (machine::Machine does so when built
+     * with collect_metrics).  Observation only — enabling them never
+     * changes any transfer time.
+     */
+    struct LinkCounters
+    {
+        std::vector<Bytes> bytes; //!< payload bytes carried per link
+        std::vector<Time> stall;  //!< wait time charged to each link
+        Time total_stall = 0;     //!< sum of per-transfer waits
+        std::uint64_t stalled_transfers = 0; //!< transfers that waited
+    };
+
+    /** Start collecting LinkCounters (idempotent). */
+    void enableCounters();
+
+    /** The counters, or nullptr when collection is off. */
+    const LinkCounters *counters() const { return counters_.get(); }
+
+    /** Zero the LinkCounters without touching occupancy state (the
+     *  metrics-reset path; simulated behaviour is unaffected). */
+    void resetCounters();
+
+    /**
      * Per-link serialisation slowdown hook (>= 1.0).  When set, each
      * transfer's wire time is scaled by the worst factor along its
      * route, sampled at the transfer's start time.  Installed by
@@ -153,6 +178,7 @@ class Network
     std::vector<Time> link_free_;
     std::vector<Time> link_busy_;
     LinkSlowdownHook slowdown_hook_;
+    std::unique_ptr<LinkCounters> counters_;
 
     /** Per-(src,dst) memoised routes, indexed src * numNodes + dst.
      *  An unfilled slot is empty; every legal route has >= 1 link. */

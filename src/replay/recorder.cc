@@ -136,4 +136,11 @@ Recorder::onCollective(int node, machine::Coll op, Bytes m, int root,
     rankList(node).push_back(std::move(a));
 }
 
+void
+Recorder::onMetricsReset()
+{
+    for (auto &actions : prog_.ranks)
+        actions.clear();
+}
+
 } // namespace ccsim::replay

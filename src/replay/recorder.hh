@@ -75,6 +75,11 @@ class Recorder : public machine::CommHook
                       const std::vector<Bytes> *counts,
                       const std::vector<int> *group) override;
 
+    /** Point boundary (replay sweeps): drop the actions recorded so
+     *  far so each point's recording starts fresh and repeated points
+     *  are byte-identical.  np and source are kept. */
+    void onMetricsReset() override;
+
   private:
     std::vector<Action> &rankList(int node);
 

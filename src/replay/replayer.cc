@@ -171,9 +171,20 @@ Replayer::run(const machine::MachineConfig &cfg, const Program &prog,
     if (opt.scale <= 0.0)
         fatal("replay: scale %g must be positive", opt.scale);
 
-    machine::Machine mach(cfg, prog.np);
+    machine::MachineConfig run_cfg = cfg;
+    run_cfg.collect_metrics = cfg.collect_metrics || opt.metrics;
+    machine::Machine mach(run_cfg, prog.np);
+    if (opt.hook)
+        mach.setCommHook(opt.hook);
     if (opt.collect_trace)
         mach.trace().enable(true);
+
+    // Point boundary: zero any metric state and tell the CommHook to
+    // drop per-point accumulation.  A hook reused across sweep points
+    // (e.g.\ a Recorder) would otherwise carry the previous point's
+    // state into this one, so repeated points would not be
+    // byte-identical.
+    mach.resetMetrics();
 
     ReplayResult res;
     res.machine = cfg.name;
@@ -188,6 +199,7 @@ Replayer::run(const machine::MachineConfig &cfg, const Program &prog,
 
     res.trace = mach.trace();
     res.faults = mach.faultReport();
+    res.metrics = mach.metricsSnapshot();
     return res;
 }
 

@@ -27,6 +27,11 @@
 #include "machine/machine_config.hh"
 #include "replay/program.hh"
 #include "sim/trace.hh"
+#include "stats/snapshot.hh"
+
+namespace ccsim::machine {
+class CommHook;
+}
 
 namespace ccsim::replay {
 
@@ -46,6 +51,21 @@ struct ReplayOptions
     /** Record an activity trace (each span labelled with its trace
      *  action, so Perfetto timelines read at action granularity). */
     bool collect_trace = false;
+
+    /** Collect a MetricsSnapshot (observation only — simulated times
+     *  are byte-identical with metrics on or off). */
+    bool metrics = false;
+
+    /**
+     * Observer installed on the run's Machine (e.g.\ a Recorder), or
+     * null.  Not owned; must outlive the run.  The replayer drives
+     * CommHook::onMetricsReset() at the start of every point, so a
+     * hook reused across sweep points drops its per-point state and
+     * repeated points stay byte-identical.  A hook shared by several
+     * points of a replaySweep() requires --jobs 1 (points would
+     * otherwise race on it).
+     */
+    machine::CommHook *hook = nullptr;
 };
 
 /** Outcome of one replay run. */
@@ -63,6 +83,10 @@ struct ReplayResult
 
     /** Fault-layer activity (empty when faults are disabled). */
     fault::FaultReport faults;
+
+    /** Observability snapshot (empty unless options.metrics or
+     *  cfg.collect_metrics). */
+    stats::MetricsSnapshot metrics;
 
     /** Completion time of the slowest rank — the workload's
      *  simulated makespan. */

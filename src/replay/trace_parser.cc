@@ -56,9 +56,11 @@ struct LineCtx
     fail(const std::string &what) const
     {
         if (rank >= 0)
-            fatal("%s:%d: rank %d: %s", source->c_str(), line, rank,
-                  what.c_str());
-        fatal("%s:%d: %s", source->c_str(), line, what.c_str());
+            raiseError(TraceError(
+                strFormat("%s:%d: rank %d: %s", source->c_str(), line,
+                          rank, what.c_str())));
+        raiseError(TraceError(strFormat("%s:%d: %s", source->c_str(),
+                                        line, what.c_str())));
     }
 };
 
@@ -386,7 +388,8 @@ TraceParser::parse(std::istream &is, const std::string &name)
     }
 
     if (prog.np == 0)
-        fatal("%s: empty trace (no np directive)", name.c_str());
+        raiseError(TraceError(strFormat(
+            "%s: empty trace (no np directive)", name.c_str())));
     return prog;
 }
 
@@ -395,7 +398,8 @@ TraceParser::parseFile(const std::string &path)
 {
     std::ifstream f(path);
     if (!f)
-        fatal("cannot open trace file '%s'", path.c_str());
+        raiseError(TraceError(strFormat("cannot open trace file '%s'",
+                                        path.c_str())));
     return parse(f, path);
 }
 

@@ -21,8 +21,8 @@
  * round-trips the simulator's integer timebase losslessly (the
  * byte-identical record -> replay contract depends on this).
  *
- * Parsing is strict: every diagnostic is a user error (fatal())
- * carrying source:line and, where known, the rank, e.g.
+ * Parsing is strict: every diagnostic is a TraceError carrying
+ * source:line and, where known, the rank, e.g.
  * "app.trace:17: rank 3: unknown collective 'allsum'".
  */
 
@@ -33,14 +33,30 @@
 #include <string>
 
 #include "replay/program.hh"
+#include "util/error.hh"
 
 namespace ccsim::replay {
+
+/**
+ * A malformed or unreadable trace.  Derives from FatalError (it is a
+ * user error and stays catchable as one) but refines the component
+ * to "replay" and the CLI exit code to kTraceExit, so scripts can
+ * distinguish a bad trace from a bad flag.
+ */
+struct TraceError : FatalError
+{
+    explicit TraceError(const std::string &message)
+        : FatalError("replay", message, kTraceExit)
+    {
+    }
+};
 
 /** Parses the plain-text trace format into validated Programs. */
 class TraceParser
 {
   public:
-    /** Parse a trace file; fatal() (with path:line) on any error. */
+    /** Parse a trace file; TraceError (with path:line) on any
+     *  error. */
     static Program parseFile(const std::string &path);
 
     /** Parse from a stream; @p name labels diagnostics. */

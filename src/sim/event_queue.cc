@@ -16,6 +16,8 @@ EventQueue::schedule(Time when, Callback cb)
     if (!cb)
         panic("EventQueue::schedule: empty callback");
     heap_.push_back(Entry{when, next_seq_++, std::move(cb)});
+    if (heap_.size() > max_depth_)
+        max_depth_ = heap_.size();
     siftUp(heap_.size() - 1);
 }
 

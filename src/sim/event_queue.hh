@@ -61,6 +61,9 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t fired() const { return fired_; }
 
+    /** Largest number of simultaneously pending events ever seen. */
+    std::size_t maxDepth() const { return max_depth_; }
+
   private:
     struct Entry
     {
@@ -84,6 +87,7 @@ class EventQueue
     std::vector<Entry> heap_; //!< min-heap ordered by earlier()
     std::uint64_t next_seq_ = 0;
     std::uint64_t fired_ = 0;
+    std::size_t max_depth_ = 0;
     Time last_fired_ = 0;
 };
 

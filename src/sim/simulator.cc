@@ -37,6 +37,7 @@ Simulator::spawn(Task<void> task)
         panic("Simulator::spawn: empty task");
     auto handle = task.handle();
     roots_.push_back(Root{std::move(task)});
+    ++tasks_spawned_;
     // Start the lazily-created coroutine; it runs until its first
     // blocking point.
     handle.resume();

@@ -182,6 +182,9 @@ class Simulator
     /** Total events executed. */
     std::uint64_t eventsFired() const { return queue_.fired(); }
 
+    /** Total tasks ever spawned (completed ones included). */
+    std::uint64_t tasksSpawned() const { return tasks_spawned_; }
+
     /**
      * Safety valve: panic if a single run() executes more than this
      * many events (runaway-loop guard).  Zero disables the check.
@@ -198,6 +201,7 @@ class Simulator
     std::vector<Root> roots_;
     std::exception_ptr pending_exception_;
     std::uint64_t event_limit_ = 0;
+    std::uint64_t tasks_spawned_ = 0;
 };
 
 } // namespace ccsim::sim

@@ -41,6 +41,14 @@ Trace::record(const Span &s)
 }
 
 void
+Trace::recordCounter(Time when, const std::string &name, double value)
+{
+    if (!enabled_)
+        return;
+    counters_.push_back(CounterSample{when, name, value});
+}
+
+void
 Trace::setPhase(int rank, std::string label)
 {
     if (!enabled_ || rank < 0)
@@ -69,6 +77,16 @@ Trace::writeChromeJson(std::ostream &os) const
            << ", \"tid\": " << s.rank << ", \"args\": {\"kind\": \""
            << spanKindName(s.kind) << "\", \"bytes\": " << s.bytes
            << ", \"peer\": " << s.peer << "}}";
+    }
+    for (const CounterSample &c : counters_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"name\": \"" << c.name << "\""
+           << ", \"ph\": \"C\""
+           << ", \"ts\": " << toMicros(c.when)
+           << ", \"pid\": 0"
+           << ", \"args\": {\"value\": " << c.value << "}}";
     }
     os << "\n]\n";
 }

@@ -51,6 +51,14 @@ struct Span
     Time duration() const { return end - start; }
 };
 
+/** One sampled counter value (Chrome trace "C" event). */
+struct CounterSample
+{
+    Time when = 0;
+    std::string name;
+    double value = 0.0;
+};
+
 /** Per-rank activity totals. */
 struct RankSummary
 {
@@ -87,17 +95,33 @@ class Trace
     /** All recorded spans, in recording order. */
     const std::vector<Span> &spans() const { return spans_; }
 
-    /** Drop all recorded spans and phase labels. */
+    /**
+     * Sample a named counter at simulated time @p when (no-op while
+     * disabled).  The metrics layer samples machine-wide totals at
+     * collective boundaries, so timelines show e.g.\ network bytes
+     * and stall time climbing alongside the activity spans.
+     */
+    void recordCounter(Time when, const std::string &name, double value);
+
+    /** All recorded counter samples, in recording order. */
+    const std::vector<CounterSample> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Drop all recorded spans, counters, and phase labels. */
     void
     clear()
     {
         spans_.clear();
+        counters_.clear();
         phase_.clear();
     }
 
     /** Chrome trace-event JSON (complete "X" events; ts/dur in us;
      *  tid = rank; labelled spans use the label as the event name,
-     *  with the kind preserved in args). */
+     *  with the kind preserved in args; counter samples become "C"
+     *  events on pid 0). */
     void writeChromeJson(std::ostream &os) const;
 
     /** CSV: rank,kind,start_us,end_us,bytes,peer,label. */
@@ -109,6 +133,7 @@ class Trace
   private:
     bool enabled_ = false;
     std::vector<Span> spans_;
+    std::vector<CounterSample> counters_;
     std::vector<std::string> phase_; //!< per-rank current label
 };
 

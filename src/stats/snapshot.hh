@@ -1,0 +1,110 @@
+/**
+ * @file
+ * MetricsSnapshot: the frozen, order-stable view of a Machine's
+ * metrics that crosses API boundaries.
+ *
+ * Live metric groups (stats/metrics.hh) are internal mutable state;
+ * everything user-facing — Machine::metricsSnapshot(), Measurement /
+ * ReplayResult fields, SweepSession rows, the `ccsim stats`
+ * subcommand — trades in snapshots.  A snapshot is a value: plain
+ * name-sorted tables that merge deterministically (counters add,
+ * high-water gauges max, histograms merge exactly, link rows add)
+ * and serialize to CSV / JSON with fixed formatting, so two
+ * byte-identical simulations produce byte-identical serializations
+ * at any --jobs level.
+ */
+
+#ifndef CCSIM_STATS_SNAPSHOT_HH
+#define CCSIM_STATS_SNAPSHOT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/metrics.hh"
+
+namespace ccsim::stats {
+
+/** Frozen histogram: moments plus the non-empty buckets. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    double total_weight = 0.0;
+    double weighted_sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    /** (bucket index, weight) for buckets with weight != 0,
+     *  ascending; bucket i spans (2^(i-1), 2^i], bucket 0 <= 1. */
+    std::vector<std::pair<int, double>> buckets;
+
+    static HistogramSnapshot of(const Histogram &h);
+
+    double mean() const;
+
+    /** Exact fold, mirroring Histogram::merge. */
+    void merge(const HistogramSnapshot &other);
+};
+
+/** One network link's traffic and contention totals. */
+struct LinkRow
+{
+    std::string link;        //!< stable label, e.g. "3->7"
+    std::uint64_t bytes = 0; //!< payload bytes carried
+    double busy_us = 0.0;    //!< time the link was transmitting
+    double stall_us = 0.0;   //!< arrival-to-grant wait charged to it
+    double util = 0.0;       //!< busy_us / horizon_us
+};
+
+/** Value-semantic metrics view; see file comment. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /** Per-link table, sorted by link label. */
+    std::vector<LinkRow> links;
+
+    /** Simulated horizon the link utilizations are relative to. */
+    double horizon_us = 0.0;
+
+    bool empty() const;
+
+    /** Largest per-link utilization (0 when no link carried data). */
+    double maxLinkUtil() const;
+
+    /** Sum of per-link stall time. */
+    double totalStallUs() const;
+
+    /** Sum of per-link busy time. */
+    double totalLinkBusyUs() const;
+
+    /**
+     * Fold @p other in: counters and link rows add, gauges take the
+     * max, histograms merge exactly, horizon takes the max.  Used by
+     * the sweep layer to combine per-point snapshots; commutative up
+     * to the stated semantics and independent of worker scheduling.
+     */
+    void merge(const MetricsSnapshot &other);
+
+    /**
+     * name,kind,field,value rows (kind in counter / gauge /
+     * histogram / link / meta); fixed "%.9g" number formatting so
+     * equal snapshots serialize byte-identically.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** One JSON object, same content and formatting rules as CSV. */
+    void writeJson(std::ostream &os) const;
+
+    std::string toCsv() const;
+    std::string toJson() const;
+};
+
+} // namespace ccsim::stats
+
+#endif // CCSIM_STATS_SNAPSHOT_HH

@@ -1,0 +1,171 @@
+#include "util/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ccsim::cli {
+
+Options &
+Options::flag(const std::string &name, const std::string &help)
+{
+    decls_.push_back({name, help, ""});
+    return *this;
+}
+
+Options &
+Options::value(const std::string &name, const std::string &help,
+               const std::string &placeholder)
+{
+    decls_.push_back({name, help, placeholder});
+    return *this;
+}
+
+const Options::Decl *
+Options::find(const std::string &name) const
+{
+    for (const Decl &d : decls_)
+        if (d.name == name)
+            return &d;
+    return nullptr;
+}
+
+const Options::Decl &
+Options::declared(const std::string &name) const
+{
+    const Decl *d = find(name);
+    if (!d)
+        panic("option --%s read but never declared for %s",
+              name.c_str(), prog_.c_str());
+    return *d;
+}
+
+void
+Options::parse(int argc, char **argv, int start)
+{
+    for (int i = start; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("expected --option, got '%s'\n%s", arg.c_str(),
+                  usage().c_str());
+        std::string key = arg.substr(2);
+        if (key == "help") {
+            std::printf("%s", usage().c_str());
+            std::exit(0);
+        }
+        const Decl *d = find(key);
+        if (!d)
+            fatal("unknown option '--%s'\n%s", key.c_str(),
+                  usage().c_str());
+        if (d->placeholder.empty()) {
+            values_[key] = "1";
+        } else {
+            if (i + 1 >= argc)
+                fatal("--%s needs a value\n%s", key.c_str(),
+                      usage().c_str());
+            values_[key] = argv[++i];
+        }
+    }
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    declared(name);
+    return values_.count(name) != 0;
+}
+
+std::string
+Options::get(const std::string &name, const std::string &fallback) const
+{
+    declared(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+long long
+Options::getInt(const std::string &name, long long fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        declared(name);
+        return fallback;
+    }
+    try {
+        std::size_t pos = 0;
+        long long v = std::stoll(it->second, &pos);
+        if (pos != it->second.size())
+            throw std::invalid_argument(it->second);
+        return v;
+    } catch (const std::exception &) {
+        fatal("bad integer for --%s: '%s'", name.c_str(),
+              it->second.c_str());
+    }
+}
+
+double
+Options::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        declared(name);
+        return fallback;
+    }
+    try {
+        std::size_t pos = 0;
+        double v = std::stod(it->second, &pos);
+        if (pos != it->second.size())
+            throw std::invalid_argument(it->second);
+        return v;
+    } catch (const std::exception &) {
+        fatal("bad number for --%s: '%s'", name.c_str(),
+              it->second.c_str());
+    }
+}
+
+std::vector<std::string>
+Options::getList(const std::string &name,
+                 const std::string &fallback) const
+{
+    return splitList(get(name, fallback));
+}
+
+std::string
+Options::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << prog_;
+    for (const Decl &d : decls_) {
+        os << " [--" << d.name;
+        if (!d.placeholder.empty())
+            os << " " << d.placeholder;
+        os << "]";
+    }
+    os << "\n";
+    for (const Decl &d : decls_) {
+        std::string lhs = "--" + d.name;
+        if (!d.placeholder.empty())
+            lhs += " " + d.placeholder;
+        os << "  " << lhs;
+        for (std::size_t i = lhs.size(); i < 22; ++i)
+            os << ' ';
+        os << d.help << "\n";
+    }
+    return os.str();
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::stringstream ss(s);
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace ccsim::cli

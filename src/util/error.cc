@@ -1,0 +1,11 @@
+#include "util/error.hh"
+
+namespace ccsim {
+
+std::string
+Error::formatted() const
+{
+    return "ccsim " + component_ + " error: " + what();
+}
+
+} // namespace ccsim

@@ -11,8 +11,10 @@ namespace {
 bool throw_on_error = false;
 bool quiet = false;
 
+} // namespace
+
 std::string
-vformat(const char *fmt, std::va_list ap)
+vstrFormat(const char *fmt, std::va_list ap)
 {
     std::va_list ap2;
     va_copy(ap2, ap);
@@ -27,7 +29,21 @@ vformat(const char *fmt, std::va_list ap)
     return std::string(buf.data(), static_cast<size_t>(n));
 }
 
-} // namespace
+std::string
+strFormat(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrFormat(fmt, ap);
+    va_end(ap);
+    return msg;
+}
+
+bool
+throwingErrors()
+{
+    return throw_on_error;
+}
 
 bool
 throwOnError(bool enable)
@@ -52,7 +68,7 @@ inform(const char *fmt, ...)
         return;
     std::va_list ap;
     va_start(ap, fmt);
-    std::string msg = vformat(fmt, ap);
+    std::string msg = vstrFormat(fmt, ap);
     va_end(ap);
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
@@ -64,7 +80,7 @@ warn(const char *fmt, ...)
         return;
     std::va_list ap;
     va_start(ap, fmt);
-    std::string msg = vformat(fmt, ap);
+    std::string msg = vstrFormat(fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
@@ -74,7 +90,7 @@ fatal(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    std::string msg = vformat(fmt, ap);
+    std::string msg = vstrFormat(fmt, ap);
     va_end(ap);
     if (throw_on_error)
         throw FatalError(msg);
@@ -87,7 +103,7 @@ panic(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    std::string msg = vformat(fmt, ap);
+    std::string msg = vstrFormat(fmt, ap);
     va_end(ap);
     if (throw_on_error)
         throw PanicError(msg);

@@ -19,22 +19,14 @@
 #define CCSIM_UTIL_LOGGING_HH
 
 #include <cstdarg>
-#include <stdexcept>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "util/error.hh" // FatalError / PanicError live in the
+                         // ccsim::Error hierarchy
+
 namespace ccsim {
-
-/** Raised by fatal() when throwOnError(true) is active. */
-struct FatalError : std::runtime_error
-{
-    using std::runtime_error::runtime_error;
-};
-
-/** Raised by panic() when throwOnError(true) is active. */
-struct PanicError : std::logic_error
-{
-    using std::logic_error::logic_error;
-};
 
 /**
  * Direct fatal()/panic() to throw FatalError/PanicError instead of
@@ -61,6 +53,33 @@ void warn(const char *fmt, ...)
 /** Report an internal bug and abort (or throw PanicError). */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** True while throwOnError(true) is in effect. */
+bool throwingErrors();
+
+/** printf-style formatting into a std::string (the primitive behind
+ *  inform/warn/fatal/panic, exposed for typed-error throwers). */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of strFormat for wrapper functions. */
+std::string vstrFormat(const char *fmt, std::va_list ap);
+
+/**
+ * Report a typed error: the analogue of fatal() for subsystems with
+ * their own Error subclass (TraceError, ConfigError).  Throws @p err
+ * when throwOnError(true) is active (CLI and tests); otherwise
+ * prints "fatal: <what()>" and exits with err.exitCode().
+ */
+template <class E>
+[[noreturn]] void
+raiseError(const E &err)
+{
+    if (throwingErrors())
+        throw err;
+    std::fprintf(stderr, "fatal: %s\n", err.what());
+    std::exit(err.exitCode());
+}
 
 } // namespace ccsim
 

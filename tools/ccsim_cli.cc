@@ -9,7 +9,7 @@
  *
  *     ccsim measure --machine T3D --op alltoall --p 64 --m 65536
  *                   [--algo pairwise] [--config FILE] [--paper]
- *                   [--faults SPEC]
+ *                   [--faults SPEC] [--metrics]
  *         Run the Section 2 measurement procedure for one point and
  *         print max/mean/min over ranks plus the paper's Table 3
  *         prediction when one exists.  --paper uses the full
@@ -18,25 +18,38 @@
  *         --faults "straggler=0.1,drop=0.01,seed=7" (see
  *         fault::parseFaultSpec for the key list); a fault summary
  *         (drops / retransmits / delays) is printed after the times.
+ *         --metrics appends an observability summary (link
+ *         utilization, stalls, queue high-waters).
  *
  *     ccsim sweep --machine SP2 --op bcast [--config FILE] [--jobs N]
  *         Full (m, p) sweep with a fitted closed-form expression.
  *         Points run on a worker pool (--jobs, default: hardware
  *         concurrency); output is identical at any job count.
  *
+ *     ccsim stats --machine paragon --op alltoall [--p N] [--m BYTES]
+ *                 [--algo NAME] [--top N] [--json] [--csv]
+ *         Run one collective with metrics collection on and report
+ *         the full observability snapshot: per-link bytes /
+ *         utilization / contention-stall time, transport queue
+ *         high-water marks, protocol mix, per-collective call
+ *         counters, and simulator stats.  --json / --csv dump the
+ *         raw snapshot instead of the human tables (schema in
+ *         docs/METRICS.md).
+ *
  *     ccsim pingpong --machine Paragon [--config FILE]
  *         Point-to-point latency/bandwidth curve + Hockney fit.
  *
  *     ccsim replay --trace FILE [--machine SP2,T3D,Paragon] [--np N]
  *                  [--scale 0.25,1,4] [--faults SPEC] [--jobs N]
- *                  [--chrome-json FILE] [--csv]
+ *                  [--chrome-json FILE] [--csv] [--metrics]
  *         Replay a recorded workload trace (see docs/REPLAY.md) on
  *         each named machine at each message scale — the cross
  *         product runs on the sweep worker pool and the output is
  *         identical at any --jobs level.  --np asserts the trace's
  *         rank count; --chrome-json dumps the first point's
  *         activity timeline; --csv emits exact picosecond makespans
- *         (the golden-trace regression format).
+ *         (the golden-trace regression format); --metrics adds
+ *         hot-link / stall columns per point.
  *
  *     ccsim dump-config --machine SP2
  *         Emit a preset as an editable config file (see --config).
@@ -44,14 +57,16 @@
  * Global option: --trace-out FILE makes measure and pingpong write a
  * Chrome trace-event JSON timeline of one traced call (load in
  * chrome://tracing or Perfetto).
+ *
+ * Error handling: every failure is a typed ccsim::Error caught once
+ * at the top of main; the process exit code identifies the family
+ * (1 usage/user error, 3 trace parse, 4 fault-layer failure,
+ * 5 machine config, 70 internal bug).
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -61,74 +76,48 @@ using namespace ccsim;
 
 namespace {
 
-struct Args
+/** Options shared by every machine-building subcommand. */
+void
+addMachineOpts(cli::Options &o)
 {
-    std::string command;
-    std::map<std::string, std::string> options;
+    o.value("machine", "machine preset (SP2, T3D, Paragon, Ideal)",
+            "NAME");
+    o.value("config", "load machine from a config file instead", "FILE");
+    o.value("faults", "fault spec, e.g. 'drop=0.01,seed=7'", "SPEC");
+}
 
-    bool has(const std::string &key) const { return options.count(key); }
-
-    std::string
-    get(const std::string &key, const std::string &fallback = "") const
-    {
-        auto it = options.find(key);
-        return it == options.end() ? fallback : it->second;
-    }
-
-    long long
-    getInt(const std::string &key, long long fallback) const
-    {
-        auto it = options.find(key);
-        if (it == options.end())
-            return fallback;
-        try {
-            return std::stoll(it->second);
-        } catch (const std::exception &) {
-            fatal("bad integer for --%s: '%s'", key.c_str(),
-                  it->second.c_str());
-        }
-    }
-};
-
-Args
-parseArgs(int argc, char **argv)
+void
+addJobsOpt(cli::Options &o)
 {
-    Args a;
-    if (argc < 2)
-        fatal("usage: ccsim <machines|measure|sweep|pingpong|replay|"
-              "dump-config> [options]");
-    a.command = argv[1];
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0)
-            fatal("expected --option, got '%s'", arg.c_str());
-        std::string key = arg.substr(2);
-        if (key == "paper" || key == "csv") {
-            a.options[key] = "1";
-        } else {
-            if (i + 1 >= argc)
-                fatal("--%s needs a value", key.c_str());
-            a.options[key] = argv[++i];
-        }
-    }
-    return a;
+    o.value("jobs", "sweep worker threads (default: all cores)", "N");
+}
+
+void
+addPointOpts(cli::Options &o)
+{
+    o.value("op", "collective (alltoall, bcast, ...)", "OP");
+    o.value("algo", "algorithm override (default: machine's choice)",
+            "NAME");
+    o.value("p", "number of nodes", "N");
+    o.value("m", "message length in bytes", "BYTES");
 }
 
 machine::MachineConfig
-resolveMachine(const Args &a)
+resolveMachine(const cli::Options &o, const std::string &fallback = "T3D")
 {
     machine::MachineConfig cfg =
-        a.has("config") ? machine::loadConfigFile(a.get("config"))
-                        : machine::presetByName(a.get("machine", "T3D"));
-    if (a.has("faults"))
-        cfg.fault = fault::parseFaultSpec(a.get("faults"));
+        o.has("config") ? machine::loadConfigFile(o.get("config"))
+                        : machine::presetByName(
+                              o.get("machine", fallback));
+    if (o.has("faults"))
+        cfg.fault = fault::parseFaultSpec(o.get("faults"));
     return cfg;
 }
 
 machine::Coll
-resolveOp(const Args &a)
+resolveOp(const cli::Options &o)
 {
-    std::string key = a.get("op", "alltoall");
+    std::string key = o.get("op", "alltoall");
     for (machine::Coll op : machine::kAllColls)
         if (machine::collKey(op) == key)
             return op;
@@ -136,32 +125,18 @@ resolveOp(const Args &a)
 }
 
 machine::Algo
-resolveAlgo(const Args &a)
+resolveAlgo(const cli::Options &o)
 {
-    std::string name = a.get("algo", "default");
-    return machine::algoByName(name);
+    return machine::algoByName(o.get("algo", "default"));
 }
 
 harness::SweepRunner
-resolveRunner(const Args &a)
+resolveRunner(const cli::Options &o)
 {
-    long long jobs = a.getInt("jobs", 0);
-    if (a.has("jobs") && jobs < 1)
+    long long jobs = o.getInt("jobs", 0);
+    if (o.has("jobs") && jobs < 1)
         fatal("--jobs wants a positive integer, got %lld", jobs);
     return harness::SweepRunner(static_cast<int>(jobs));
-}
-
-/** Split a comma-separated option value. */
-std::vector<std::string>
-splitList(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::string item;
-    std::stringstream ss(s);
-    while (std::getline(ss, item, ','))
-        if (!item.empty())
-            out.push_back(item);
-    return out;
 }
 
 /**
@@ -237,6 +212,80 @@ bench_cell(double us)
     return buf;
 }
 
+/** Compact observability block shared by measure/stats/replay. */
+void
+printMetricsSummary(const stats::MetricsSnapshot &snap, int top_links)
+{
+    if (snap.empty()) {
+        std::printf("  (metrics collection was off)\n");
+        return;
+    }
+
+    auto counter = [&](const char *name) -> unsigned long long {
+        auto it = snap.counters.find(name);
+        return it == snap.counters.end()
+                   ? 0ULL
+                   : static_cast<unsigned long long>(it->second);
+    };
+    auto gauge = [&](const char *name) {
+        auto it = snap.gauges.find(name);
+        return it == snap.gauges.end() ? 0.0 : it->second;
+    };
+
+    std::printf("  messages       : %llu sent (%llu eager, %llu rdv, "
+                "%llu BLT, %llu self), %llu received\n",
+                counter("msg.sends.eager") + counter("msg.sends.rdv") +
+                    counter("msg.sends.blt") + counter("msg.sends.self"),
+                counter("msg.sends.eager"), counter("msg.sends.rdv"),
+                counter("msg.sends.blt"), counter("msg.sends.self"),
+                counter("msg.recvs"));
+    std::printf("  queue high-water: %g unexpected, %g pending-rts, "
+                "%g pending-recv\n",
+                gauge("msg.unexpected_queue"),
+                gauge("msg.pending_rts_queue"),
+                gauge("msg.pending_recv_queue"));
+    std::printf("  network        : %llu transfers, %s payload, "
+                "%llu stalled by contention\n",
+                counter("net.messages"),
+                formatBytes(static_cast<Bytes>(
+                                counter("net.payload_bytes")))
+                    .c_str(),
+                counter("net.stalled_transfers"));
+    if (counter("fault.drops") || counter("fault.retransmits") ||
+        counter("fault.delays"))
+        std::printf("  faults         : %llu drops, %llu retransmits, "
+                    "%llu delays\n",
+                    counter("fault.drops"), counter("fault.retransmits"),
+                    counter("fault.delays"));
+
+    if (!snap.links.empty()) {
+        std::printf("  hot links      : max util %.1f%%, total stall "
+                    "%.1f us (%.1f%% of busy time)\n",
+                    100.0 * snap.maxLinkUtil(), snap.totalStallUs(),
+                    snap.totalLinkBusyUs() > 0
+                        ? 100.0 * snap.totalStallUs() /
+                              snap.totalLinkBusyUs()
+                        : 0.0);
+        // Hottest links first.
+        std::vector<stats::LinkRow> rows = snap.links;
+        std::sort(rows.begin(), rows.end(),
+                  [](const stats::LinkRow &a, const stats::LinkRow &b) {
+                      return a.util > b.util ||
+                             (a.util == b.util && a.link < b.link);
+                  });
+        if (static_cast<int>(rows.size()) > top_links)
+            rows.resize(static_cast<std::size_t>(top_links));
+        TableWriter t;
+        t.header({"link", "bytes", "busy us", "stall us", "util %"});
+        for (const auto &r : rows)
+            t.row({r.link,
+                   formatBytes(static_cast<Bytes>(r.bytes)),
+                   formatF(r.busy_us, 1), formatF(r.stall_us, 1),
+                   formatF(100.0 * r.util, 1)});
+        t.print(std::cout);
+    }
+}
+
 int
 cmdMachines()
 {
@@ -266,16 +315,26 @@ cmdMachines()
 }
 
 int
-cmdMeasure(const Args &a)
+cmdMeasure(int argc, char **argv)
 {
-    auto cfg = resolveMachine(a);
-    auto op = resolveOp(a);
-    auto algo = resolveAlgo(a);
-    int p = static_cast<int>(a.getInt("p", 32));
-    Bytes m = a.getInt("m", 1024);
-    auto opt = a.has("paper")
+    cli::Options o("ccsim measure");
+    addMachineOpts(o);
+    addPointOpts(o);
+    addJobsOpt(o);
+    o.flag("paper", "use the paper's full 22-run procedure");
+    o.flag("metrics", "append an observability summary");
+    o.value("trace-out", "write a Chrome trace of one call", "FILE");
+    o.parse(argc, argv, 2);
+
+    auto cfg = resolveMachine(o);
+    auto op = resolveOp(o);
+    auto algo = resolveAlgo(o);
+    int p = static_cast<int>(o.getInt("p", 32));
+    Bytes m = o.getInt("m", 1024);
+    auto opt = o.has("paper")
                    ? harness::MeasureOptions::paperFaithful()
                    : harness::MeasureOptions{};
+    opt.metrics = o.has("metrics");
 
     // A one-point sweep: same engine as the figure benches.
     harness::SweepPoint pt;
@@ -285,7 +344,7 @@ cmdMeasure(const Args &a)
     pt.m = m;
     pt.algo = algo;
     pt.options = opt;
-    auto meas = resolveRunner(a).run(std::vector{pt}).front();
+    auto meas = resolveRunner(o).run(std::vector{pt}).front();
     std::printf("%s %s, p = %d, m = %s, algorithm %s\n",
                 cfg.name.c_str(), machine::collName(op).c_str(), p,
                 formatBytes(m).c_str(),
@@ -315,17 +374,93 @@ cmdMeasure(const Args &a)
                     static_cast<unsigned long long>(
                         meas.fault_retransmits),
                     static_cast<unsigned long long>(meas.fault_delays));
-    if (a.has("trace-out"))
-        dumpCollectiveTrace(cfg, p, op, m, algo, a.get("trace-out"));
+    if (o.has("metrics"))
+        printMetricsSummary(meas.metrics, 8);
+    if (o.has("trace-out"))
+        dumpCollectiveTrace(cfg, p, op, m, algo, o.get("trace-out"));
     return 0;
 }
 
 int
-cmdSweep(const Args &a)
+cmdStats(int argc, char **argv)
 {
-    auto cfg = resolveMachine(a);
-    auto op = resolveOp(a);
-    auto algo = resolveAlgo(a);
+    cli::Options o("ccsim stats");
+    addMachineOpts(o);
+    addPointOpts(o);
+    o.value("top", "hottest links to list (default 8)", "N");
+    o.flag("json", "dump the raw snapshot as JSON");
+    o.flag("csv", "dump the raw snapshot as CSV");
+    o.parse(argc, argv, 2);
+
+    auto cfg = resolveMachine(o);
+    auto op = resolveOp(o);
+    auto algo = resolveAlgo(o);
+    int p = static_cast<int>(o.getInt("p", 32));
+    Bytes m = o.getInt("m", 16 * KiB);
+
+    harness::MeasureOptions opt;
+    opt.metrics = true;
+    auto meas = harness::measureCollective(cfg, p, op, m, algo, opt);
+
+    if (o.has("json")) {
+        meas.metrics.writeJson(std::cout);
+        return 0;
+    }
+    if (o.has("csv")) {
+        meas.metrics.writeCsv(std::cout);
+        return 0;
+    }
+
+    std::printf("%s %s, p = %d, m = %s: %s (max over ranks)\n",
+                cfg.name.c_str(), machine::collName(op).c_str(), p,
+                formatBytes(m).c_str(),
+                formatTime(meas.max_time).c_str());
+    printMetricsSummary(meas.metrics,
+                        static_cast<int>(o.getInt("top", 8)));
+
+    // Per-collective counters (one row per op that ran — the barrier
+    // in the harness loop shows up alongside the measured op).
+    TableWriter t;
+    t.header({"collective", "calls", "stages", "msgs", "mean us"});
+    for (machine::Coll c : machine::kAllColls) {
+        std::string prefix = "coll." + machine::collKey(c);
+        auto it = meas.metrics.counters.find(prefix + ".calls");
+        if (it == meas.metrics.counters.end())
+            continue;
+        auto h = meas.metrics.histograms.find(prefix + ".time_us");
+        t.row({machine::collKey(c), std::to_string(it->second),
+               std::to_string(
+                   meas.metrics.counters.at(prefix + ".stages")),
+               std::to_string(
+                   meas.metrics.counters.at(prefix + ".msgs")),
+               h != meas.metrics.histograms.end()
+                   ? formatF(h->second.mean(), 1)
+                   : "-"});
+    }
+    t.print(std::cout);
+    std::printf("simulator: %llu events, %llu tasks, event queue "
+                "high-water %g\n",
+                static_cast<unsigned long long>(
+                    meas.metrics.counters.at("sim.events")),
+                static_cast<unsigned long long>(
+                    meas.metrics.counters.at("sim.tasks")),
+                meas.metrics.gauges.at("sim.event_queue_depth"));
+    return 0;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    cli::Options o("ccsim sweep");
+    addMachineOpts(o);
+    o.value("op", "collective (alltoall, bcast, ...)", "OP");
+    o.value("algo", "algorithm override", "NAME");
+    addJobsOpt(o);
+    o.parse(argc, argv, 2);
+
+    auto cfg = resolveMachine(o);
+    auto op = resolveOp(o);
+    auto algo = resolveAlgo(o);
 
     harness::SweepSpec spec;
     spec.machines = {cfg};
@@ -336,7 +471,7 @@ cmdSweep(const Args &a)
     spec.options.iterations = 3;
     spec.options.repetitions = 1;
 
-    harness::SweepRunner runner = resolveRunner(a);
+    harness::SweepRunner runner = resolveRunner(o);
     auto results = runner.run(spec);
 
     std::printf("%s %s sweep [us]\n\n", cfg.name.c_str(),
@@ -386,9 +521,16 @@ cmdSweep(const Args &a)
 }
 
 int
-cmdPingPong(const Args &a)
+cmdPingPong(int argc, char **argv)
 {
-    auto cfg = resolveMachine(a);
+    cli::Options o("ccsim pingpong");
+    addMachineOpts(o);
+    o.value("m", "message length for --trace-out", "BYTES");
+    o.value("trace-out", "write a Chrome trace of one round trip",
+            "FILE");
+    o.parse(argc, argv, 2);
+
+    auto cfg = resolveMachine(o);
     std::printf("%s ping-pong (one-way, adjacent nodes)\n\n",
                 cfg.name.c_str());
     TableWriter t;
@@ -404,34 +546,50 @@ cmdPingPong(const Args &a)
     t.print(std::cout);
     std::printf("\nHockney fit: %s\n",
                 model::fitHockney(samples).str().c_str());
-    if (a.has("trace-out"))
-        dumpPingPongTrace(cfg, a.getInt("m", 1024),
-                          a.get("trace-out"));
+    if (o.has("trace-out"))
+        dumpPingPongTrace(cfg, o.getInt("m", 1024),
+                          o.get("trace-out"));
     return 0;
 }
 
 int
-cmdReplay(const Args &a)
+cmdReplay(int argc, char **argv)
 {
-    if (!a.has("trace"))
+    cli::Options o("ccsim replay");
+    o.value("trace", "workload trace file (required)", "FILE");
+    o.value("machine", "comma list of machines", "NAMES");
+    o.value("config", "machine config file (overrides --machine)",
+            "FILE");
+    o.value("faults", "fault spec applied to every machine", "SPEC");
+    o.value("np", "assert the trace's rank count", "N");
+    o.value("scale", "comma list of message-size scales", "X,Y");
+    addJobsOpt(o);
+    o.value("chrome-json", "dump the first point's timeline", "FILE");
+    o.flag("csv", "emit exact picosecond makespans as CSV");
+    o.flag("metrics", "add hot-link / stall columns per point");
+    o.parse(argc, argv, 2);
+
+    if (!o.has("trace"))
         fatal("replay needs --trace FILE (see docs/REPLAY.md for the "
               "format; bundled workloads live in workloads/)");
     replay::Program prog =
-        replay::TraceParser::parseFile(a.get("trace"));
-    if (a.has("np") && a.getInt("np", 0) != prog.np)
+        replay::TraceParser::parseFile(o.get("trace"));
+    if (o.has("np") && o.getInt("np", 0) != prog.np)
         fatal("--np %lld does not match the trace's np %d",
-              a.getInt("np", 0), prog.np);
+              o.getInt("np", 0), prog.np);
+    bool metrics = o.has("metrics");
 
     // The (machine, scale) cross product, machines outermost.
     std::vector<replay::ReplayPoint> points;
     for (const std::string &name :
-         splitList(a.get("machine", "SP2,T3D,Paragon"))) {
+         cli::splitList(o.get("machine", "SP2,T3D,Paragon"))) {
         machine::MachineConfig cfg =
-            a.has("config") ? machine::loadConfigFile(a.get("config"))
+            o.has("config") ? machine::loadConfigFile(o.get("config"))
                             : machine::presetByName(name);
-        if (a.has("faults"))
-            cfg.fault = fault::parseFaultSpec(a.get("faults"));
-        for (const std::string &s : splitList(a.get("scale", "1"))) {
+        if (o.has("faults"))
+            cfg.fault = fault::parseFaultSpec(o.get("faults"));
+        for (const std::string &s :
+             cli::splitList(o.get("scale", "1"))) {
             replay::ReplayPoint pt;
             pt.cfg = cfg;
             try {
@@ -440,24 +598,25 @@ cmdReplay(const Args &a)
                 fatal("bad --scale entry '%s'", s.c_str());
             }
             pt.options.collect_trace = true;
+            pt.options.metrics = metrics;
             points.push_back(std::move(pt));
         }
     }
     if (points.empty())
         fatal("replay: no machines selected");
 
-    harness::SweepRunner runner = resolveRunner(a);
+    harness::SweepRunner runner = resolveRunner(o);
     auto results = replay::replaySweep(prog, points, runner);
 
-    if (a.has("chrome-json")) {
-        std::ofstream f(a.get("chrome-json"));
+    if (o.has("chrome-json")) {
+        std::ofstream f(o.get("chrome-json"));
         if (!f)
             fatal("cannot write trace file '%s'",
-                  a.get("chrome-json").c_str());
+                  o.get("chrome-json").c_str());
         results.front().trace.writeChromeJson(f);
     }
 
-    if (a.has("csv")) {
+    if (o.has("csv")) {
         // Exact integer picoseconds: the golden-regression format.
         std::printf("machine,scale,np,makespan_ps\n");
         for (std::size_t i = 0; i < results.size(); ++i)
@@ -469,10 +628,16 @@ cmdReplay(const Args &a)
     }
 
     std::printf("workload %s: np = %d, %zu actions\n\n",
-                a.get("trace").c_str(), prog.np, prog.actions());
+                o.get("trace").c_str(), prog.np, prog.actions());
     TableWriter t;
-    t.header({"machine", "scale", "makespan", "compute/rank",
-              "comm/rank", "comm %", "faults"});
+    std::vector<std::string> hdr{"machine", "scale", "makespan",
+                                 "compute/rank", "comm/rank", "comm %",
+                                 "faults"};
+    if (metrics) {
+        hdr.push_back("max util %");
+        hdr.push_back("stall %");
+    }
+    t.header(hdr);
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
         double compute_us = 0, comm_us = 0;
@@ -492,11 +657,22 @@ cmdReplay(const Args &a)
                      std::to_string(r.faults.delays) + "y";
         else if (points[i].cfg.fault.enabled())
             faults = "static";
-        t.row({r.machine, formatG(points[i].options.scale),
-               formatTime(r.makespan()), formatF(compute_us, 1),
-               formatF(comm_us, 1),
-               formatF(busy > 0 ? 100.0 * comm_us / busy : 0.0, 1),
-               faults});
+        std::vector<std::string> row{
+            r.machine, formatG(points[i].options.scale),
+            formatTime(r.makespan()), formatF(compute_us, 1),
+            formatF(comm_us, 1),
+            formatF(busy > 0 ? 100.0 * comm_us / busy : 0.0, 1),
+            faults};
+        if (metrics) {
+            row.push_back(formatF(100.0 * r.metrics.maxLinkUtil(), 1));
+            double link_busy = r.metrics.totalLinkBusyUs();
+            row.push_back(formatF(
+                link_busy > 0
+                    ? 100.0 * r.metrics.totalStallUs() / link_busy
+                    : 0.0,
+                1));
+        }
+        t.row(row);
     }
     t.print(std::cout);
     std::fprintf(stderr, "replayed %zu points in %.2f s (%d jobs)\n",
@@ -506,11 +682,38 @@ cmdReplay(const Args &a)
 }
 
 int
-cmdDumpConfig(const Args &a)
+cmdDumpConfig(int argc, char **argv)
 {
-    auto cfg = resolveMachine(a);
-    machine::saveConfig(cfg, std::cout);
+    cli::Options o("ccsim dump-config");
+    addMachineOpts(o);
+    o.parse(argc, argv, 2);
+    machine::saveConfig(resolveMachine(o), std::cout);
     return 0;
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 2)
+        fatal("usage: ccsim <machines|measure|sweep|stats|pingpong|"
+              "replay|dump-config> [options]");
+    std::string command = argv[1];
+    if (command == "machines")
+        return cmdMachines();
+    if (command == "measure")
+        return cmdMeasure(argc, argv);
+    if (command == "sweep")
+        return cmdSweep(argc, argv);
+    if (command == "stats")
+        return cmdStats(argc, argv);
+    if (command == "pingpong")
+        return cmdPingPong(argc, argv);
+    if (command == "replay")
+        return cmdReplay(argc, argv);
+    if (command == "dump-config")
+        return cmdDumpConfig(argc, argv);
+    fatal("unknown command '%s' (machines, measure, sweep, stats, "
+          "pingpong, replay, dump-config)", command.c_str());
 }
 
 } // namespace
@@ -518,20 +721,15 @@ cmdDumpConfig(const Args &a)
 int
 main(int argc, char **argv)
 {
-    Args a = parseArgs(argc, argv);
     quietLogging(true);
-    if (a.command == "machines")
-        return cmdMachines();
-    if (a.command == "measure")
-        return cmdMeasure(a);
-    if (a.command == "sweep")
-        return cmdSweep(a);
-    if (a.command == "pingpong")
-        return cmdPingPong(a);
-    if (a.command == "replay")
-        return cmdReplay(a);
-    if (a.command == "dump-config")
-        return cmdDumpConfig(a);
-    fatal("unknown command '%s' (machines, measure, sweep, pingpong, "
-          "replay, dump-config)", a.command.c_str());
+    // Every failure funnels through the ccsim::Error hierarchy; the
+    // exit code identifies the family (1 user error, 3 trace parse,
+    // 4 fault, 5 config, 70 internal bug).
+    throwOnError(true);
+    try {
+        return run(argc, argv);
+    } catch (const Error &e) {
+        std::fprintf(stderr, "%s\n", e.formatted().c_str());
+        return e.exitCode();
+    }
 }
