@@ -82,7 +82,7 @@ FaultInjector::linkSlowdown(net::LinkId link, Time t) const
 }
 
 net::LinkId
-FaultInjector::blackholedOnRoute(const std::vector<net::LinkId> &route,
+FaultInjector::blackholedOnRoute(const net::RouteVec &route,
                                  Time t) const
 {
     if (blackholed_count_ == 0 || !inWindow(t))

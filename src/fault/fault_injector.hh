@@ -67,7 +67,7 @@ class FaultInjector
     double linkSlowdown(net::LinkId link, Time t) const;
 
     /** First black-holed link on @p route at time @p t, or -1. */
-    net::LinkId blackholedOnRoute(const std::vector<net::LinkId> &route,
+    net::LinkId blackholedOnRoute(const net::RouteVec &route,
                                   Time t) const;
 
     /** Links assigned as degraded / black-holed. */

@@ -1,6 +1,11 @@
 #include "harness/measure.hh"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
 
 #include "model/fit.hh"
 #include "util/logging.hh"
@@ -14,7 +19,147 @@ namespace {
 using machine::Algo;
 using machine::Coll;
 
+/**
+ * The measureCollective memo cache (Layer 3 of the hot-path work,
+ * DESIGN.md §4.11).  Keyed on a canonical serialization of every
+ * input that can influence the measured times: the full timing
+ * parameter set of the MachineConfig plus the point coordinates and
+ * the Section 2 procedure knobs.  The config's *name* is excluded on
+ * purpose — two identically-parameterized machines are the same
+ * machine — and so are the fault spec and skew seed, because a point
+ * is only eligible when faults and skew are off (an experiment
+ * confirmed that per-iteration times within a point are NOT
+ * invariant — warm-up and pipelining effects differ — so memoization
+ * is whole-point only; see DESIGN.md).
+ *
+ * Cached values hold just the three reported times: fault counters
+ * are zero and the metrics snapshot empty for every eligible point,
+ * so a rebuilt Measurement is byte-identical to a simulated one.
+ */
+struct MemoValue
+{
+    Time max_time = 0;
+    Time min_time = 0;
+    Time mean_time = 0;
+};
+
+struct MemoCache
+{
+    std::mutex mu;
+    std::unordered_map<std::string, MemoValue> map;
+    MemoStats stats;
+};
+
+MemoCache &
+memoCache()
+{
+    static MemoCache cache;
+    return cache;
+}
+
+bool
+memoEligible(const machine::MachineConfig &cfg,
+             const MeasureOptions &opt)
+{
+    // CommHooks need no eligibility bit: measureCollective builds its
+    // own Machine from cfg and never installs one, so no observer can
+    // differ between a cached and a re-simulated point.
+    return opt.memoize && !cfg.fault.enabled() && opt.max_skew == 0 &&
+           !opt.metrics && !cfg.collect_metrics;
+}
+
+void
+appendF(std::string &key, const char *fmt, ...)
+{
+    char buf[64];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    key += buf;
+    key += '|';
+}
+
+std::string
+memoKey(const machine::MachineConfig &cfg, int p, Coll op, Bytes m,
+        Algo algo, const MeasureOptions &opt)
+{
+    std::string key;
+    key.reserve(512);
+
+    appendF(key, "v1");
+    appendF(key, "%d", static_cast<int>(cfg.topology));
+    appendF(key, "%d", cfg.switch_radix);
+
+    const net::NetworkParams &n = cfg.network;
+    appendF(key, "%.17g", n.link_bandwidth_mbs);
+    appendF(key, "%" PRId64, n.hop_latency);
+    appendF(key, "%" PRId64, n.packet_overhead);
+    appendF(key, "%d", n.contention ? 1 : 0);
+
+    const msg::TransportParams &t = cfg.transport;
+    appendF(key, "%" PRId64, t.send_overhead);
+    appendF(key, "%" PRId64, t.recv_overhead);
+    appendF(key, "%.17g", t.copy_bandwidth_mbs);
+    appendF(key, "%" PRId64, t.eager_threshold);
+    appendF(key, "%" PRId64, t.rendezvous_overhead);
+    appendF(key, "%.17g", t.coprocessor_overlap);
+    appendF(key, "%d", t.blt_enabled ? 1 : 0);
+    appendF(key, "%" PRId64, t.blt_threshold);
+    appendF(key, "%" PRId64, t.blt_setup);
+
+    appendF(key, "%d", cfg.hardware_barrier ? 1 : 0);
+    appendF(key, "%" PRId64, cfg.hardware_barrier_latency);
+    appendF(key, "%.17g", cfg.reduce_bandwidth_mbs);
+
+    for (std::size_t i = 0; i < machine::kNumColl; ++i) {
+        appendF(key, "%d", static_cast<int>(cfg.algorithms[i]));
+        const machine::CollCosts &c = cfg.costs[i];
+        appendF(key, "%" PRId64, c.entry);
+        appendF(key, "%" PRId64, c.per_stage);
+        appendF(key, "%.17g", c.per_stage_ns_per_byte);
+        appendF(key, "%.17g", c.reduce_bandwidth_override_mbs);
+        appendF(key, "%" PRId64, c.send_overhead_override);
+        appendF(key, "%" PRId64, c.recv_overhead_override);
+    }
+
+    appendF(key, "%d", p);
+    appendF(key, "%d", static_cast<int>(op));
+    appendF(key, "%" PRId64, m);
+    appendF(key, "%d", static_cast<int>(algo));
+    appendF(key, "%d", opt.iterations);
+    appendF(key, "%d", opt.repetitions);
+    appendF(key, "%d", opt.warmup);
+
+    return key;
+}
+
 } // namespace
+
+MemoStats
+memoStats()
+{
+    MemoCache &c = memoCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.stats;
+}
+
+std::size_t
+memoSize()
+{
+    MemoCache &c = memoCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.map.size();
+}
+
+void
+memoClear()
+{
+    MemoCache &c = memoCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.map.clear();
+    c.stats = MemoStats{};
+}
 
 sim::Task<void>
 runCollectiveOnce(mpi::Comm &comm, Coll op, Bytes m, Algo algo)
@@ -65,6 +210,28 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
               opt.iterations, opt.repetitions, opt.warmup);
     if (opt.max_skew < 0)
         fatal("measureCollective: negative clock skew bound");
+
+    const bool memo = memoEligible(cfg, opt);
+    std::string key;
+    if (memo) {
+        key = memoKey(cfg, p, op, m, algo, opt);
+        MemoCache &c = memoCache();
+        std::lock_guard<std::mutex> lock(c.mu);
+        auto it = c.map.find(key);
+        if (it != c.map.end()) {
+            ++c.stats.hits;
+            Measurement out;
+            out.machine = cfg.name;
+            out.op = op;
+            out.algo = algo;
+            out.m = m;
+            out.p = p;
+            out.max_time = it->second.max_time;
+            out.min_time = it->second.min_time;
+            out.mean_time = it->second.mean_time;
+            return out;
+        }
+    }
 
     machine::MachineConfig run_cfg = cfg;
     run_cfg.collect_metrics = cfg.collect_metrics || opt.metrics;
@@ -136,6 +303,19 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
         out.fault_delays = fr.delays;
     }
     out.metrics = mach.metricsSnapshot(); // empty when metrics are off
+
+    if (memo) {
+        MemoCache &c = memoCache();
+        std::lock_guard<std::mutex> lock(c.mu);
+        ++c.stats.misses;
+        c.map.emplace(std::move(key),
+                      MemoValue{out.max_time, out.min_time,
+                                out.mean_time});
+    } else {
+        MemoCache &c = memoCache();
+        std::lock_guard<std::mutex> lock(c.mu);
+        ++c.stats.bypassed;
+    }
     return out;
 }
 

@@ -37,6 +37,7 @@
 #include "machine/machine.hh"
 #include "model/predictor.hh"
 #include "mpi/comm.hh"
+#include "stats/cache_stats.hh"
 #include "util/units.hh"
 
 namespace ccsim::harness {
@@ -53,6 +54,20 @@ struct MeasureOptions
     /** Collect a MetricsSnapshot alongside the timings (observation
      *  only: the measured times are identical either way). */
     bool metrics = false;
+
+    /**
+     * Reuse memoized results: simulation is deterministic, so a
+     * (machine, p, op, m, algo, procedure) point always produces the
+     * same times and re-simulating it is pure waste — sweeps over
+     * overlapping specs (fits, figures, the CLI) hit the same points
+     * constantly.  A point is memoized only when nothing outside the
+     * key can influence it: faults disabled, no clock-skew
+     * injection, and no metrics collection (a metrics run also
+     * carries a snapshot, which is observational state, not a
+     * timing).  Cached results are byte-identical to re-simulated
+     * ones (see tests/test_measure_memo.cc).
+     */
+    bool memoize = true;
 
     /** The paper's full procedure: k = 20, 5 reps, 2 warm-up runs. */
     static MeasureOptions
@@ -141,6 +156,20 @@ Measurement measureStartup(const machine::MachineConfig &cfg, int p,
 
 /** Message length used for the startup-latency approximation. */
 constexpr Bytes kStartupMessageBytes = 4;
+
+/** Hit/miss/bypass counters of the measureCollective memo cache
+ *  (bypassed = ineligible points: faults, skew, metrics collection,
+ *  or memoize = false). */
+using MemoStats = stats::CacheStats;
+
+/** Process-wide memo statistics (monotonic; thread-safe). */
+MemoStats memoStats();
+
+/** Number of distinct points currently cached. */
+std::size_t memoSize();
+
+/** Drop every cached point and zero the statistics. */
+void memoClear();
 
 /** The paper's standard sweeps. */
 std::vector<int> paperMachineSizes(const std::string &machine_name);

@@ -92,6 +92,7 @@ SweepRunner::runTasks(std::size_t n,
                       const std::function<void(std::size_t)> &task)
 {
     auto wall_start = std::chrono::steady_clock::now();
+    MemoStats memo_before = memoStats();
 
     auto simulate = [&](std::size_t i) { task(i); };
 
@@ -142,8 +143,11 @@ SweepRunner::runTasks(std::size_t n,
 
     std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - wall_start;
+    MemoStats memo_after = memoStats();
     stats_.points = n;
     stats_.wall_seconds = wall.count();
+    stats_.memo_hits = memo_after.hits - memo_before.hits;
+    stats_.memo_misses = memo_after.misses - memo_before.misses;
 }
 
 } // namespace ccsim::harness

@@ -88,6 +88,11 @@ class SweepRunner
         std::size_t points = 0;
         double wall_seconds = 0.0;
 
+        /** Memo-cache activity during this run (deltas of the
+         *  process-wide harness::memoStats()). */
+        std::uint64_t memo_hits = 0;
+        std::uint64_t memo_misses = 0;
+
         double
         pointsPerSec() const
         {

@@ -32,6 +32,10 @@ Machine::Machine(MachineConfig config, int p)
     fabric_ = std::make_unique<msg::Fabric>(
         sim_, *network_, p, config_.transport, &trace_, fault_.get(),
         metrics_ ? &metrics_->transport : nullptr);
+    // Pending-event high water scales with the node count (each rank
+    // keeps a few wire/resume events in flight); pre-size the
+    // calendar so sweeps at large p skip the early growth phase.
+    sim_.queue().reserve(static_cast<std::size_t>(p) * 8);
     if (config_.hardware_barrier)
         hw_barrier_ = std::make_unique<HardwareBarrier>(
             sim_, p, config_.hardware_barrier_latency);
@@ -92,6 +96,19 @@ Machine::metricsSnapshot()
     snap.counters["net.route_cache_hits"] = network_->routeCacheHits();
     snap.counters["net.route_cache_misses"] =
         network_->routeCacheMisses();
+
+    // Completion-slot pool effectiveness across all endpoints.  The
+    // counters are per-machine and derived only from operation
+    // counts, so they stay deterministic run to run.
+    sim::PoolCounters pc;
+    for (int i = 0; i < size_; ++i) {
+        sim::PoolCounters c = fabric_->node(i).poolCounters();
+        pc.reuses += c.reuses;
+        pc.allocs += c.allocs;
+        pc.oversize += c.oversize;
+    }
+    snap.counters["msg.pool.reuses"] = pc.reuses;
+    snap.counters["msg.pool.allocs"] = pc.allocs;
 
     snap.counters["sim.events"] = sim_.eventsFired();
     snap.counters["sim.tasks"] = sim_.tasksSpawned();

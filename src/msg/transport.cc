@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 
 #include "util/logging.hh"
 
@@ -23,7 +24,8 @@ Transport::Transport(sim::Simulator &sim, net::Network &net, Fabric &fabric,
                      sim::Trace *trace, fault::FaultInjector *fi,
                      stats::TransportMetrics *tm)
     : sim_(sim), net_(net), fabric_(fabric), node_(node),
-      params_(params), trace_(trace), fi_(fi), tm_(tm)
+      params_(params), trace_(trace), fi_(fi), tm_(tm),
+      lossy_(fi != nullptr && fi->spec().lossPossible())
 {
     if (params_.send_overhead < 0 || params_.recv_overhead < 0 ||
         params_.rendezvous_overhead < 0 || params_.blt_setup < 0)
@@ -67,15 +69,9 @@ Transport::injectAt(int dst, Bytes bytes, Time when)
     return net_.transfer(node_, dst, bytes, when);
 }
 
-void
-Transport::transmitWire(int dst, Bytes bytes, Time when,
-                        std::function<void(Time)> deliver)
+Time
+Transport::wireArrival(int dst, Bytes bytes, Time when)
 {
-    if (fi_ && fi_->spec().lossPossible()) {
-        sim_.spawn(
-            reliableDeliver(dst, bytes, when, std::move(deliver)));
-        return;
-    }
     Time arrival = injectAt(dst, bytes, when);
     if (fi_) {
         Time penalty = fi_->drawDelayPenalty();
@@ -84,12 +80,12 @@ Transport::transmitWire(int dst, Bytes bytes, Time when,
             arrival += penalty;
         }
     }
-    deliver(arrival);
+    return arrival;
 }
 
 sim::Task<void>
 Transport::reliableDeliver(int dst, Bytes bytes, Time when,
-                           std::function<void(Time)> deliver)
+                           sim::DeliverFn deliver)
 {
     const fault::FaultSpec &spec = fi_->spec();
     Time timeout = spec.retry_timeout;
@@ -205,7 +201,7 @@ Transport::send(int dst, int tag, int context, Bytes bytes,
     if (tm_)
         tm_->rdv_sends.add();
     co_await busy(o_send + params_.rendezvous_overhead);
-    auto hs = std::make_shared<Handshake>(sim_);
+    HandshakePtr hs = hs_pool_.make(sim_);
     Rts rts{node_, tag, context, bytes, payload, hs, 0};
     transmitWire(dst, 0, sim_.now(),
                  [this, peer, rts = std::move(rts)](Time arrival) mutable {
@@ -395,7 +391,7 @@ Transport::deliverRts(Rts rts)
 }
 
 sim::Task<void>
-Transport::runSend(std::shared_ptr<ReqState> st, int dst, int tag,
+Transport::runSend(sim::PoolPtr<ReqState> st, int dst, int tag,
                    int context, Bytes bytes, PayloadPtr payload,
                    CostOverride ov)
 {
@@ -408,7 +404,7 @@ Transport::runSend(std::shared_ptr<ReqState> st, int dst, int tag,
 }
 
 sim::Task<void>
-Transport::runRecv(std::shared_ptr<ReqState> st, int src, int tag,
+Transport::runRecv(sim::PoolPtr<ReqState> st, int src, int tag,
                    int context, CostOverride ov)
 {
     try {
@@ -423,18 +419,18 @@ Request
 Transport::isend(int dst, int tag, int context, Bytes bytes,
                  PayloadPtr payload, CostOverride ov)
 {
-    auto st = std::make_shared<ReqState>(sim_);
+    sim::PoolPtr<ReqState> st = req_pool_.make(sim_);
     sim_.spawn(runSend(st, dst, tag, context, bytes, std::move(payload),
                        ov));
-    return Request{st};
+    return Request{std::move(st)};
 }
 
 Request
 Transport::irecv(int src, int tag, int context, CostOverride ov)
 {
-    auto st = std::make_shared<ReqState>(sim_);
+    sim::PoolPtr<ReqState> st = req_pool_.make(sim_);
     sim_.spawn(runRecv(st, src, tag, context, ov));
-    return Request{st};
+    return Request{std::move(st)};
 }
 
 sim::Task<Message>
@@ -472,10 +468,23 @@ Fabric::Fabric(sim::Simulator &sim, net::Network &net, int n,
     if (n > net.topology().numNodes())
         fatal("Fabric: %d nodes exceed the %d-node topology", n,
               net.topology().numNodes());
-    nodes_.reserve(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i)
-        nodes_.push_back(std::make_unique<Transport>(
-            sim, net, *this, i, params, trace, fi, tm));
+    slab_ = static_cast<Transport *>(::operator new(
+        sizeof(Transport) * static_cast<std::size_t>(n),
+        std::align_val_t{alignof(Transport)}));
+    for (int i = 0; i < n; ++i) {
+        // Transport's constructor only fatal()s (no throw), so a
+        // partial slab never needs unwinding.
+        new (slab_ + i)
+            Transport(sim, net, *this, i, params, trace, fi, tm);
+        n_ = i + 1;
+    }
+}
+
+Fabric::~Fabric()
+{
+    for (int i = n_; i-- > 0;)
+        slab_[i].~Transport();
+    ::operator delete(slab_, std::align_val_t{alignof(Transport)});
 }
 
 Transport &
@@ -483,7 +492,7 @@ Fabric::node(int i)
 {
     if (i < 0 || i >= size())
         panic("Fabric::node: %d out of range [0, %d)", i, size());
-    return *nodes_[static_cast<size_t>(i)];
+    return slab_[i];
 }
 
 } // namespace ccsim::msg

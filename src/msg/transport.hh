@@ -36,8 +36,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -45,6 +43,7 @@
 #include "fault/fault_injector.hh"
 #include "msg/message.hh"
 #include "net/network.hh"
+#include "sim/pool.hh"
 #include "sim/simulator.hh"
 #include "sim/task.hh"
 #include "sim/trace.hh"
@@ -113,10 +112,15 @@ struct ReqState
     std::exception_ptr exc;
 };
 
-/** Handle for a nonblocking send/receive. */
+/**
+ * Handle for a nonblocking send/receive.  The state slot is pooled
+ * by the issuing Transport, so a Request must not outlive its
+ * Machine — which was already the rule, since ReqState references
+ * the Simulator.
+ */
 struct Request
 {
-    std::shared_ptr<ReqState> state;
+    sim::PoolPtr<ReqState> state;
 
     /** True once the operation has completed (or failed). */
     bool test() const { return state && state->done.fired(); }
@@ -218,7 +222,7 @@ class Transport
         Message msg;       // filled by the sender for the data phase
     };
 
-    using HandshakePtr = std::shared_ptr<Handshake>;
+    using HandshakePtr = sim::PoolPtr<Handshake>;
 
     /** An RTS awaiting a matching receive. */
     struct Rts
@@ -258,6 +262,9 @@ class Transport
     /** Inject one wire message; returns its arrival time at dst. */
     Time injectAt(int dst, Bytes bytes, Time when);
 
+    /** injectAt plus any drawn delay-fault penalty. */
+    Time wireArrival(int dst, Bytes bytes, Time when);
+
     /**
      * Dispatch one wire message (eager payload, RTS, or rendezvous
      * data), transmitted no earlier than @p when; @p deliver is
@@ -265,12 +272,23 @@ class Transport
      * schedule the actual delivery itself.
      *
      * Without an injector this is injectAt + deliver, unchanged
-     * timing.  With message loss possible it spawns the
-     * reliableDeliver protocol coroutine instead; with delay faults
-     * only, the penalty is added to the arrival time inline.
+     * timing, and the continuation is invoked directly — no type
+     * erasure, no allocation.  With message loss possible it spawns
+     * the reliableDeliver protocol coroutine instead (erasing
+     * @p deliver into a sim::DeliverFn); with delay faults only, the
+     * penalty is added to the arrival time inline.
      */
-    void transmitWire(int dst, Bytes bytes, Time when,
-                      std::function<void(Time)> deliver);
+    template <typename F>
+    void
+    transmitWire(int dst, Bytes bytes, Time when, F &&deliver)
+    {
+        if (lossy_) {
+            sim_.spawn(reliableDeliver(
+                dst, bytes, when, sim::DeliverFn(std::forward<F>(deliver))));
+            return;
+        }
+        deliver(wireArrival(dst, bytes, when));
+    }
 
     /**
      * The acknowledged wire protocol used when faults can lose
@@ -285,12 +303,12 @@ class Transport
      * which changes nothing observable at collective granularity.
      */
     sim::Task<void> reliableDeliver(int dst, Bytes bytes, Time when,
-                                    std::function<void(Time)> deliver);
+                                    sim::DeliverFn deliver);
 
-    sim::Task<void> runSend(std::shared_ptr<ReqState> st, int dst,
+    sim::Task<void> runSend(sim::PoolPtr<ReqState> st, int dst,
                             int tag, int context, Bytes bytes,
                             PayloadPtr payload, CostOverride ov);
-    sim::Task<void> runRecv(std::shared_ptr<ReqState> st, int src,
+    sim::Task<void> runRecv(sim::PoolPtr<ReqState> st, int src,
                             int tag, int context, CostOverride ov);
 
     /** Record a span if tracing is enabled. */
@@ -310,18 +328,41 @@ class Transport
     sim::Trace *trace_ = nullptr;
     fault::FaultInjector *fi_ = nullptr;
     stats::TransportMetrics *tm_ = nullptr;
+    bool lossy_ = false; //!< fi_ present and message loss possible
 
     Time cpu_free_ = 0;   // node CPU timeline
     Time copro_free_ = 0; // message coprocessor / DMA timeline
 
     std::uint64_t arrival_seq_ = 0;
-    std::deque<Message> unexpected_;
-    std::deque<Rts> pending_rts_;
-    std::vector<PendingRecv *> pending_recvs_;
+    // Match queues are short (a handful of entries, FIFO-scanned) —
+    // pooled vectors beat deques here: no chunk-map allocation per
+    // endpoint, and erase-from-middle on a few entries is a trivial
+    // move.
+    std::vector<Message, sim::PoolAlloc<Message>> unexpected_;
+    std::vector<Rts, sim::PoolAlloc<Rts>> pending_rts_;
+    std::vector<PendingRecv *, sim::PoolAlloc<PendingRecv *>>
+        pending_recvs_;
+
+    /** Slot pools for the per-operation completion objects. */
+    sim::Pool<ReqState> req_pool_;
+    sim::Pool<Handshake> hs_pool_;
 
     std::uint64_t sends_ = 0;
     std::uint64_t recvs_ = 0;
     Bytes bytes_sent_ = 0;
+
+  public:
+    /** Completion-slot pool counters (for metrics assembly). */
+    sim::PoolCounters
+    poolCounters() const
+    {
+        sim::PoolCounters out = req_pool_.counters();
+        const sim::PoolCounters &h = hs_pool_.counters();
+        out.reuses += h.reuses;
+        out.allocs += h.allocs;
+        out.oversize += h.oversize;
+        return out;
+    }
 };
 
 /** Owns the Transport of every node on one machine. */
@@ -337,14 +378,23 @@ class Fabric
            fault::FaultInjector *fi = nullptr,
            stats::TransportMetrics *tm = nullptr);
 
+    ~Fabric();
+
+    Fabric(const Fabric &) = delete;
+    Fabric &operator=(const Fabric &) = delete;
+
     /** Endpoint of node @p i. */
     Transport &node(int i);
 
     /** Number of endpoints. */
-    int size() const { return static_cast<int>(nodes_.size()); }
+    int size() const { return n_; }
 
   private:
-    std::vector<std::unique_ptr<Transport>> nodes_;
+    /** Endpoints live in one contiguous slab (placement-new): a
+     *  single allocation per machine instead of one per node, and
+     *  neighbouring ranks share cache lines during sweeps. */
+    Transport *slab_ = nullptr;
+    int n_ = 0;
 };
 
 } // namespace ccsim::msg

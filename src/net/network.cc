@@ -23,7 +23,7 @@ Network::Network(std::unique_ptr<Topology> topo, const NetworkParams &params)
                         static_cast<std::size_t>(topo_->numNodes()));
 }
 
-const std::vector<LinkId> &
+const RouteVec &
 Network::cachedRoute(int src, int dst)
 {
     if (src == dst)
@@ -35,13 +35,20 @@ Network::cachedRoute(int src, int dst)
     if (slot >= route_cache_.size())
         panic("Network::cachedRoute: node out of range (%d -> %d)", src,
               dst);
-    std::vector<LinkId> &path = route_cache_[slot];
+    RouteVec &path = route_cache_[slot];
     if (path.empty()) {
         ++route_misses_;
-        topo_->route(src, dst, path);
-        if (path.empty())
+        // Topology::route appends into a plain vector; compute into a
+        // reusable scratch and copy exact-size into pooled storage so
+        // a fresh Machine's route misses stop hitting the heap (the
+        // copies come from blocks the previous Machine parked).
+        static thread_local std::vector<LinkId> scratch;
+        scratch.clear();
+        topo_->route(src, dst, scratch);
+        if (scratch.empty())
             panic("Network::cachedRoute: empty route from %d to %d", src,
                   dst);
+        path.assign(scratch.begin(), scratch.end());
     } else {
         ++route_hits_;
     }
@@ -58,7 +65,7 @@ Network::transfer(int src, int dst, Bytes bytes, Time now)
         panic("Network::transfer: negative size %lld",
               static_cast<long long>(bytes));
 
-    const std::vector<LinkId> &path = cachedRoute(src, dst);
+    const RouteVec &path = cachedRoute(src, dst);
 
     Bytes wire = bytes + params_.packet_overhead;
     Time ser = transferTime(wire, params_.link_bandwidth_mbs);

@@ -96,7 +96,7 @@ class Network
      * Topology::route on first use).  The reference stays valid until
      * reset().  src must differ from dst.
      */
-    const std::vector<LinkId> &cachedRoute(int src, int dst);
+    const RouteVec &cachedRoute(int src, int dst);
 
     /** Transfers/lookups served from the route cache. */
     std::uint64_t routeCacheHits() const { return route_hits_; }
@@ -182,7 +182,7 @@ class Network
 
     /** Per-(src,dst) memoised routes, indexed src * numNodes + dst.
      *  An unfilled slot is empty; every legal route has >= 1 link. */
-    std::vector<std::vector<LinkId>> route_cache_;
+    std::vector<RouteVec> route_cache_;
     std::uint64_t route_hits_ = 0;
     std::uint64_t route_misses_ = 0;
 

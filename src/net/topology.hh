@@ -22,10 +22,21 @@
 #include <utility>
 #include <vector>
 
+#include "sim/pool.hh"
+
 namespace ccsim::net {
 
 /** Index of a directed physical link within a topology. */
 using LinkId = std::int32_t;
+
+/**
+ * A stored route: the directed links from one node to another, backed
+ * by the thread's frame pool.  Used for long-lived route storage on
+ * the simulation hot path (Network's route cache is rebuilt for every
+ * Machine, i.e.\ every sweep point); Topology::route itself keeps
+ * taking a plain vector — it runs once per (src, dst) pair.
+ */
+using RouteVec = std::vector<LinkId, sim::PoolAlloc<LinkId>>;
 
 /** Abstract interconnect wiring + routing. */
 class Topology

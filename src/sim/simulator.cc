@@ -19,15 +19,29 @@ Trigger::fire()
     if (fired_)
         return;
     fired_ = true;
-    for (auto h : waiters_)
-        sim_.resumeNow(h);
-    waiters_.clear();
+    if (first_) {
+        sim_.resumeNow(first_);
+        first_ = nullptr;
+    }
+    if (!spill_.empty()) {
+        // Broadcast release: one batched reservation for the whole
+        // fan-out instead of per-waiter queue growth.
+        sim_.queue().scheduleBatchAt(
+            sim_.now(), spill_.size(), [this](std::size_t i) {
+                auto h = spill_[i];
+                return EventQueue::Callback([h] { h.resume(); });
+            });
+        spill_.clear();
+    }
 }
 
 void
 Trigger::Awaiter::await_suspend(std::coroutine_handle<> h)
 {
-    trigger_.waiters_.push_back(h);
+    if (!trigger_.first_ && trigger_.spill_.empty())
+        trigger_.first_ = h;
+    else
+        trigger_.spill_.push_back(h);
 }
 
 void

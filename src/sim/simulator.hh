@@ -118,7 +118,14 @@ class Trigger
 
     Simulator &sim_;
     bool fired_ = false;
-    std::vector<std::coroutine_handle<>> waiters_;
+    /** Inline slot for the overwhelmingly common single waiter
+     *  (request completion, rendezvous CTS/DATA); only a broadcast
+     *  fan-out (hardware barrier) spills into the vector, whose
+     *  storage is pooled. */
+    std::coroutine_handle<> first_ = nullptr;
+    std::vector<std::coroutine_handle<>,
+                PoolAlloc<std::coroutine_handle<>>>
+        spill_;
 };
 
 /** Event loop + task lifetime management. */
@@ -157,8 +164,15 @@ class Simulator
         queue_.schedule(when, [h] { h.resume(); });
     }
 
-    /** Resume a parked coroutine at the current time (via the queue). */
-    void resumeNow(std::coroutine_handle<> h) { resumeAt(now(), h); }
+    /** Resume a parked coroutine at the current time (via the queue,
+     *  so ordering against other now-events stays stable).  Uses the
+     *  queue's append-at-now fast path rather than re-deriving now()
+     *  and re-checking it against itself. */
+    void
+    resumeNow(std::coroutine_handle<> h)
+    {
+        queue_.scheduleNow([h] { h.resume(); });
+    }
 
     /** Awaitable: suspend the caller for @p d simulated time. */
     DelayAwaiter delay(Time d) { return DelayAwaiter(*this, d); }

@@ -1,14 +1,16 @@
 /**
  * @file
- * SmallFn: a move-only `void()` callable with small-buffer
- * optimisation, used for event-queue callbacks.
+ * BasicSmallFn: a move-only `void(Args...)` callable with
+ * small-buffer optimisation; SmallFn is the nullary flavour used for
+ * event-queue callbacks, DeliverFn the `void(Time)` flavour the
+ * transport's wire layer uses.
  *
  * The simulator schedules millions of tiny callbacks per run — most
- * capture a coroutine handle (8 bytes) or a couple of pointers.
+ * capture a coroutine handle (8 bytes) or a message plus a pointer.
  * std::function heap-allocates many of them and, worse,
- * std::priority_queue forces a *copy* on pop.  SmallFn stores any
- * nothrow-movable callable of up to kInlineBytes in place (no
- * allocation, trivially relocated when the event heap grows) and
+ * std::priority_queue forces a *copy* on pop.  BasicSmallFn stores
+ * any nothrow-movable callable of up to kInlineBytes in place (no
+ * allocation, trivially relocated when event storage grows) and
  * falls back to the heap only for oversized or throwing-move
  * callables.  Unlike std::function it is move-only, so move-capturing
  * lambdas (e.g.\ a message moved into its delivery event) need no
@@ -24,23 +26,30 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/units.hh"
+
 namespace ccsim::sim {
 
-/** Move-only void() callable with small-buffer optimisation. */
-class SmallFn
+/** Move-only void(Args...) callable with small-buffer optimisation.
+ *  Arguments are passed by value and should be trivially copyable
+ *  (times, handles, small ids). */
+template <typename... Args>
+class BasicSmallFn
 {
   public:
     /** Callables at most this large (and nothrow-movable) are stored
-     *  inline, with no heap allocation. */
-    static constexpr std::size_t kInlineBytes = 48;
+     *  inline, with no heap allocation.  64 bytes fits the largest
+     *  hot callback — an eager-delivery lambda capturing a Message
+     *  and its destination endpoint. */
+    static constexpr std::size_t kInlineBytes = 64;
 
-    SmallFn() noexcept = default;
+    BasicSmallFn() noexcept = default;
 
     template <typename F,
               typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
-                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
-    SmallFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+                  !std::is_same_v<std::decay_t<F>, BasicSmallFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &, Args...>>>
+    BasicSmallFn(F &&f) // NOLINT: implicit by design, mirrors std::function
     {
         using Fn = std::decay_t<F>;
         if constexpr (fitsInline<Fn>()) {
@@ -53,10 +62,10 @@ class SmallFn
         }
     }
 
-    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+    BasicSmallFn(BasicSmallFn &&other) noexcept { moveFrom(other); }
 
-    SmallFn &
-    operator=(SmallFn &&other) noexcept
+    BasicSmallFn &
+    operator=(BasicSmallFn &&other) noexcept
     {
         if (this != &other) {
             reset();
@@ -65,16 +74,16 @@ class SmallFn
         return *this;
     }
 
-    SmallFn(const SmallFn &) = delete;
-    SmallFn &operator=(const SmallFn &) = delete;
+    BasicSmallFn(const BasicSmallFn &) = delete;
+    BasicSmallFn &operator=(const BasicSmallFn &) = delete;
 
-    ~SmallFn() { reset(); }
+    ~BasicSmallFn() { reset(); }
 
     /** True when a callable is held. */
     explicit operator bool() const noexcept { return ops_ != nullptr; }
 
     /** Invoke the held callable (must be non-empty). */
-    void operator()() { ops_->invoke(storage_); }
+    void operator()(Args... args) { ops_->invoke(storage_, args...); }
 
     /** True when the held callable lives in the inline buffer (for
      *  tests and allocation accounting). */
@@ -83,7 +92,7 @@ class SmallFn
   private:
     struct Ops
     {
-        void (*invoke)(void *);
+        void (*invoke)(void *, Args...);
         /** Move-construct *dst from *src, then destroy *src. */
         void (*relocate)(void *dst, void *src) noexcept;
         void (*destroy)(void *) noexcept;
@@ -101,7 +110,9 @@ class SmallFn
 
     template <typename Fn>
     static constexpr Ops inlineOps = {
-        [](void *s) { (*std::launder(reinterpret_cast<Fn *>(s)))(); },
+        [](void *s, Args... args) {
+            (*std::launder(reinterpret_cast<Fn *>(s)))(args...);
+        },
         [](void *dst, void *src) noexcept {
             Fn *from = std::launder(reinterpret_cast<Fn *>(src));
             ::new (dst) Fn(std::move(*from));
@@ -115,7 +126,9 @@ class SmallFn
 
     template <typename Fn>
     static constexpr Ops heapOps = {
-        [](void *s) { (**std::launder(reinterpret_cast<Fn **>(s)))(); },
+        [](void *s, Args... args) {
+            (**std::launder(reinterpret_cast<Fn **>(s)))(args...);
+        },
         [](void *dst, void *src) noexcept {
             ::new (dst) Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
         },
@@ -126,7 +139,7 @@ class SmallFn
     };
 
     void
-    moveFrom(SmallFn &other) noexcept
+    moveFrom(BasicSmallFn &other) noexcept
     {
         ops_ = other.ops_;
         if (ops_)
@@ -146,6 +159,12 @@ class SmallFn
     alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
     const Ops *ops_ = nullptr;
 };
+
+/** The event-queue callback type. */
+using SmallFn = BasicSmallFn<>;
+
+/** Wire-delivery continuation: called once with the arrival time. */
+using DeliverFn = BasicSmallFn<Time>;
 
 } // namespace ccsim::sim
 

@@ -19,10 +19,12 @@
 #define CCSIM_SIM_TASK_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
 
+#include "sim/pool.hh"
 #include "util/logging.hh"
 
 namespace ccsim::sim {
@@ -35,6 +37,27 @@ namespace detail {
 /** State shared by Task promises independent of the result type. */
 struct PromiseBase
 {
+    /**
+     * Coroutine frames come from the thread-local FramePool: rank
+     * programs create and destroy frames at the highest rate of
+     * anything in the simulator, and only a handful of distinct
+     * frame sizes exist, so a size-class freelist turns frame churn
+     * into pointer pops.  Only the sized delete is defined — the
+     * coroutine machinery prefers it when both are visible, and the
+     * pool needs the size to find the class.
+     */
+    static void *
+    operator new(std::size_t n)
+    {
+        return framePool().allocate(n);
+    }
+
+    static void
+    operator delete(void *p, std::size_t n) noexcept
+    {
+        framePool().release(p, n);
+    }
+
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
 

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The measureCollective memo cache: cached results must be
+ * bit-identical to re-simulated ones, ineligible points must bypass
+ * the cache, and the statistics must account for every lookup.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/measure.hh"
+#include "harness/sweep.hh"
+#include "machine/machine_config.hh"
+
+namespace ccsim::harness {
+namespace {
+
+/** Field-by-field equality over everything a Measurement carries. */
+void
+expectIdentical(const Measurement &a, const Measurement &b)
+{
+    EXPECT_EQ(a.machine, b.machine);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.algo, b.algo);
+    EXPECT_EQ(a.m, b.m);
+    EXPECT_EQ(a.p, b.p);
+    EXPECT_EQ(a.max_time, b.max_time);
+    EXPECT_EQ(a.min_time, b.min_time);
+    EXPECT_EQ(a.mean_time, b.mean_time);
+    EXPECT_EQ(a.fault_drops, b.fault_drops);
+    EXPECT_EQ(a.fault_retransmits, b.fault_retransmits);
+    EXPECT_EQ(a.fault_delays, b.fault_delays);
+    EXPECT_EQ(a.metrics.empty(), b.metrics.empty());
+}
+
+MeasureOptions
+noMemo()
+{
+    MeasureOptions o;
+    o.memoize = false;
+    return o;
+}
+
+TEST(MeasureMemo, CachedResultIsByteIdenticalToUncached)
+{
+    memoClear();
+    auto cfg = machine::sp2Config();
+
+    Measurement plain = measureCollective(cfg, 8, machine::Coll::Bcast,
+                                          1024, machine::Algo::Default,
+                                          noMemo());
+
+    MeasureOptions memo; // memoize = true by default
+    Measurement miss = measureCollective(cfg, 8, machine::Coll::Bcast,
+                                         1024, machine::Algo::Default,
+                                         memo);
+    Measurement hit = measureCollective(cfg, 8, machine::Coll::Bcast,
+                                        1024, machine::Algo::Default,
+                                        memo);
+
+    expectIdentical(plain, miss);
+    expectIdentical(plain, hit);
+
+    MemoStats s = memoStats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.bypassed, 1u); // the memoize = false run
+    EXPECT_EQ(memoSize(), 1u);
+}
+
+TEST(MeasureMemo, DistinctPointsGetDistinctEntries)
+{
+    memoClear();
+    auto cfg = machine::t3dConfig();
+    measureCollective(cfg, 4, machine::Coll::Barrier, 0);
+    measureCollective(cfg, 8, machine::Coll::Barrier, 0);
+    measureCollective(cfg, 8, machine::Coll::Allreduce, 64);
+    EXPECT_EQ(memoSize(), 3u);
+    EXPECT_EQ(memoStats().misses, 3u);
+    EXPECT_EQ(memoStats().hits, 0u);
+
+    // A changed machine parameter is a different key even at the same
+    // (p, op, m, algo) point.
+    auto slower = cfg;
+    slower.network.link_bandwidth_mbs /= 2;
+    Measurement fast =
+        measureCollective(cfg, 8, machine::Coll::Allreduce, 64);
+    Measurement slow =
+        measureCollective(slower, 8, machine::Coll::Allreduce, 64);
+    EXPECT_EQ(memoSize(), 4u);
+    EXPECT_LT(fast.max_time, slow.max_time);
+}
+
+TEST(MeasureMemo, IneligiblePointsBypassTheCache)
+{
+    memoClear();
+    auto cfg = machine::paragonConfig();
+
+    // Clock skew: results depend on the skew RNG, not just the key.
+    MeasureOptions skew;
+    skew.max_skew = 100;
+    measureCollective(cfg, 4, machine::Coll::Barrier, 0,
+                      machine::Algo::Default, skew);
+
+    // Metrics collection: the snapshot is observational state the
+    // cache does not carry.  The timings themselves are unaffected
+    // by observation, so they must still match a cached point's.
+    MeasureOptions metrics;
+    metrics.metrics = true;
+    Measurement observed =
+        measureCollective(cfg, 4, machine::Coll::Barrier, 0,
+                          machine::Algo::Default, metrics);
+    EXPECT_FALSE(observed.metrics.empty());
+
+    // Faults: the per-point fault universe is seeded outside the key.
+    auto faulty = cfg;
+    faulty.fault.msg_drop_rate = 0.05;
+    measureCollective(faulty, 4, machine::Coll::Barrier, 0);
+
+    MemoStats s = memoStats();
+    EXPECT_EQ(s.bypassed, 3u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(memoSize(), 0u);
+
+    // Observation never changes simulated time: a cached plain run
+    // reports the same timings the metrics run measured.
+    Measurement cached =
+        measureCollective(cfg, 4, machine::Coll::Barrier, 0);
+    measureCollective(cfg, 4, machine::Coll::Barrier, 0); // hit
+    EXPECT_EQ(cached.max_time, observed.max_time);
+    EXPECT_EQ(cached.min_time, observed.min_time);
+    EXPECT_EQ(cached.mean_time, observed.mean_time);
+}
+
+TEST(MeasureMemo, SweepResultsIdenticalAcrossJobsAndCacheState)
+{
+    memoClear();
+    SweepSpec spec;
+    spec.machines = {machine::t3dConfig(), machine::sp2Config()};
+    spec.ops = {machine::Coll::Bcast, machine::Coll::Barrier};
+    spec.sizes = {4, 8};
+    spec.lengths = {256};
+    spec.options.iterations = 2;
+    spec.options.repetitions = 1;
+
+    SweepRunner serial(1);
+    std::vector<Measurement> cold = serial.run(spec.expand());
+    ASSERT_EQ(serial.lastStats().memo_hits, 0u);
+
+    // Warm rerun: every point served from the cache.
+    std::vector<Measurement> warm = serial.run(spec.expand());
+    EXPECT_EQ(serial.lastStats().memo_hits, cold.size());
+
+    // Cold parallel rerun: workers race to fill the cache.
+    memoClear();
+    SweepRunner parallel(4);
+    std::vector<Measurement> par = parallel.run(spec.expand());
+
+    ASSERT_EQ(cold.size(), warm.size());
+    ASSERT_EQ(cold.size(), par.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        expectIdentical(cold[i], warm[i]);
+        expectIdentical(cold[i], par[i]);
+    }
+}
+
+TEST(MeasureMemo, ClearDropsEntriesAndZeroesStats)
+{
+    memoClear();
+    measureCollective(machine::t3dConfig(), 4, machine::Coll::Barrier,
+                      0);
+    EXPECT_EQ(memoSize(), 1u);
+    memoClear();
+    EXPECT_EQ(memoSize(), 0u);
+    MemoStats s = memoStats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.bypassed, 0u);
+}
+
+} // namespace
+} // namespace ccsim::harness

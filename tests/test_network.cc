@@ -15,6 +15,14 @@ namespace {
 
 using namespace time_literals;
 
+/** RouteVec is pool-backed; lift to a plain vector for EXPECT_EQ
+ *  against what Topology::route fills. */
+std::vector<LinkId>
+plain(const RouteVec &r)
+{
+    return std::vector<LinkId>(r.begin(), r.end());
+}
+
 NetworkParams
 simpleParams()
 {
@@ -200,10 +208,10 @@ TEST(Network, RouteCacheMatchesFreshTopologyRoute)
                 continue;
             std::vector<LinkId> expect;
             fresh.route(s, d, expect);
-            EXPECT_EQ(net.cachedRoute(s, d), expect)
+            EXPECT_EQ(plain(net.cachedRoute(s, d)), expect)
                 << s << " -> " << d;
             // Second lookup: a hit, same path.
-            EXPECT_EQ(net.cachedRoute(s, d), expect);
+            EXPECT_EQ(plain(net.cachedRoute(s, d)), expect);
         }
     }
     EXPECT_EQ(net.routeCacheMisses(), 8u * 7u);
@@ -246,15 +254,15 @@ TEST(Network, CachedTransferTimesEqualUncachedTimes)
 TEST(Network, ResetKeepsRouteCacheCoherent)
 {
     Network net(std::make_unique<Mesh2D>(2, 4), simpleParams());
-    std::vector<LinkId> before = net.cachedRoute(0, 7);
+    std::vector<LinkId> before = plain(net.cachedRoute(0, 7));
     net.reset();
     EXPECT_EQ(net.routeCacheHits(), 0u);
     EXPECT_EQ(net.routeCacheMisses(), 0u);
     // Refilled lazily, identical to a fresh Topology::route.
     std::vector<LinkId> expect;
     Mesh2D(2, 4).route(0, 7, expect);
-    EXPECT_EQ(net.cachedRoute(0, 7), before);
-    EXPECT_EQ(net.cachedRoute(0, 7), expect);
+    EXPECT_EQ(plain(net.cachedRoute(0, 7)), before);
+    EXPECT_EQ(plain(net.cachedRoute(0, 7)), expect);
     EXPECT_EQ(net.routeCacheMisses(), 1u);
 }
 
