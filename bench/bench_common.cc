@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "tuning/selection_table.hh"
 #include "util/cli.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
@@ -18,6 +19,7 @@ BenchOptions::parse(int argc, char **argv)
     o.value("csv", "dump machine-readable series under DIR", "DIR");
     o.value("jobs", "sweep worker threads (default: all cores)", "N");
     o.flag("metrics", "collect per-point metrics snapshots");
+    tuning::addSelectionOpts(o);
     o.parse(argc, argv);
 
     BenchOptions out;
@@ -28,7 +30,16 @@ BenchOptions::parse(int argc, char **argv)
         fatal("bad value for --jobs: want a positive integer");
     out.jobs = static_cast<int>(jobs);
     out.metrics = o.has("metrics");
+    out.algo = tuning::algoOpt(o);
+    out.selection = o.get("selection");
     return out;
+}
+
+void
+BenchOptions::applySelection(machine::MachineConfig &cfg) const
+{
+    if (!selection.empty())
+        tuning::attachSelection(cfg, selection);
 }
 
 SweepSession::SweepSession(const BenchOptions &opts,

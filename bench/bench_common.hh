@@ -22,6 +22,7 @@
 #include "machine/machine_config.hh"
 #include "model/paper_data.hh"
 #include "model/timing_expr.hh"
+#include "tuning/selection_cli.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -35,8 +36,15 @@ struct BenchOptions
     std::string csv_dir;     //!< dump CSV series here when non-empty
     int jobs = 0;            //!< sweep workers (0: hardware concurrency)
     bool metrics = false;    //!< collect MetricsSnapshots per point
+    //! --algo: the per-call algorithm for benches that honour it
+    //! (Auto resolves through the machine's selection table).
+    machine::Algo algo = machine::Algo::Auto;
+    std::string selection;   //!< --selection: table preset or file
 
     static BenchOptions parse(int argc, char **argv);
+
+    /** Attach --selection to @p cfg (no-op when not given). */
+    void applySelection(machine::MachineConfig &cfg) const;
 };
 
 /**
@@ -58,13 +66,13 @@ class SweepSession
 
     /** Declare one point (deduped by key). */
     void add(const machine::MachineConfig &cfg, int p, machine::Coll op,
-             Bytes m, machine::Algo algo = machine::Algo::Default,
+             Bytes m, machine::Algo algo = machine::Algo::Auto,
              const std::string &tag = "");
 
     /** Declare the startup-latency point (short-message T0 proxy). */
     void addStartup(const machine::MachineConfig &cfg, int p,
                     machine::Coll op,
-                    machine::Algo algo = machine::Algo::Default,
+                    machine::Algo algo = machine::Algo::Auto,
                     const std::string &tag = "");
 
     /** Simulate all declared points on the worker pool. */
@@ -73,14 +81,14 @@ class SweepSession
     /** Look up a declared point's measurement (run() must be done). */
     const harness::Measurement &
     get(const machine::MachineConfig &cfg, int p, machine::Coll op,
-        Bytes m, machine::Algo algo = machine::Algo::Default,
+        Bytes m, machine::Algo algo = machine::Algo::Auto,
         const std::string &tag = "") const;
 
     /** Startup-latency counterpart of get(). */
     const harness::Measurement &
     getStartup(const machine::MachineConfig &cfg, int p,
                machine::Coll op,
-               machine::Algo algo = machine::Algo::Default,
+               machine::Algo algo = machine::Algo::Auto,
                const std::string &tag = "") const;
 
     /** Throughput of the last run() (points/sec, wall seconds). */

@@ -1,46 +1,27 @@
 /**
  * @file
- * Algorithm auto-tuning: what a modern tuned-collectives table looks
- * like, computed on a simulated 1997 machine.
+ * Algorithm auto-tuning: derive a tuned-collectives selection table
+ * for a simulated 1997 machine with the empirical tuner, then use it
+ * through Algo::Auto.
  *
- * For each collective and each (m, p) cell, try every implemented
- * algorithm on the chosen machine model and report the winner — the
- * same selection logic MPICH later shipped as hard-coded switch
- * points (e.g.\ Bruck below a size threshold, pairwise above;
- * binomial bcast for short, scatter+allgather for long).
+ * tuning::tuneMachine() measures every candidate algorithm (the
+ * per-collective candidate sets come from tuning::candidateAlgos())
+ * over a (p, m) grid, keeps the winners, and compresses them into a
+ * tuning::SelectionTable — the same selection logic MPICH later
+ * shipped as hard-coded switch points (e.g.\ Bruck below a size
+ * threshold, pairwise above; binomial bcast for short,
+ * scatter+allgather for long).  Attaching the table to the machine
+ * makes every Algo::Auto call (the collective API's default) resolve
+ * to the tuned winner.
  */
 
 #include <cstdio>
 #include <iostream>
-#include <map>
+#include <memory>
 
 #include "ccsim.hh"
 
 using namespace ccsim;
-
-namespace {
-
-const std::map<machine::Coll, std::vector<machine::Algo>> &
-candidates()
-{
-    using machine::Algo;
-    using machine::Coll;
-    static const std::map<Coll, std::vector<Algo>> c = {
-        {Coll::Bcast,
-         {Algo::Linear, Algo::Binomial, Algo::ScatterAllgather}},
-        {Coll::Alltoall, {Algo::Linear, Algo::Pairwise, Algo::Bruck}},
-        {Coll::Allgather, {Algo::Ring, Algo::RecursiveDoubling}},
-        {Coll::Reduce, {Algo::Linear, Algo::Binomial}},
-        {Coll::Allreduce,
-         {Algo::ReduceBcast, Algo::RecursiveDoubling}},
-        {Coll::Scan, {Algo::Linear, Algo::RecursiveDoubling}},
-        {Coll::Barrier,
-         {Algo::Linear, Algo::Binomial, Algo::Dissemination}},
-    };
-    return c;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -57,47 +38,55 @@ main(int argc, char **argv)
             fatal("unknown machine '%s' (SP2, T3D, Paragon)",
                   name.c_str());
     }
-    // Compare software algorithms only.
-    if (cfg.hardware_barrier)
-        cfg.setAlgorithm(machine::Coll::Barrier,
-                         machine::Algo::Dissemination);
 
-    harness::MeasureOptions mopt;
-    mopt.iterations = 3;
-    mopt.repetitions = 1;
-    mopt.warmup = 1;
+    tuning::TuneGrid grid;
+    grid.sizes = {4, 16, 64};
+    grid.lengths = {64, 4 * KiB, 64 * KiB};
+    grid.options.iterations = 3;
+    grid.options.repetitions = 1;
+    grid.options.warmup = 1;
 
-    std::printf("Best algorithm per (operation, m, p) on the %s "
-                "model\n\n", cfg.name.c_str());
+    std::printf("Tuning the %s model over %zu sizes x %zu lengths\n\n",
+                cfg.name.c_str(), grid.sizes.size(),
+                grid.lengths.size());
+    tuning::TuneResult res = tuning::tuneMachine(cfg, grid);
 
-    for (const auto &[op, algos] : candidates()) {
-        TableWriter t;
-        t.header({"m \\ p", "4", "16", "64"});
-        std::vector<Bytes> lengths =
-            op == machine::Coll::Barrier
-                ? std::vector<Bytes>{0}
-                : std::vector<Bytes>{64, 4 * KiB, 64 * KiB};
-        for (Bytes m : lengths) {
-            std::vector<std::string> row{
-                op == machine::Coll::Barrier ? "-" : formatBytes(m)};
-            for (int p : {4, 16, 64}) {
-                machine::Algo best = algos.front();
-                double best_us = -1;
-                for (auto a : algos) {
-                    auto meas = harness::measureCollective(cfg, p, op,
-                                                           m, a, mopt);
-                    if (best_us < 0 || meas.us() < best_us) {
-                        best_us = meas.us();
-                        best = a;
-                    }
-                }
-                row.push_back(machine::algoName(best));
-            }
-            t.row(row);
+    // The tuned decision map, in its on-disk form (`ccsim tune` can
+    // save the same document with --out and --selection reloads it).
+    std::printf("--- tuned selection table ---\n");
+    res.table.save(std::cout);
+
+    // The headline: how much the machine's configured 1997 defaults
+    // left on the table over the tuned grid.
+    std::printf("\ntotal regret of the configured defaults: %.1f%%\n",
+                res.totalRegret() * 100.0);
+    const auto &worst = res.worstCell();
+    std::printf("worst cell: %s p=%d m=%s (%s -> %s, %.1f%%)\n\n",
+                machine::collName(worst.op).c_str(), worst.p,
+                formatBytes(worst.m).c_str(),
+                machine::algoName(worst.default_algo).c_str(),
+                machine::algoName(worst.best_algo).c_str(),
+                worst.regret() * 100.0);
+
+    // Attach the table and let Algo::Auto do the choosing: the same
+    // call now picks the tuned winner per (p, m).
+    cfg.selection =
+        std::make_shared<tuning::SelectionTable>(res.table);
+    std::printf("--- bcast through Algo::Auto with the table "
+                "attached ---\n");
+    TableWriter t;
+    t.header({"m \\ p", "4", "16", "64"});
+    for (Bytes m : grid.lengths) {
+        std::vector<std::string> row{formatBytes(m)};
+        for (int p : grid.sizes) {
+            auto meas = harness::measureCollective(
+                cfg, p, machine::Coll::Bcast, m, machine::Algo::Auto,
+                grid.options);
+            row.push_back(machine::algoName(meas.algo) + " (" +
+                          formatTime(meas.time()) + ")");
         }
-        std::printf("--- %s ---\n", machine::collName(op).c_str());
-        t.print(std::cout);
-        std::printf("\n");
+        t.row(row);
     }
+    t.print(std::cout);
     return 0;
 }

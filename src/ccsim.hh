@@ -11,6 +11,10 @@
  *  - mpi::Comm — the collective API rank programs run against;
  *  - harness::measureCollective / SweepSpec / SweepRunner — the
  *    Section 2 measurement procedure and the parallel sweep engine;
+ *  - tuning — SelectionTable (the per-(op, p, m) decision map behind
+ *    Algo::Auto), the built-in fixed tables for the paper's
+ *    machines, the empirical tuner (tuneMachine), and the shared
+ *    --algo/--selection CLI surface;
  *  - model — Table 3 expressions, paper-style fitting, Hockney fits,
  *    and the closed-form predictor;
  *  - fault — FaultSpec / FaultInjector / FaultReport for
@@ -58,6 +62,9 @@
 #include "sim/trace.hh"
 #include "stats/metrics.hh"
 #include "stats/snapshot.hh"
+#include "tuning/selection_cli.hh"
+#include "tuning/selection_table.hh"
+#include "tuning/tuner.hh"
 #include "util/cli.hh"
 #include "util/error.hh"
 #include "util/logging.hh"

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "model/fit.hh"
+#include "tuning/selection_table.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -211,6 +212,16 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
     if (opt.max_skew < 0)
         fatal("measureCollective: negative clock skew bound");
 
+    // Resolve Algo::Auto up front, before the memo key is formed:
+    // cfg.selection is deliberately NOT part of the key (it only
+    // influences a run through this resolution), so an unresolved
+    // Auto would alias across different tables.  Resolving here also
+    // makes an Auto point share its cache entry — and produce a
+    // byte-identical Measurement, resolved algo included — with the
+    // same point measured under the explicit algorithm.
+    if (algo == Algo::Auto)
+        algo = tuning::resolveAlgo(cfg, op, p, m, algo);
+
     const bool memo = memoEligible(cfg, opt);
     std::string key;
     if (memo) {
@@ -258,7 +269,12 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
             co_await runCollectiveOnce(comm, op, m, algo);
 
         for (int rep = 0; rep < opt.repetitions; ++rep) {
-            co_await comm.barrier();
+            // The procedure's own synchronization barrier is pinned
+            // to the machine default: it must not vary with an
+            // attached selection table, or an Auto run could diverge
+            // from the memoized explicit-algorithm run it shares a
+            // key with.
+            co_await comm.barrier(Algo::Default);
             Time start = mach.sim().now();
             for (int i = 0; i < opt.iterations; ++i)
                 co_await runCollectiveOnce(comm, op, m, algo);

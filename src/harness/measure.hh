@@ -127,7 +127,7 @@ using CollectiveCall =
 sim::Task<void> runCollectiveOnce(mpi::Comm &comm, machine::Coll op,
                                   Bytes m,
                                   machine::Algo algo
-                                  = machine::Algo::Default);
+                                  = machine::Algo::Auto);
 
 /**
  * Run the Section 2 procedure for one collective on one machine.
@@ -136,12 +136,18 @@ sim::Task<void> runCollectiveOnce(mpi::Comm &comm, machine::Coll op,
  * @param p     number of nodes
  * @param op    which collective (root defaults to rank 0)
  * @param m     message length in bytes (per node pair)
- * @param algo  algorithm override (Default = machine's choice)
+ * @param algo  algorithm override.  The default, Algo::Auto, goes
+ *              through the machine's selection table when one is
+ *              attached and otherwise means Algo::Default — the
+ *              machine's configured choice.  Auto is resolved to a
+ *              concrete algorithm BEFORE the memo key is formed, so
+ *              the returned Measurement (resolved algo included) is
+ *              byte-identical to measuring that algorithm explicitly.
  * @param opt   procedure knobs
  */
 Measurement measureCollective(const machine::MachineConfig &cfg, int p,
                               machine::Coll op, Bytes m,
-                              machine::Algo algo = machine::Algo::Default,
+                              machine::Algo algo = machine::Algo::Auto,
                               const MeasureOptions &opt = {});
 
 /**
@@ -151,7 +157,7 @@ Measurement measureCollective(const machine::MachineConfig &cfg, int p,
  */
 Measurement measureStartup(const machine::MachineConfig &cfg, int p,
                            machine::Coll op,
-                           machine::Algo algo = machine::Algo::Default,
+                           machine::Algo algo = machine::Algo::Auto,
                            const MeasureOptions &opt = {});
 
 /** Message length used for the startup-latency approximation. */

@@ -39,7 +39,7 @@ struct SweepPoint
     int p = 2;
     machine::Coll op = machine::Coll::Barrier;
     Bytes m = 0;
-    machine::Algo algo = machine::Algo::Default;
+    machine::Algo algo = machine::Algo::Auto;
     MeasureOptions options;
 };
 
@@ -55,7 +55,7 @@ struct SweepSpec
     std::vector<machine::Coll> ops;
     std::vector<int> sizes;      //!< empty: paperMachineSizes(machine)
     std::vector<Bytes> lengths;  //!< empty: paperMessageLengths()
-    std::vector<machine::Algo> algos{machine::Algo::Default};
+    std::vector<machine::Algo> algos{machine::Algo::Auto};
     MeasureOptions options;
 
     /**

@@ -65,6 +65,8 @@ algoName(Algo a)
         return "pipelined";
       case Algo::Hardware:
         return "hardware";
+      case Algo::Auto:
+        return "auto";
       default:
         panic("algoName: bad algorithm %d", static_cast<int>(a));
     }

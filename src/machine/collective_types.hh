@@ -70,6 +70,15 @@ enum class Algo
     Rabenseifner,      //!< allreduce as reduce-scatter + allgather
     Pipelined,         //!< segmented chain pipeline (long bcast)
     Hardware,          //!< dedicated hardware (T3D barrier tree)
+
+    /**
+     * Resolve through the machine's active selection table (the
+     * tuned per-(op, p, m) decision map, see src/tuning).  When no
+     * table is attached, or the table has no rule for the point,
+     * Auto degrades to Default — the machine's configured choice —
+     * so it is always safe as a call-site default.
+     */
+    Auto,
 };
 
 /** Printable algorithm name. */

@@ -162,8 +162,16 @@ applyCollective(MachineConfig &cfg, Coll op, const std::string &field,
                 const std::string &key, const std::string &value)
 {
     CollCosts &costs = cfg.costsFor(op);
-    if (field == "algorithm")
-        cfg.setAlgorithm(op, algoByName(value));
+    if (field == "algorithm") {
+        Algo a = algoFromName(value);
+        // "auto" is a per-call request resolved through a selection
+        // table; a machine's configured choice is what Auto falls
+        // back TO, so it must be concrete.
+        if (a == Algo::Auto)
+            configFatal("'%s' cannot be 'auto': the machine default "
+                        "is what auto falls back to", key.c_str());
+        cfg.setAlgorithm(op, a);
+    }
     else if (field == "entry_us")
         costs.entry = microseconds(parseDouble(key, value));
     else if (field == "per_stage_us")
@@ -232,14 +240,27 @@ collKey(Coll op)
 }
 
 Algo
-algoByName(const std::string &name)
+algoFromName(const std::string &name)
 {
-    for (int i = 0; i <= static_cast<int>(Algo::Hardware); ++i) {
+    for (int i = 0; i <= static_cast<int>(Algo::Auto); ++i) {
         Algo a = static_cast<Algo>(i);
         if (algoName(a) == name)
             return a;
     }
-    configFatal("unknown algorithm '%s'", name.c_str());
+    std::string valid;
+    for (int i = 0; i <= static_cast<int>(Algo::Auto); ++i) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += algoName(static_cast<Algo>(i));
+    }
+    configFatal("unknown algorithm '%s' (valid: %s)", name.c_str(),
+                valid.c_str());
+}
+
+Algo
+algoByName(const std::string &name)
+{
+    return algoFromName(name);
 }
 
 TopologyKind

@@ -66,7 +66,17 @@ MachineConfig presetByName(const std::string &name);
 /** Key-name slug of a collective ("alltoall", "reduce_scatter"...). */
 std::string collKey(Coll op);
 
-/** Inverse of algoName(); ConfigError on unknown names. */
+/**
+ * Inverse of algoName(): the one algorithm-name parser the CLI, the
+ * machine-config loader, and the selection-table loader all share.
+ * Accepts every algoName() spelling including "auto" and "default";
+ * unknown names raise ConfigError listing the valid spellings (not a
+ * generic parse error), so `--algo binomal` and a typo in a config
+ * file fail identically and catchably.
+ */
+Algo algoFromName(const std::string &name);
+
+/** Deprecated alias for algoFromName() (kept for source compat). */
 Algo algoByName(const std::string &name);
 
 /** Inverse of topologyKindName(); ConfigError on unknown names. */

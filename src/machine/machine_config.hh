@@ -28,6 +28,10 @@
 #include "net/network.hh"
 #include "net/topology.hh"
 
+namespace ccsim::tuning {
+class SelectionTable; // src/tuning: per-(op, p, m) decision map
+}
+
 namespace ccsim::machine {
 
 /** Topology family a machine instantiates for a given node count. */
@@ -71,6 +75,18 @@ struct MachineConfig
      * identical either way.
      */
     bool collect_metrics = false;
+
+    /**
+     * Active algorithm selection table: resolves Algo::Auto calls to
+     * a concrete algorithm per (op, p, m).  Null (the default) makes
+     * Auto identical to Default — the machine's configured per-op
+     * choice below.  Shared and immutable so copying a config (every
+     * sweep point does) stays cheap.  Like collect_metrics, this is
+     * deliberately not persisted by config-file I/O: tables have
+     * their own file format (tuning::SelectionTable) and are attached
+     * per run (--selection), not baked into a machine description.
+     */
+    std::shared_ptr<const tuning::SelectionTable> selection;
 
     /** Dedicated barrier network (T3D's hardwired AND tree). */
     bool hardware_barrier = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "machine/comm_hook.hh"
+#include "tuning/selection_table.hh"
 #include "util/logging.hh"
 
 namespace ccsim::mpi {
@@ -194,11 +195,10 @@ Comm::hookCollective(Coll op, Bytes m, int root, Algo algo,
 }
 
 CollCtx
-Comm::makeCtx(Coll op, Algo &algo, Combiner combiner)
+Comm::makeCtx(Coll op, Algo &algo, Bytes m, Combiner combiner)
 {
     const machine::MachineConfig &cfg = mach_->config();
-    if (algo == Algo::Default)
-        algo = cfg.algorithmFor(op);
+    algo = tuning::resolveAlgo(cfg, op, size_, m, algo);
 
     CollCtx ctx;
     ctx.mach = mach_;
@@ -226,7 +226,7 @@ sim::Task<msg::PayloadPtr>
 Comm::bcastCore(Bytes m, int root, Algo algo, msg::PayloadPtr data)
 {
     hookCollective(Coll::Bcast, m, root, algo);
-    CollCtx ctx = makeCtx(Coll::Bcast, algo, {});
+    CollCtx ctx = makeCtx(Coll::Bcast, algo, m, {});
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await bcastImpl(std::move(ctx), algo, m, root, std::move(data));
@@ -239,7 +239,7 @@ sim::Task<msg::PayloadPtr>
 Comm::gatherCore(Bytes m, int root, Algo algo, msg::PayloadPtr mine)
 {
     hookCollective(Coll::Gather, m, root, algo);
-    CollCtx ctx = makeCtx(Coll::Gather, algo, {});
+    CollCtx ctx = makeCtx(Coll::Gather, algo, m, {});
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await gatherImpl(std::move(ctx), algo, m, root, std::move(mine));
@@ -252,7 +252,7 @@ sim::Task<msg::PayloadPtr>
 Comm::scatterCore(Bytes m, int root, Algo algo, msg::PayloadPtr all)
 {
     hookCollective(Coll::Scatter, m, root, algo);
-    CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
+    CollCtx ctx = makeCtx(Coll::Scatter, algo, m, {});
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await scatterImpl(std::move(ctx), algo, m, root, std::move(all));
@@ -266,11 +266,11 @@ Comm::gathervCore(std::vector<Bytes> counts, int root, Algo algo,
                   msg::PayloadPtr mine)
 {
     hookCollective(Coll::Gather, 0, root, algo, &counts);
-    // gatherv's only algorithm is Linear; Default means that, not
-    // the machine's (possibly tree-shaped) gather choice.
-    if (algo == Algo::Default)
+    // gatherv's only algorithm is Linear; Default (and Auto) mean
+    // that, not the machine's (possibly tree-shaped) gather choice.
+    if (algo == Algo::Default || algo == Algo::Auto)
         algo = Algo::Linear;
-    CollCtx ctx = makeCtx(Coll::Gather, algo, {});
+    CollCtx ctx = makeCtx(Coll::Gather, algo, 0, {});
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await gathervImpl(std::move(ctx), algo, counts, root,
@@ -285,9 +285,9 @@ Comm::scattervCore(std::vector<Bytes> counts, int root, Algo algo,
                    msg::PayloadPtr all)
 {
     hookCollective(Coll::Scatter, 0, root, algo, &counts);
-    if (algo == Algo::Default)
+    if (algo == Algo::Default || algo == Algo::Auto)
         algo = Algo::Linear;
-    CollCtx ctx = makeCtx(Coll::Scatter, algo, {});
+    CollCtx ctx = makeCtx(Coll::Scatter, algo, 0, {});
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await scattervImpl(std::move(ctx), algo, counts, root,
@@ -301,7 +301,7 @@ sim::Task<msg::PayloadPtr>
 Comm::allgatherCore(Bytes m, Algo algo, msg::PayloadPtr mine)
 {
     hookCollective(Coll::Allgather, m, -1, algo);
-    CollCtx ctx = makeCtx(Coll::Allgather, algo, {});
+    CollCtx ctx = makeCtx(Coll::Allgather, algo, m, {});
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await allgatherImpl(std::move(ctx), algo, m, std::move(mine));
@@ -314,7 +314,7 @@ sim::Task<msg::PayloadPtr>
 Comm::alltoallCore(Bytes m, Algo algo, msg::PayloadPtr mine)
 {
     hookCollective(Coll::Alltoall, m, -1, algo);
-    CollCtx ctx = makeCtx(Coll::Alltoall, algo, {});
+    CollCtx ctx = makeCtx(Coll::Alltoall, algo, m, {});
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await alltoallImpl(std::move(ctx), algo, m, std::move(mine));
@@ -328,7 +328,7 @@ Comm::reduceCore(Bytes m, int root, Algo algo, Combiner combiner,
                  msg::PayloadPtr mine)
 {
     hookCollective(Coll::Reduce, m, root, algo);
-    CollCtx ctx = makeCtx(Coll::Reduce, algo, std::move(combiner));
+    CollCtx ctx = makeCtx(Coll::Reduce, algo, m, std::move(combiner));
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await reduceImpl(std::move(ctx), algo, m, root, std::move(mine));
@@ -342,7 +342,7 @@ Comm::allreduceCore(Bytes m, Algo algo, Combiner combiner,
                     msg::PayloadPtr mine)
 {
     hookCollective(Coll::Allreduce, m, -1, algo);
-    CollCtx ctx = makeCtx(Coll::Allreduce, algo, std::move(combiner));
+    CollCtx ctx = makeCtx(Coll::Allreduce, algo, m, std::move(combiner));
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await allreduceImpl(std::move(ctx), algo, m, std::move(mine));
@@ -356,7 +356,7 @@ Comm::reduceScatterCore(Bytes m, Algo algo, Combiner combiner,
                         msg::PayloadPtr mine)
 {
     hookCollective(Coll::ReduceScatter, m, -1, algo);
-    CollCtx ctx = makeCtx(Coll::ReduceScatter, algo,
+    CollCtx ctx = makeCtx(Coll::ReduceScatter, algo, m,
                           std::move(combiner));
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
@@ -371,7 +371,7 @@ Comm::scanCore(Bytes m, Algo algo, Combiner combiner,
                msg::PayloadPtr mine)
 {
     hookCollective(Coll::Scan, m, -1, algo);
-    CollCtx ctx = makeCtx(Coll::Scan, algo, std::move(combiner));
+    CollCtx ctx = makeCtx(Coll::Scan, algo, m, std::move(combiner));
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     msg::PayloadPtr out = co_await scanImpl(std::move(ctx), algo, m, std::move(mine));
@@ -386,7 +386,7 @@ sim::Task<void>
 Comm::barrier(Algo algo)
 {
     hookCollective(Coll::Barrier, 0, -1, algo);
-    CollCtx ctx = makeCtx(Coll::Barrier, algo, {});
+    CollCtx ctx = makeCtx(Coll::Barrier, algo, 0, {});
     stats::CollOpMetrics *om = ctx.om;
     const Time t0 = mach_->sim().now();
     co_await barrierImpl(ctx, algo);

@@ -98,24 +98,30 @@ class Comm
     // payload: both forward to one private *Core per operation, so
     // timing and tag allocation cannot diverge between the two forms.
 
-    sim::Task<void> barrier(Algo algo = Algo::Default);
+    // The default argument is Algo::Auto: resolved through the
+    // machine's selection table when one is attached (see
+    // tuning::resolveAlgo), and identical to Algo::Default — the
+    // machine's configured choice — when none is.  Explicit
+    // algorithms always pass through untouched.
+
+    sim::Task<void> barrier(Algo algo = Algo::Auto);
     sim::Task<void> bcast(Bytes m, int root = 0,
-                          Algo algo = Algo::Default);
+                          Algo algo = Algo::Auto);
     sim::Task<void> gather(Bytes m, int root = 0,
-                           Algo algo = Algo::Default);
+                           Algo algo = Algo::Auto);
     sim::Task<void> scatter(Bytes m, int root = 0,
-                            Algo algo = Algo::Default);
-    sim::Task<void> allgather(Bytes m, Algo algo = Algo::Default);
+                            Algo algo = Algo::Auto);
+    sim::Task<void> allgather(Bytes m, Algo algo = Algo::Auto);
     sim::Task<void> gatherv(const std::vector<Bytes> &counts,
-                            int root = 0, Algo algo = Algo::Default);
+                            int root = 0, Algo algo = Algo::Auto);
     sim::Task<void> scatterv(const std::vector<Bytes> &counts,
-                             int root = 0, Algo algo = Algo::Default);
-    sim::Task<void> alltoall(Bytes m, Algo algo = Algo::Default);
+                             int root = 0, Algo algo = Algo::Auto);
+    sim::Task<void> alltoall(Bytes m, Algo algo = Algo::Auto);
     sim::Task<void> reduce(Bytes m, int root = 0,
-                           Algo algo = Algo::Default);
-    sim::Task<void> allreduce(Bytes m, Algo algo = Algo::Default);
-    sim::Task<void> reduceScatter(Bytes m, Algo algo = Algo::Default);
-    sim::Task<void> scan(Bytes m, Algo algo = Algo::Default);
+                           Algo algo = Algo::Auto);
+    sim::Task<void> allreduce(Bytes m, Algo algo = Algo::Auto);
+    sim::Task<void> reduceScatter(Bytes m, Algo algo = Algo::Auto);
+    sim::Task<void> scan(Bytes m, Algo algo = Algo::Auto);
 
     // ---- collectives, data-carrying ------------------------------------
 
@@ -124,7 +130,7 @@ class Comm
      *  at the root). */
     template <typename T>
     sim::Task<std::vector<T>>
-    bcastData(std::vector<T> v, int root = 0, Algo algo = Algo::Default)
+    bcastData(std::vector<T> v, int root = 0, Algo algo = Algo::Auto)
     {
         Bytes m = byteSize(v);
         msg::PayloadPtr data =
@@ -139,7 +145,7 @@ class Comm
     template <typename T>
     sim::Task<std::vector<T>>
     gatherData(const std::vector<T> &mine, int root = 0,
-               Algo algo = Algo::Default)
+               Algo algo = Algo::Auto)
     {
         msg::PayloadPtr out = co_await gatherCore(
             byteSize(mine), root, algo, msg::makePayload(mine));
@@ -151,7 +157,7 @@ class Comm
     template <typename T>
     sim::Task<std::vector<T>>
     scatterData(const std::vector<T> &all, int count, int root = 0,
-                Algo algo = Algo::Default)
+                Algo algo = Algo::Auto)
     {
         Bytes m = static_cast<Bytes>(count) *
                   static_cast<Bytes>(sizeof(T));
@@ -168,7 +174,7 @@ class Comm
     sim::Task<std::vector<T>>
     gathervData(const std::vector<T> &mine,
                 const std::vector<int> &counts, int root = 0,
-                Algo algo = Algo::Default)
+                Algo algo = Algo::Auto)
     {
         msg::PayloadPtr out = co_await gathervCore(
             toByteCounts<T>(counts), root, algo,
@@ -182,7 +188,7 @@ class Comm
     sim::Task<std::vector<T>>
     scattervData(const std::vector<T> &all,
                  const std::vector<int> &counts, int root = 0,
-                 Algo algo = Algo::Default)
+                 Algo algo = Algo::Auto)
     {
         msg::PayloadPtr data =
             rank_ == root ? msg::makePayload(all) : nullptr;
@@ -194,7 +200,7 @@ class Comm
     /** Allgather: everyone returns the rank-order concatenation. */
     template <typename T>
     sim::Task<std::vector<T>>
-    allgatherData(const std::vector<T> &mine, Algo algo = Algo::Default)
+    allgatherData(const std::vector<T> &mine, Algo algo = Algo::Auto)
     {
         msg::PayloadPtr out = co_await allgatherCore(
             byteSize(mine), algo, msg::makePayload(mine));
@@ -205,7 +211,7 @@ class Comm
      *  rank i); returns p blocks (block i from rank i). */
     template <typename T>
     sim::Task<std::vector<T>>
-    alltoallData(const std::vector<T> &mine, Algo algo = Algo::Default)
+    alltoallData(const std::vector<T> &mine, Algo algo = Algo::Auto)
     {
         if (mine.size() % static_cast<size_t>(size_) != 0)
             fatal("alltoallData: %zu elements not divisible by %d "
@@ -220,7 +226,7 @@ class Comm
     template <typename T>
     sim::Task<std::vector<T>>
     reduceData(const std::vector<T> &mine, ReduceOp op, int root = 0,
-               Algo algo = Algo::Default)
+               Algo algo = Algo::Auto)
     {
         msg::PayloadPtr out = co_await reduceCore(
             byteSize(mine), root, algo,
@@ -232,7 +238,7 @@ class Comm
     template <typename T>
     sim::Task<std::vector<T>>
     allreduceData(const std::vector<T> &mine, ReduceOp op,
-                  Algo algo = Algo::Default)
+                  Algo algo = Algo::Auto)
     {
         msg::PayloadPtr out = co_await allreduceCore(
             byteSize(mine), algo, makeCombiner(op, datatypeOf<T>()),
@@ -245,7 +251,7 @@ class Comm
     template <typename T>
     sim::Task<std::vector<T>>
     reduceScatterData(const std::vector<T> &mine, ReduceOp op,
-                      Algo algo = Algo::Default)
+                      Algo algo = Algo::Auto)
     {
         if (mine.size() % static_cast<size_t>(size_) != 0)
             fatal("reduceScatterData: %zu elements not divisible by "
@@ -261,7 +267,7 @@ class Comm
     template <typename T>
     sim::Task<std::vector<T>>
     scanData(const std::vector<T> &mine, ReduceOp op,
-             Algo algo = Algo::Default)
+             Algo algo = Algo::Auto)
     {
         msg::PayloadPtr out = co_await scanCore(
             byteSize(mine), algo, makeCombiner(op, datatypeOf<T>()),
@@ -273,8 +279,10 @@ class Comm
     Comm(machine::Machine &mach, int rank, int size,
          std::shared_ptr<const std::vector<int>> group, int ctx_id);
 
-    /** Resolve Algo::Default and assemble the per-call context. */
-    CollCtx makeCtx(Coll op, Algo &algo, Combiner combiner);
+    /** Resolve Algo::Auto / Algo::Default (via tuning::resolveAlgo,
+     *  which needs the message length @p m for the table lookup) and
+     *  assemble the per-call context. */
+    CollCtx makeCtx(Coll op, Algo &algo, Bytes m, Combiner combiner);
 
     /** Report a collective to the machine's CommHook (if any) with
      *  its arguments as requested, before algorithm resolution. */

@@ -245,7 +245,7 @@ parseCollective(const LineCtx &ctx, Coll op, bool vector_variant,
         } else if (key == "algo") {
             bool was = throwOnError(true);
             try {
-                a.algo = machine::algoByName(value);
+                a.algo = machine::algoFromName(value);
             } catch (const FatalError &) {
                 throwOnError(was);
                 ctx.fail("unknown algorithm '" + value + "'");
@@ -464,7 +464,10 @@ formatAction(const Action &a)
         }
         if (a.root != 0)
             os << " root=" << a.root;
-        if (a.algo != Algo::Default)
+        // Auto is suppressed like Default: both mean "no explicit
+        // override", and recording either would make trace bytes
+        // depend on which neutral spelling the program used.
+        if (a.algo != Algo::Default && a.algo != Algo::Auto)
             os << " algo=" << machine::algoName(a.algo);
         if (!a.group.empty()) {
             os << " group=";

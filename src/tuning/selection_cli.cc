@@ -1,0 +1,34 @@
+#include "tuning/selection_cli.hh"
+
+#include "machine/config_io.hh"
+#include "tuning/selection_table.hh"
+
+namespace ccsim::tuning {
+
+void
+addSelectionOpts(cli::Options &o)
+{
+    o.value("algo",
+            "algorithm: explicit name, 'default' (machine's 1997 "
+            "choice), or 'auto' (selection table)", "NAME");
+    o.value("selection",
+            "selection table: preset (SP2, T3D, Paragon) or a file "
+            "from 'ccsim tune'", "SRC");
+}
+
+machine::Algo
+algoOpt(const cli::Options &o)
+{
+    return machine::algoFromName(o.get("algo", "auto"));
+}
+
+void
+applySelectionOpts(const cli::Options &o, machine::MachineConfig &cfg)
+{
+    // Shared across subcommands that may or may not declare the
+    // selection pair — a no-op for the ones that don't.
+    if (o.declares("selection") && o.has("selection"))
+        attachSelection(cfg, o.get("selection"));
+}
+
+} // namespace ccsim::tuning

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The one command-line selection surface: every binary that lets the
+ * user pick a collective algorithm declares the same `--algo` /
+ * `--selection` pair through these helpers, so the CLI subcommands
+ * and the benches cannot drift apart in spelling or semantics.
+ *
+ *  - `--algo <name|auto|default>` picks the per-call algorithm;
+ *    "auto" (the default) resolves through the machine's selection
+ *    table, "default" forces the machine's configured 1997 choice.
+ *  - `--selection <preset|file>` attaches a selection table to the
+ *    machine: a built-in fixed table by machine name (SP2, T3D,
+ *    Paragon) or a file saved by `ccsim tune`.
+ *
+ * This pair replaces the bench-local algorithm flags that used to be
+ * declared per binary (see docs/EXTENDING.md for the mapping).
+ */
+
+#ifndef CCSIM_TUNING_SELECTION_CLI_HH
+#define CCSIM_TUNING_SELECTION_CLI_HH
+
+#include "machine/machine_config.hh"
+#include "util/cli.hh"
+
+namespace ccsim::tuning {
+
+/** Declare `--algo` and `--selection` on @p o. */
+void addSelectionOpts(cli::Options &o);
+
+/** The parsed `--algo` (default "auto"); ConfigError on bad names. */
+machine::Algo algoOpt(const cli::Options &o);
+
+/** Attach `--selection` to @p cfg (no-op when absent). */
+void applySelectionOpts(const cli::Options &o,
+                        machine::MachineConfig &cfg);
+
+} // namespace ccsim::tuning
+
+#endif // CCSIM_TUNING_SELECTION_CLI_HH

@@ -1,0 +1,360 @@
+#include "tuning/selection_table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <fstream>
+#include <sstream>
+
+#include "machine/config_io.hh"
+#include "util/logging.hh"
+
+namespace ccsim::tuning {
+
+using machine::Algo;
+using machine::Coll;
+using machine::ConfigError;
+
+namespace {
+
+/** fatal() analogue raising ConfigError, as in machine/config_io. */
+[[noreturn]] void
+configFatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void
+configFatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrFormat(fmt, ap);
+    va_end(ap);
+    raiseError(ConfigError(msg));
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+ruleLess(const SelectionRule &a, const SelectionRule &b)
+{
+    return a.p_min != b.p_min ? a.p_min < b.p_min : a.m_min < b.m_min;
+}
+
+Coll
+collByKey(const std::string &key, int lineno)
+{
+    for (Coll op : machine::kAllColls)
+        if (machine::collKey(op) == key)
+            return op;
+    configFatal("selection line %d: unknown collective '%s'", lineno,
+                key.c_str());
+}
+
+/** Parse "p>=N" / "m>=M" with a non-negative integer bound. */
+long long
+parseBound(const std::string &token, const char *prefix, int lineno)
+{
+    std::string pre(prefix);
+    if (token.compare(0, pre.size(), pre) != 0)
+        configFatal("selection line %d: expected '%s<int>', got '%s'",
+                    lineno, prefix, token.c_str());
+    std::string num = token.substr(pre.size());
+    try {
+        std::size_t pos = 0;
+        long long v = std::stoll(num, &pos);
+        if (pos != num.size() || v < 0)
+            throw std::invalid_argument("bad");
+        return v;
+    } catch (const std::exception &) {
+        configFatal("selection line %d: bad bound '%s'", lineno,
+                    token.c_str());
+    }
+}
+
+} // namespace
+
+void
+SelectionTable::addRule(Coll op, const SelectionRule &rule)
+{
+    if (rule.p_min < 2)
+        configFatal("selection rule for %s: p>=%d is below the "
+                    "smallest communicator (p>=2)",
+                    machine::collKey(op).c_str(), rule.p_min);
+    if (rule.m_min < 0)
+        configFatal("selection rule for %s: negative message-length "
+                    "bound m>=%lld", machine::collKey(op).c_str(),
+                    static_cast<long long>(rule.m_min));
+    if (rule.algo == Algo::Default || rule.algo == Algo::Auto)
+        configFatal("selection rule for %s: target algorithm must be "
+                    "concrete, not '%s'", machine::collKey(op).c_str(),
+                    algoName(rule.algo).c_str());
+
+    auto &rules = rules_[static_cast<size_t>(op)];
+    auto pos = std::lower_bound(rules.begin(), rules.end(), rule,
+                                ruleLess);
+    if (pos != rules.end() && pos->p_min == rule.p_min &&
+        pos->m_min == rule.m_min) {
+        pos->algo = rule.algo; // same region: last writer wins
+        return;
+    }
+    rules.insert(pos, rule);
+}
+
+const std::vector<SelectionRule> &
+SelectionTable::rulesFor(Coll op) const
+{
+    return rules_[static_cast<size_t>(op)];
+}
+
+Algo
+SelectionTable::choose(Coll op, int p, Bytes m) const
+{
+    // Rules are sorted ascending by (p_min, m_min), so the last
+    // match is the most specific region containing (p, m).
+    Algo best = Algo::Default;
+    for (const SelectionRule &r : rules_[static_cast<size_t>(op)])
+        if (p >= r.p_min && m >= r.m_min)
+            best = r.algo;
+    return best;
+}
+
+bool
+SelectionTable::empty() const
+{
+    for (const auto &rules : rules_)
+        if (!rules.empty())
+            return false;
+    return true;
+}
+
+bool
+SelectionTable::operator==(const SelectionTable &o) const
+{
+    return machine_ == o.machine_ && rules_ == o.rules_;
+}
+
+void
+SelectionTable::save(std::ostream &os) const
+{
+    os << "# ccsim algorithm selection table\n";
+    os << "machine = " << machine_ << "\n";
+    for (Coll op : machine::kAllColls) {
+        const auto &rules = rules_[static_cast<size_t>(op)];
+        if (rules.empty())
+            continue;
+        os << "\n";
+        for (const SelectionRule &r : rules)
+            os << machine::collKey(op) << ".rule = p>=" << r.p_min
+               << " m>=" << r.m_min << " " << algoName(r.algo) << "\n";
+    }
+}
+
+void
+SelectionTable::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        configFatal("cannot write '%s'", path.c_str());
+    save(out);
+}
+
+SelectionTable
+SelectionTable::load(std::istream &is)
+{
+    SelectionTable table;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string s = line;
+        auto hash = s.find('#');
+        if (hash != std::string::npos)
+            s = s.substr(0, hash);
+        s = trim(s);
+        if (s.empty())
+            continue;
+
+        auto eq = s.find('=');
+        // "p>=2" contains '='; the key side never does, so the key
+        // is everything before the first '=' that follows a space or
+        // starts the value.  Simplest robust split: first '=' whose
+        // left side has no '>' just before it.
+        while (eq != std::string::npos && eq > 0 && s[eq - 1] == '>')
+            eq = s.find('=', eq + 1);
+        if (eq == std::string::npos)
+            configFatal("selection line %d: expected 'key = value', "
+                        "got '%s'", lineno, line.c_str());
+        std::string key = trim(s.substr(0, eq));
+        std::string value = trim(s.substr(eq + 1));
+        if (key.empty() || value.empty())
+            configFatal("selection line %d: empty key or value",
+                        lineno);
+
+        if (key == "machine") {
+            table.machine_ = value;
+            continue;
+        }
+
+        auto dot = key.find('.');
+        if (dot == std::string::npos || key.substr(dot + 1) != "rule")
+            configFatal("selection line %d: unknown key '%s' (expected "
+                        "'machine' or '<op>.rule')", lineno,
+                        key.c_str());
+        Coll op = collByKey(key.substr(0, dot), lineno);
+
+        std::istringstream vs(value);
+        std::string ptok, mtok, atok, extra;
+        vs >> ptok >> mtok >> atok;
+        if (atok.empty() || (vs >> extra))
+            configFatal("selection line %d: expected "
+                        "'p>=<int> m>=<int> <algo>', got '%s'", lineno,
+                        value.c_str());
+
+        SelectionRule rule;
+        rule.p_min = static_cast<int>(parseBound(ptok, "p>=", lineno));
+        rule.m_min =
+            static_cast<Bytes>(parseBound(mtok, "m>=", lineno));
+        rule.algo = machine::algoFromName(atok);
+        table.addRule(op, rule);
+    }
+    return table;
+}
+
+SelectionTable
+SelectionTable::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        configFatal("cannot read '%s'", path.c_str());
+    return load(in);
+}
+
+SelectionTable
+fixedTable(const std::string &machine_name)
+{
+    std::string lower(machine_name);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+
+    SelectionTable t;
+    auto rule = [&t](Coll op, int p, Bytes m, Algo a) {
+        t.addRule(op, {p, m, a});
+    };
+
+    if (lower == "sp2") {
+        // SP2 (Section 4): the multistage switch gives uniform
+        // point-to-point costs, so log-round algorithms win almost
+        // everywhere; the paper's own observation that the vendor
+        // binomial bcast loses to van de Geijn past the rendezvous
+        // switch sets the 16 KB crossover.
+        t.setMachine("SP2");
+        rule(Coll::Barrier, 2, 0, Algo::Dissemination);
+        rule(Coll::Bcast, 2, 0, Algo::Binomial);
+        rule(Coll::Bcast, 2, 16384, Algo::ScatterAllgather);
+        rule(Coll::Gather, 2, 0, Algo::Binomial);
+        rule(Coll::Gather, 2, 4096, Algo::Linear);
+        rule(Coll::Scatter, 2, 0, Algo::Binomial);
+        rule(Coll::Scatter, 2, 4096, Algo::Linear);
+        rule(Coll::Allgather, 2, 0, Algo::RecursiveDoubling);
+        rule(Coll::Allgather, 2, 8192, Algo::Ring);
+        rule(Coll::Alltoall, 2, 0, Algo::Bruck);
+        rule(Coll::Alltoall, 2, 1024, Algo::Pairwise);
+        rule(Coll::Reduce, 2, 0, Algo::Binomial);
+        rule(Coll::Allreduce, 2, 0, Algo::RecursiveDoubling);
+        rule(Coll::Allreduce, 2, 8192, Algo::Rabenseifner);
+        rule(Coll::ReduceScatter, 2, 0, Algo::RecursiveHalving);
+        rule(Coll::Scan, 2, 0, Algo::RecursiveDoubling);
+    } else if (lower == "t3d") {
+        // T3D (Section 5): the hardware AND-tree barrier is
+        // unbeatable; high link bandwidth plus the BLT make
+        // bandwidth-bound algorithms attractive earlier than on the
+        // SP2 (lower crossovers).
+        t.setMachine("T3D");
+        rule(Coll::Barrier, 2, 0, Algo::Hardware);
+        rule(Coll::Bcast, 2, 0, Algo::Binomial);
+        rule(Coll::Bcast, 2, 8192, Algo::ScatterAllgather);
+        rule(Coll::Gather, 2, 0, Algo::Binomial);
+        rule(Coll::Gather, 2, 2048, Algo::Linear);
+        rule(Coll::Scatter, 2, 0, Algo::Binomial);
+        rule(Coll::Scatter, 2, 2048, Algo::Linear);
+        rule(Coll::Allgather, 2, 0, Algo::RecursiveDoubling);
+        rule(Coll::Allgather, 2, 4096, Algo::Ring);
+        rule(Coll::Alltoall, 2, 0, Algo::Bruck);
+        rule(Coll::Alltoall, 2, 512, Algo::Pairwise);
+        rule(Coll::Reduce, 2, 0, Algo::Binomial);
+        rule(Coll::Allreduce, 2, 0, Algo::RecursiveDoubling);
+        rule(Coll::Allreduce, 2, 4096, Algo::Rabenseifner);
+        rule(Coll::ReduceScatter, 2, 0, Algo::RecursiveHalving);
+        rule(Coll::Scan, 2, 0, Algo::RecursiveDoubling);
+    } else if (lower == "paragon") {
+        // Paragon (Section 6): per-message software dominates (NX
+        // overheads), so minimizing message count matters more than
+        // on the other machines; the 2-D mesh also penalizes the
+        // non-neighbor exchanges of recursive doubling at scale.
+        t.setMachine("Paragon");
+        rule(Coll::Barrier, 2, 0, Algo::Dissemination);
+        rule(Coll::Bcast, 2, 0, Algo::Binomial);
+        rule(Coll::Bcast, 2, 32768, Algo::ScatterAllgather);
+        rule(Coll::Gather, 2, 0, Algo::Binomial);
+        rule(Coll::Gather, 2, 8192, Algo::Linear);
+        rule(Coll::Scatter, 2, 0, Algo::Binomial);
+        rule(Coll::Scatter, 2, 8192, Algo::Linear);
+        rule(Coll::Allgather, 2, 0, Algo::RecursiveDoubling);
+        rule(Coll::Allgather, 2, 8192, Algo::Ring);
+        rule(Coll::Alltoall, 2, 0, Algo::Bruck);
+        rule(Coll::Alltoall, 2, 2048, Algo::Pairwise);
+        rule(Coll::Reduce, 2, 0, Algo::Binomial);
+        rule(Coll::Allreduce, 2, 0, Algo::ReduceBcast);
+        rule(Coll::Allreduce, 2, 8192, Algo::Rabenseifner);
+        rule(Coll::ReduceScatter, 2, 0, Algo::RecursiveHalving);
+        rule(Coll::Scan, 2, 0, Algo::RecursiveDoubling);
+    } else {
+        configFatal("no built-in selection table for '%s' "
+                    "(SP2, T3D, Paragon)", machine_name.c_str());
+    }
+    return t;
+}
+
+Algo
+resolveAlgo(const machine::MachineConfig &cfg, Coll op, int p, Bytes m,
+            Algo requested)
+{
+    Algo a = requested;
+    if (a == Algo::Auto) {
+        a = cfg.selection ? cfg.selection->choose(op, p, m)
+                          : Algo::Default;
+    }
+    if (a == Algo::Default)
+        a = cfg.algorithmFor(op);
+    return a;
+}
+
+void
+attachSelection(machine::MachineConfig &cfg,
+                const std::string &name_or_path)
+{
+    std::string lower(name_or_path);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "sp2" || lower == "t3d" || lower == "paragon") {
+        cfg.selection = std::make_shared<const SelectionTable>(
+            fixedTable(name_or_path));
+        return;
+    }
+    cfg.selection = std::make_shared<const SelectionTable>(
+        SelectionTable::loadFile(name_or_path));
+}
+
+} // namespace ccsim::tuning

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * SelectionTable: a per-collective piecewise decision map over
+ * (communicator size p, message length m) -> Algo — the shape Open
+ * MPI ships as coll_tuned_decision_fixed, made data.
+ *
+ * A table is a set of rules per collective:
+ *
+ *     bcast.rule = p>=2 m>=0 binomial
+ *     bcast.rule = p>=2 m>=16384 scatter-allgather
+ *
+ * Lookup picks, among the rules whose (p_min, m_min) bounds are both
+ * satisfied, the one with the largest p_min, breaking ties by the
+ * largest m_min — i.e. the most specific region containing the
+ * point.  No matching rule returns Algo::Default, which callers map
+ * to the machine's configured choice, so a table only has to cover
+ * the regions it has an opinion about.
+ *
+ * Serialization follows the machine/config_io conventions: one
+ * `key = value` per line, `#` comments, strict ConfigError on
+ * unknown keys/operations/algorithms.  save() emits rules in
+ * canonical sorted order, and load() keeps them sorted, so
+ * write -> load -> write round-trips byte-identically.
+ *
+ * Three built-in fixed tables model what a tuned MPI would have
+ * shipped for the paper's machines (fixedTable("SP2") etc.); the
+ * empirical tuner (tuning/tuner.hh) derives tables from sweeps.
+ */
+
+#ifndef CCSIM_TUNING_SELECTION_TABLE_HH
+#define CCSIM_TUNING_SELECTION_TABLE_HH
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hh"
+
+namespace ccsim::tuning {
+
+/** One piecewise region: applies when p >= p_min and m >= m_min. */
+struct SelectionRule
+{
+    int p_min = 2;
+    Bytes m_min = 0;
+    machine::Algo algo = machine::Algo::Default;
+
+    bool
+    operator==(const SelectionRule &o) const
+    {
+        return p_min == o.p_min && m_min == o.m_min && algo == o.algo;
+    }
+};
+
+/** Per-collective piecewise (p, m) -> Algo decision map. */
+class SelectionTable
+{
+  public:
+    /** Display label of the machine this table was tuned for. */
+    const std::string &machine() const { return machine_; }
+    void setMachine(const std::string &name) { machine_ = name; }
+
+    /**
+     * Add one rule (replaces an existing rule with the same bounds).
+     * ConfigError on nonsense bounds (p_min < 2, m_min < 0) or a
+     * non-concrete algorithm (Default/Auto make no sense as targets).
+     */
+    void addRule(machine::Coll op, const SelectionRule &rule);
+
+    /** The rules of @p op, sorted by (p_min, m_min). */
+    const std::vector<SelectionRule> &rulesFor(machine::Coll op) const;
+
+    /**
+     * Resolve one point: the most specific matching rule's algorithm
+     * (largest p_min, then largest m_min), or Algo::Default when no
+     * rule matches — the caller falls back to the machine's choice.
+     */
+    machine::Algo choose(machine::Coll op, int p, Bytes m) const;
+
+    /** True when no collective has any rule. */
+    bool empty() const;
+
+    bool operator==(const SelectionTable &o) const;
+
+    // ---- serialization (config_io conventions) -----------------------
+
+    /** Write the canonical document (sorted rules). */
+    void save(std::ostream &os) const;
+
+    /** save() to a file; ConfigError on I/O failure. */
+    void saveFile(const std::string &path) const;
+
+    /** Parse a selection-table document; strict ConfigError. */
+    static SelectionTable load(std::istream &is);
+
+    /** load() from a file; ConfigError if unreadable. */
+    static SelectionTable loadFile(const std::string &path);
+
+  private:
+    std::string machine_ = "unnamed";
+    std::array<std::vector<SelectionRule>, machine::kNumColl> rules_;
+};
+
+/**
+ * Built-in fixed decision map for one of the paper's machines
+ * ("SP2", "T3D", "Paragon"; case-insensitive) — hand-derived
+ * switch points in the style of Open MPI's
+ * coll_tuned_decision_fixed, encoding the paper's own findings
+ * (e.g. the SP2's binomial bcast losing to scatter+allgather past
+ * ~16 KB).  ConfigError on unknown names.
+ */
+SelectionTable fixedTable(const std::string &machine_name);
+
+/**
+ * Resolve @p requested for one collective call: explicit algorithms
+ * pass through unchanged; Auto consults cfg.selection (then the
+ * machine's configured default); Default is the machine's configured
+ * default.  This is the single resolution rule — the mpi layer
+ * (coll_ctx) and the measurement harness both call it, so a
+ * simulated call and a memoized sweep point can never disagree.
+ */
+machine::Algo resolveAlgo(const machine::MachineConfig &cfg,
+                          machine::Coll op, int p, Bytes m,
+                          machine::Algo requested);
+
+/**
+ * Attach a selection source to @p cfg: a preset name ("SP2", "T3D",
+ * "Paragon" -> the built-in fixed table) or a path to a table file
+ * saved by SelectionTable::save() / `ccsim tune`.  Names are tried
+ * first, so a file literally named "SP2" needs a ./ prefix.
+ */
+void attachSelection(machine::MachineConfig &cfg,
+                     const std::string &name_or_path);
+
+} // namespace ccsim::tuning
+
+#endif // CCSIM_TUNING_SELECTION_TABLE_HH

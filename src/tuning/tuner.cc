@@ -1,0 +1,214 @@
+#include "tuning/tuner.hh"
+
+#include <algorithm>
+
+#include "harness/sweep.hh"
+#include "util/logging.hh"
+
+namespace ccsim::tuning {
+
+using machine::Algo;
+using machine::Coll;
+
+namespace {
+
+/** What each collective core's dispatch switch accepts. */
+std::vector<Algo>
+supportedAlgos(Coll op)
+{
+    switch (op) {
+      case Coll::Barrier:
+        return {Algo::Linear, Algo::Binomial, Algo::Dissemination,
+                Algo::Hardware};
+      case Coll::Bcast:
+        return {Algo::Linear, Algo::Binomial, Algo::ScatterAllgather,
+                Algo::Pipelined};
+      case Coll::Gather:
+      case Coll::Scatter:
+      case Coll::Reduce:
+        return {Algo::Linear, Algo::Binomial};
+      case Coll::Allgather:
+        return {Algo::Ring, Algo::RecursiveDoubling};
+      case Coll::Alltoall:
+        return {Algo::Linear, Algo::Pairwise, Algo::Bruck};
+      case Coll::Allreduce:
+        return {Algo::ReduceBcast, Algo::RecursiveDoubling,
+                Algo::Rabenseifner};
+      case Coll::ReduceScatter:
+        return {Algo::Linear, Algo::RecursiveHalving, Algo::Pairwise};
+      case Coll::Scan:
+        return {Algo::Linear, Algo::RecursiveDoubling};
+      default:
+        panic("supportedAlgos: bad collective %d",
+              static_cast<int>(op));
+    }
+}
+
+/** One row of the winner map: the best algorithm per length. */
+struct WinnerRow
+{
+    int p = 2;
+    std::vector<Algo> winners; // parallel to the length axis
+};
+
+/**
+ * Compress one collective's winner map into piecewise rules: along
+ * m, a rule only where the winner changes (first segment at m >= 0);
+ * along p, a row only where its segments differ from the previous
+ * row's.  Rows with larger p_min shadow earlier ones, so each
+ * emitted row fully describes its p range on its own.
+ */
+void
+emitRules(SelectionTable &table, Coll op,
+          const std::vector<WinnerRow> &rows,
+          const std::vector<Bytes> &lengths)
+{
+    std::vector<std::pair<Bytes, Algo>> prev;
+    for (const WinnerRow &row : rows) {
+        std::vector<std::pair<Bytes, Algo>> segs;
+        for (std::size_t j = 0; j < row.winners.size(); ++j) {
+            Bytes m_min = j == 0 ? 0 : lengths[j];
+            if (segs.empty() || segs.back().second != row.winners[j])
+                segs.emplace_back(m_min, row.winners[j]);
+        }
+        if (segs == prev)
+            continue;
+        for (const auto &[m_min, algo] : segs)
+            table.addRule(op, {row.p, m_min, algo});
+        prev = segs;
+    }
+}
+
+} // namespace
+
+const RegretCell &
+TuneResult::worstCell() const
+{
+    if (cells.empty())
+        panic("TuneResult::worstCell: no cells");
+    const RegretCell *worst = &cells.front();
+    for (const RegretCell &c : cells)
+        if (c.regret() > worst->regret())
+            worst = &c;
+    return *worst;
+}
+
+std::vector<Algo>
+candidateAlgos(const machine::MachineConfig &cfg, Coll op)
+{
+    std::vector<Algo> algos = supportedAlgos(op);
+    if (!cfg.hardware_barrier)
+        algos.erase(std::remove(algos.begin(), algos.end(),
+                                Algo::Hardware),
+                    algos.end());
+
+    // Incumbent first: the tuner breaks exact ties by order, so a
+    // challenger must strictly beat the machine's configured choice.
+    Algo incumbent = cfg.algorithmFor(op);
+    auto it = std::find(algos.begin(), algos.end(), incumbent);
+    if (it != algos.end())
+        std::rotate(algos.begin(), it, it + 1);
+    return algos;
+}
+
+TuneResult
+tuneMachine(const machine::MachineConfig &cfg, const TuneGrid &grid,
+            int jobs)
+{
+    machine::MachineConfig base = cfg;
+    base.selection.reset(); // explicit algorithms only (see file doc)
+
+    std::vector<Coll> ops = grid.ops;
+    if (ops.empty())
+        ops.assign(machine::kAllColls.begin(),
+                   machine::kAllColls.end());
+
+    std::vector<int> sizes = grid.sizes.empty()
+                                 ? harness::paperMachineSizes(cfg.name)
+                                 : grid.sizes;
+    std::sort(sizes.begin(), sizes.end());
+    sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+
+    std::vector<Bytes> lengths =
+        grid.lengths.empty() ? harness::paperMessageLengths()
+                             : grid.lengths;
+    std::sort(lengths.begin(), lengths.end());
+    lengths.erase(std::unique(lengths.begin(), lengths.end()),
+                  lengths.end());
+
+    // One flat point list over ops x p x m x candidates, so the
+    // whole tune is a single maximally-parallel pool batch.
+    struct CellRef
+    {
+        Coll op;
+        int p;
+        Bytes m;
+        std::size_t first;  // index of candidate 0's point
+        std::size_t count;  // number of candidates
+    };
+    const std::vector<Bytes> barrier_lengths{0};
+    std::vector<harness::SweepPoint> points;
+    std::vector<CellRef> refs;
+    for (Coll op : ops) {
+        std::vector<Algo> candidates = candidateAlgos(base, op);
+        const std::vector<Bytes> &ms =
+            op == Coll::Barrier ? barrier_lengths : lengths;
+        for (int p : sizes) {
+            for (Bytes m : ms) {
+                refs.push_back({op, p, m, points.size(),
+                                candidates.size()});
+                for (Algo a : candidates)
+                    points.push_back(
+                        {base, p, op, m, a, grid.options});
+            }
+        }
+    }
+
+    harness::SweepRunner runner(jobs);
+    std::vector<harness::Measurement> results = runner.run(points);
+
+    TuneResult out;
+    out.table.setMachine(cfg.name);
+
+    std::size_t ref_idx = 0;
+    for (Coll op : ops) {
+        const std::vector<Bytes> &ms =
+            op == Coll::Barrier ? barrier_lengths : lengths;
+        std::vector<WinnerRow> rows;
+        for (int p : sizes) {
+            WinnerRow row;
+            row.p = p;
+            for (std::size_t j = 0; j < ms.size(); ++j) {
+                const CellRef &ref = refs[ref_idx++];
+
+                // Winner: strictly fastest; ties keep the earlier
+                // candidate (the incumbent is candidate 0), which is
+                // what makes tune output deterministic and minimal.
+                std::size_t best = 0;
+                for (std::size_t k = 1; k < ref.count; ++k)
+                    if (results[ref.first + k].max_time <
+                        results[ref.first + best].max_time)
+                        best = k;
+
+                RegretCell cell;
+                cell.op = op;
+                cell.p = p;
+                cell.m = ref.m;
+                cell.default_algo = points[ref.first].algo;
+                cell.best_algo = points[ref.first + best].algo;
+                cell.default_time = results[ref.first].max_time;
+                cell.best_time = results[ref.first + best].max_time;
+                out.total_default += cell.default_time;
+                out.total_best += cell.best_time;
+                out.cells.push_back(cell);
+
+                row.winners.push_back(cell.best_algo);
+            }
+            rows.push_back(std::move(row));
+        }
+        emitRules(out.table, op, rows, ms);
+    }
+    return out;
+}
+
+} // namespace ccsim::tuning

@@ -77,6 +77,12 @@ Options::has(const std::string &name) const
     return values_.count(name) != 0;
 }
 
+bool
+Options::declares(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
 std::string
 Options::get(const std::string &name, const std::string &fallback) const
 {

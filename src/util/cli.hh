@@ -61,6 +61,11 @@ class Options
     /** True when the option appeared on the command line. */
     bool has(const std::string &name) const;
 
+    /** True when the option was declared on this binary's schema —
+     *  for helpers shared across subcommands that only some of them
+     *  declare (reading an undeclared option is a panic). */
+    bool declares(const std::string &name) const;
+
     std::string get(const std::string &name,
                     const std::string &fallback = "") const;
 

@@ -8,8 +8,9 @@
  *         List the built-in machine presets and their parameters.
  *
  *     ccsim measure --machine T3D --op alltoall --p 64 --m 65536
- *                   [--algo pairwise] [--config FILE] [--paper]
- *                   [--faults SPEC] [--metrics]
+ *                   [--algo pairwise|auto] [--selection SRC]
+ *                   [--config FILE] [--paper] [--faults SPEC]
+ *                   [--metrics]
  *         Run the Section 2 measurement procedure for one point and
  *         print max/mean/min over ranks plus the paper's Table 3
  *         prediction when one exists.  --paper uses the full
@@ -51,8 +52,23 @@
  *         (the golden-trace regression format); --metrics adds
  *         hot-link / stall columns per point.
  *
+ *     ccsim tune --machine SP2 [--ops LIST] [--sizes LIST]
+ *                [--lengths LIST] [--jobs N] [--out FILE] [--cells]
+ *         Empirically derive a selection table: measure every
+ *         candidate algorithm over the (op, p, m) grid, keep the
+ *         winners, and print a regret report — how much time the
+ *         machine's 1997 defaults left on the table.  The table is
+ *         written to --out (stdout without it) and loads back via
+ *         --selection; output is identical at any --jobs level.
+ *
  *     ccsim dump-config --machine SP2
  *         Emit a preset as an editable config file (see --config).
+ *
+ * Algorithm selection (measure, sweep, stats): --algo picks the
+ * per-call algorithm; the default, "auto", resolves through the
+ * machine's selection table when --selection attaches one (a preset
+ * name or a 'ccsim tune' output file) and otherwise falls back to
+ * the machine's configured 1997 choice, spelled "default".
  *
  * Global option: --trace-out FILE makes measure and pingpong write a
  * Chrome trace-event JSON timeline of one traced call (load in
@@ -96,8 +112,7 @@ void
 addPointOpts(cli::Options &o)
 {
     o.value("op", "collective (alltoall, bcast, ...)", "OP");
-    o.value("algo", "algorithm override (default: machine's choice)",
-            "NAME");
+    tuning::addSelectionOpts(o); // the --algo / --selection pair
     o.value("p", "number of nodes", "N");
     o.value("m", "message length in bytes", "BYTES");
 }
@@ -111,6 +126,9 @@ resolveMachine(const cli::Options &o, const std::string &fallback = "T3D")
                               o.get("machine", fallback));
     if (o.has("faults"))
         cfg.fault = fault::parseFaultSpec(o.get("faults"));
+    // Only subcommands that declared the selection pair can carry
+    // --selection; for the rest this is a no-op.
+    tuning::applySelectionOpts(o, cfg);
     return cfg;
 }
 
@@ -127,7 +145,7 @@ resolveOp(const cli::Options &o)
 machine::Algo
 resolveAlgo(const cli::Options &o)
 {
-    return machine::algoByName(o.get("algo", "default"));
+    return tuning::algoOpt(o);
 }
 
 harness::SweepRunner
@@ -454,7 +472,7 @@ cmdSweep(int argc, char **argv)
     cli::Options o("ccsim sweep");
     addMachineOpts(o);
     o.value("op", "collective (alltoall, bcast, ...)", "OP");
-    o.value("algo", "algorithm override", "NAME");
+    tuning::addSelectionOpts(o);
     addJobsOpt(o);
     o.parse(argc, argv, 2);
 
@@ -682,6 +700,120 @@ cmdReplay(int argc, char **argv)
 }
 
 int
+cmdTune(int argc, char **argv)
+{
+    cli::Options o("ccsim tune");
+    addMachineOpts(o);
+    o.value("ops", "comma list of collectives (default: all)", "LIST");
+    o.value("sizes", "comma list of machine sizes", "LIST");
+    o.value("lengths", "comma list of message lengths (bytes)", "LIST");
+    addJobsOpt(o);
+    o.value("out", "write the selection table here (default: stdout)",
+            "FILE");
+    o.flag("cells", "also print every per-point regret cell");
+    o.parse(argc, argv, 2);
+
+    auto cfg = resolveMachine(o, "SP2");
+    if (cfg.fault.enabled())
+        fatal("tune: measuring under fault injection would tune for "
+              "the faults, not the machine — drop --faults");
+
+    tuning::TuneGrid grid;
+    if (o.has("ops")) {
+        for (const std::string &key : o.getList("ops")) {
+            bool found = false;
+            for (machine::Coll op : machine::kAllColls)
+                if (machine::collKey(op) == key) {
+                    grid.ops.push_back(op);
+                    found = true;
+                }
+            if (!found)
+                fatal("unknown --ops entry '%s'", key.c_str());
+        }
+    }
+    auto parse_list = [&](const char *name, auto &out) {
+        for (const std::string &s : o.getList(name)) {
+            try {
+                out.push_back(std::stoll(s));
+            } catch (const std::exception &) {
+                fatal("bad --%s entry '%s'", name, s.c_str());
+            }
+        }
+    };
+    std::vector<long long> sizes, lengths;
+    parse_list("sizes", sizes);
+    parse_list("lengths", lengths);
+    grid.sizes.assign(sizes.begin(), sizes.end());
+    grid.lengths.assign(lengths.begin(), lengths.end());
+    // The figure benches' quick procedure: cheap, and every point
+    // doubles as a warm memo-cache entry for later sweeps.
+    grid.options.iterations = 3;
+    grid.options.repetitions = 1;
+
+    long long jobs = o.getInt("jobs", 0);
+    if (o.has("jobs") && jobs < 1)
+        fatal("--jobs wants a positive integer, got %lld", jobs);
+    tuning::TuneResult res =
+        tuning::tuneMachine(cfg, grid, static_cast<int>(jobs));
+
+    if (o.has("out"))
+        res.table.saveFile(o.get("out"));
+    else
+        res.table.save(std::cout);
+
+    // The regret report goes to stderr so `ccsim tune > table.sel`
+    // stays loadable.
+    std::fprintf(stderr, "\n%s regret report (1997 default vs tuned, "
+                 "%zu grid points)\n", cfg.name.c_str(),
+                 res.cells.size());
+    for (machine::Coll op : machine::kAllColls) {
+        double def_us = 0, best_us = 0;
+        std::size_t n = 0;
+        for (const auto &c : res.cells)
+            if (c.op == op) {
+                def_us += toMicros(c.default_time);
+                best_us += toMicros(c.best_time);
+                ++n;
+            }
+        if (!n)
+            continue;
+        std::fprintf(stderr,
+                     "  %-15s default %10.1f us   tuned %10.1f us   "
+                     "regret %5.1f%%\n", machine::collKey(op).c_str(),
+                     def_us, best_us,
+                     best_us > 0 ? 100.0 * (def_us - best_us) / best_us
+                                 : 0.0);
+    }
+    std::fprintf(stderr, "  %-15s default %10.1f us   tuned %10.1f us "
+                 "  regret %5.1f%%\n", "TOTAL",
+                 toMicros(res.total_default), toMicros(res.total_best),
+                 100.0 * res.totalRegret());
+    const auto &w = res.worstCell();
+    std::fprintf(stderr, "  worst point: %s p=%d m=%s — %s %s vs %s "
+                 "%s (%.1f%% regret)\n",
+                 machine::collKey(w.op).c_str(), w.p,
+                 formatBytes(w.m).c_str(),
+                 machine::algoName(w.default_algo).c_str(),
+                 formatTime(w.default_time).c_str(),
+                 machine::algoName(w.best_algo).c_str(),
+                 formatTime(w.best_time).c_str(), 100.0 * w.regret());
+
+    if (o.has("cells")) {
+        std::fprintf(stderr, "\n");
+        for (const auto &c : res.cells)
+            std::fprintf(stderr,
+                         "  %s p=%d m=%lld: %s %.1f us -> %s %.1f us\n",
+                         machine::collKey(c.op).c_str(), c.p,
+                         static_cast<long long>(c.m),
+                         machine::algoName(c.default_algo).c_str(),
+                         toMicros(c.default_time),
+                         machine::algoName(c.best_algo).c_str(),
+                         toMicros(c.best_time));
+    }
+    return 0;
+}
+
+int
 cmdDumpConfig(int argc, char **argv)
 {
     cli::Options o("ccsim dump-config");
@@ -696,7 +828,7 @@ run(int argc, char **argv)
 {
     if (argc < 2)
         fatal("usage: ccsim <machines|measure|sweep|stats|pingpong|"
-              "replay|dump-config> [options]");
+              "replay|tune|dump-config> [options]");
     std::string command = argv[1];
     if (command == "machines")
         return cmdMachines();
@@ -710,10 +842,12 @@ run(int argc, char **argv)
         return cmdPingPong(argc, argv);
     if (command == "replay")
         return cmdReplay(argc, argv);
+    if (command == "tune")
+        return cmdTune(argc, argv);
     if (command == "dump-config")
         return cmdDumpConfig(argc, argv);
     fatal("unknown command '%s' (machines, measure, sweep, stats, "
-          "pingpong, replay, dump-config)", command.c_str());
+          "pingpong, replay, tune, dump-config)", command.c_str());
 }
 
 } // namespace
