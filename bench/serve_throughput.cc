@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Throughput of the `ccsim serve` prediction daemon, written to
+ * BENCH_serve.json so CI can watch the service the way it watches
+ * the sweep engine (BENCH_sweep.json).
+ *
+ * Recipe (fixed — compare across commits): T3D and SP2 x
+ * {bcast, alltoall} x p in {4, 8, 16} x m in {256, 4 KiB} — 24
+ * distinct points — queried by 4 concurrent TCP clients:
+ *
+ *   cold_auto   tier=auto against an empty cache: every answer is a
+ *               fast-path fit, every point enters the backfill queue
+ *   warm_cache  the same mix after the backfill drains: pure cache
+ *               hits, byte-identical to exact simulation
+ *   exact_block tier=exact wait=block, cold cache: each request
+ *               rides the simulation pool round trip
+ *   brain       handleLine() on a cached point, no sockets — the
+ *               protocol + cache ceiling the TCP numbers chase
+ *
+ * --quick trims the client count and the brain-loop length for CI
+ * smoke runs (the JSON is still written, flagged "quick": true).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+using namespace ccsim;
+
+namespace {
+
+struct Mix
+{
+    std::vector<std::string> lines;
+    std::size_t points = 0;
+};
+
+Mix
+queryMix(const std::string &tier)
+{
+    Mix mix;
+    for (const char *machine : {"T3D", "SP2"})
+        for (const char *op : {"bcast", "alltoall"})
+            for (int p : {4, 8, 16})
+                for (int m : {256, 4096})
+                    mix.lines.push_back(
+                        "predict machine=" + std::string(machine) +
+                        " op=" + op + " p=" + std::to_string(p) +
+                        " m=" + std::to_string(m) + " tier=" + tier);
+    mix.points = mix.lines.size();
+    return mix;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Drive @p mix through @p clients concurrent connections; returns
+ *  wall seconds for all clients to finish the full mix each. */
+double
+runMix(serve::Server &server, const Mix &mix, int clients)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+        threads.emplace_back([&] {
+            serve::Client client;
+            client.connect(server.port());
+            for (const std::string &q : mix.lines)
+                client.request(q);
+        });
+    for (auto &t : threads)
+        t.join();
+    return secondsSince(t0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    const int clients = opts.quick ? 2 : 4;
+    const int brain_reps = opts.quick ? 200 : 5000;
+
+    serve::ServerOptions sopts;
+    sopts.jobs = opts.jobs > 0 ? opts.jobs : 1;
+    serve::Server server(sopts);
+    server.start();
+
+    // cold: fast-path answers, every point queued for backfill.
+    Mix auto_mix = queryMix("auto");
+    double cold_s = runMix(server, auto_mix, clients);
+    server.backfill().drain();
+
+    // warm: the same mix is now pure cache hits.
+    double warm_s = runMix(server, auto_mix, clients);
+
+    // exact, blocking, against a second daemon with a cold query
+    // cache AND a cold simulation memo (the first daemon's backfill
+    // warmed the process-global memo; clear it so each request here
+    // really rides the simulation pool).
+    serve::Server exact_server(sopts);
+    exact_server.start();
+    harness::memoClear();
+    Mix exact_mix = queryMix("exact");
+    double exact_s = runMix(exact_server, exact_mix, clients);
+
+    // brain ceiling: handleLine on one cached point, no sockets.
+    const std::string cached = auto_mix.lines.front();
+    server.handleLine(cached); // ensure present
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < brain_reps; ++i)
+        server.handleLine(cached);
+    double brain_s = secondsSince(t0);
+
+    auto snap = server.metricsSnapshot();
+    const std::size_t reqs = auto_mix.lines.size() * clients;
+    double cold_qps = reqs / cold_s;
+    double warm_qps = reqs / warm_s;
+    double exact_qps = (exact_mix.lines.size() * clients) / exact_s;
+    double brain_qps = brain_reps / brain_s;
+
+    std::FILE *f = std::fopen("BENCH_serve.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"serve_throughput\",\n"
+        "  \"recipe\": \"T3D,SP2 x bcast,alltoall x p=4,8,16 x "
+        "m=256,4Ki (24 points) over %d TCP clients; daemon "
+        "--jobs %d\",\n"
+        "  \"quick\": %s,\n"
+        "  \"cold_auto\": { \"wall_seconds\": %.6f, \"qps\": %.1f "
+        "},\n"
+        "  \"warm_cache\": { \"wall_seconds\": %.6f, \"qps\": %.1f "
+        "},\n"
+        "  \"exact_block\": { \"wall_seconds\": %.6f, \"qps\": %.1f "
+        "},\n"
+        "  \"brain_no_sockets\": { \"requests\": %d, \"qps\": %.1f "
+        "},\n"
+        "  \"daemon_counters\": { \"requests\": %llu, "
+        "\"tier_fast\": %llu, \"tier_cache\": %llu, "
+        "\"backfill_completed\": %llu, \"backfill_coalesced\": "
+        "%llu }\n"
+        "}\n",
+        clients, sopts.jobs, opts.quick ? "true" : "false", cold_s,
+        cold_qps, warm_s, warm_qps, exact_s, exact_qps, brain_reps,
+        brain_qps,
+        static_cast<unsigned long long>(
+            snap.counters.at("serve.requests")),
+        static_cast<unsigned long long>(
+            snap.counters.at("serve.tier_fast")),
+        static_cast<unsigned long long>(
+            snap.counters.at("serve.tier_cache")),
+        static_cast<unsigned long long>(
+            snap.counters.at("serve.backfill_completed")),
+        static_cast<unsigned long long>(
+            snap.counters.at("serve.backfill_coalesced")));
+    std::fclose(f);
+
+    std::fprintf(stderr,
+                 "BENCH_serve.json: cold auto %.1f q/s | warm cache "
+                 "%.1f q/s | exact %.1f q/s | brain %.1f q/s\n",
+                 cold_qps, warm_qps, exact_qps, brain_qps);
+
+    exact_server.stop();
+    server.stop();
+    return 0;
+}

@@ -8,10 +8,13 @@
  * runs, then predict collective cost for any (m, p) without running
  * anything.
  *
- * This example fits a model for T3D total exchange from a coarse
- * sweep, predicts a set of held-out (m, p) points, and compares the
- * predictions against direct simulation — reporting the prediction
- * error an application writer of 1997 would have lived with.
+ * This example fits a model for T3D total exchange through
+ * serve::FastPath — the same fitted-model store the `ccsim serve`
+ * daemon answers its approximate tier from, so what it prints is
+ * exactly what a `tier=fast` query would return — predicts a set of
+ * held-out (m, p) points, and compares the predictions against
+ * direct simulation: the prediction error an application writer of
+ * 1997 would have lived with.
  */
 
 #include <cstdio>
@@ -26,40 +29,38 @@ main()
 {
     auto cfg = machine::t3dConfig();
     const machine::Coll op = machine::Coll::Alltoall;
-    harness::MeasureOptions mopt;
-    mopt.iterations = 3;
-    mopt.repetitions = 1;
-    mopt.warmup = 1;
 
-    // Calibration sweep: a coarse grid an application writer could
-    // afford on a shared machine.
-    std::vector<model::Sample> samples;
-    for (int p : {2, 8, 32}) {
-        for (Bytes m : {Bytes(4), Bytes(1024), Bytes(16 * KiB),
-                        Bytes(64 * KiB)}) {
-            auto meas = harness::measureCollective(
-                cfg, p, op, m, machine::Algo::Default, mopt);
-            samples.push_back({m, p, meas.us()});
-        }
-    }
-    model::TimingExpression fit = model::fitPaperStyleAuto(samples);
+    // The daemon's fast path: first touch runs the calibration sweep
+    // (a coarse grid an application writer could afford on a shared
+    // machine — FastPath::calibrationSizes/Lengths), every later
+    // prediction is a closed-form evaluation.
+    serve::FastPath fastpath;
+    model::TimingExpression fit =
+        fastpath.expressionFor(cfg, op, machine::Algo::Default);
 
+    std::size_t calibration_points =
+        serve::FastPath::calibrationSizes().size() *
+        serve::FastPath::calibrationLengths().size();
     std::printf("Fitted %s %s model from %zu calibration points:\n"
                 "    T(m, p) = %s   [us]\n\n",
                 cfg.name.c_str(), machine::collName(op).c_str(),
-                samples.size(), fit.str().c_str());
+                calibration_points, fit.str().c_str());
     std::printf("Paper's Table 3 row for comparison:\n    T(m, p) = "
                 "%s\n\n",
                 model::paper::expression("T3D", op).str().c_str());
 
     // Held-out points: none of these (m, p) combinations were used
-    // in the fit.
+    // in the fit.  predictUs is the daemon's tier=fast answer; the
+    // simulation column is what its exact tier would backfill.
+    harness::MeasureOptions mopt = serve::FastPath::calibrationOptions();
     TableWriter t;
     t.header({"p", "m", "predicted", "simulated", "error %"});
     for (int p : {4, 16, 64}) {
         for (Bytes m : {Bytes(512), Bytes(4 * KiB),
                         Bytes(32 * KiB)}) {
-            double pred = fit.evalUs(m, p);
+            double pred =
+                fastpath.predictUs(cfg, op, machine::Algo::Default,
+                                   p, m);
             auto meas = harness::measureCollective(
                 cfg, p, op, m, machine::Algo::Default, mopt);
             double err = 100.0 * (pred - meas.us()) / meas.us();

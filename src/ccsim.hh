@@ -25,6 +25,10 @@
  *    implements);
  *  - stats — the metrics registry and MetricsSnapshot, the
  *    observability layer every run can expose (docs/METRICS.md);
+ *  - serve — the prediction service (docs/SERVE.md): the wire
+ *    protocol, the three-tier Server behind `ccsim serve`, the
+ *    blocking Client behind `ccsim query`, and the FastPath
+ *    fitted-model store the examples build tables from;
  *  - ccsim::Error and its typed subclasses (FatalError, PanicError,
  *    fault::FaultError, replay::TraceError, machine::ConfigError) —
  *    catch the base once, exit with exitCode();
@@ -59,6 +63,12 @@
 #include "replay/recorder.hh"
 #include "replay/replayer.hh"
 #include "replay/trace_parser.hh"
+#include "serve/backfill.hh"
+#include "serve/cache.hh"
+#include "serve/client.hh"
+#include "serve/fastpath.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "sim/trace.hh"
 #include "stats/metrics.hh"
 #include "stats/snapshot.hh"

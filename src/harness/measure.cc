@@ -137,6 +137,22 @@ memoKey(const machine::MachineConfig &cfg, int p, Coll op, Bytes m,
 
 } // namespace
 
+std::string
+measurePointKey(const machine::MachineConfig &cfg, int p, Coll op,
+                Bytes m, Algo algo, const MeasureOptions &opt)
+{
+    if (algo == Algo::Auto)
+        algo = tuning::resolveAlgo(cfg, op, p, m, algo);
+    return memoKey(cfg, p, op, m, algo, opt);
+}
+
+bool
+measurePointCacheable(const machine::MachineConfig &cfg,
+                      const MeasureOptions &opt)
+{
+    return memoEligible(cfg, opt);
+}
+
 MemoStats
 memoStats()
 {
@@ -244,9 +260,13 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
         }
     }
 
-    machine::MachineConfig run_cfg = cfg;
-    run_cfg.collect_metrics = cfg.collect_metrics || opt.metrics;
-    machine::Machine mach(run_cfg, p);
+    // One copy of the config (to pin collect_metrics), then a
+    // zero-copy shared-handle Machine construction — sweep workers
+    // build thousands of Machines, so the old copy-into-Machine
+    // second copy was pure overhead.
+    auto run_cfg = std::make_shared<machine::MachineConfig>(cfg);
+    run_cfg->collect_metrics = cfg.collect_metrics || opt.metrics;
+    machine::Machine mach(machine::ConfigHandle(std::move(run_cfg)), p);
 
     // Per-rank clock-skew offsets (the paper: "allocated nodes are
     // often not time synchronized").
@@ -407,9 +427,9 @@ measurePingPong(const machine::MachineConfig &cfg, Bytes m,
     if (m < 0)
         fatal("measurePingPong: negative message length");
 
-    machine::MachineConfig run_cfg = cfg;
-    run_cfg.collect_metrics = cfg.collect_metrics || opt.metrics;
-    machine::Machine mach(run_cfg, 2);
+    auto run_cfg = std::make_shared<machine::MachineConfig>(cfg);
+    run_cfg->collect_metrics = cfg.collect_metrics || opt.metrics;
+    machine::Machine mach(machine::ConfigHandle(std::move(run_cfg)), 2);
     Time round_trip_total = 0;
     const int total = opt.warmup + opt.iterations;
 

@@ -163,6 +163,29 @@ Measurement measureStartup(const machine::MachineConfig &cfg, int p,
 /** Message length used for the startup-latency approximation. */
 constexpr Bytes kStartupMessageBytes = 4;
 
+/**
+ * Canonical cache key of one measurement point — the memo-key
+ * canonicalization of DESIGN.md §4.11, public so other result caches
+ * (the `ccsim serve` query cache) key on exactly the bytes the memo
+ * cache does and their hits stay byte-identical with fresh
+ * simulation.  Algo::Auto is resolved through cfg.selection before
+ * the key is formed, so an auto query shares its key (and cached
+ * result) with the same point under the explicit algorithm.  The
+ * config's name is deliberately excluded — two identically
+ * parameterized machines are the same machine — as are the fault
+ * spec, skew seed, and metrics flags, because keyed caching is only
+ * sound for points where those are off (memoEligible()).
+ */
+std::string measurePointKey(const machine::MachineConfig &cfg, int p,
+                            machine::Coll op, Bytes m,
+                            machine::Algo algo = machine::Algo::Auto,
+                            const MeasureOptions &opt = {});
+
+/** True when a (cfg, opt) point is eligible for keyed result caching:
+ *  memoization on, faults disabled, no skew, no metrics. */
+bool measurePointCacheable(const machine::MachineConfig &cfg,
+                           const MeasureOptions &opt);
+
 /** Hit/miss/bypass counters of the measureCollective memo cache
  *  (bypassed = ineligible points: faults, skew, metrics collection,
  *  or memoize = false). */

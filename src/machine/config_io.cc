@@ -5,6 +5,7 @@
 #include <cstdarg>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -459,6 +460,68 @@ loadConfigFile(const std::string &path)
     if (!in)
         configFatal("cannot read '%s'", path.c_str());
     return loadConfig(in);
+}
+
+namespace {
+
+/**
+ * The shared-config registry behind sharedPreset()/sharedConfigFile():
+ * parse + validate once per distinct source, hand out immutable
+ * handles forever after.  Config descriptions are a few hundred
+ * bytes and the set of distinct sources a process touches is tiny,
+ * so entries are never evicted.
+ */
+struct ConfigRegistry
+{
+    std::mutex mu;
+    std::map<std::string, ConfigHandle> by_key;
+};
+
+ConfigRegistry &
+configRegistry()
+{
+    static ConfigRegistry r;
+    return r;
+}
+
+ConfigHandle
+cachedConfig(const std::string &key,
+             MachineConfig (*load)(const std::string &),
+             const std::string &arg)
+{
+    ConfigRegistry &r = configRegistry();
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        auto it = r.by_key.find(key);
+        if (it != r.by_key.end())
+            return it->second;
+    }
+    // Parse outside the lock (file I/O, and load may raise
+    // ConfigError); a racing duplicate parse is harmless — last one
+    // in wins and both results are identical.
+    ConfigHandle handle =
+        std::make_shared<const MachineConfig>(load(arg));
+    handle->validate();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.by_key.emplace(key, std::move(handle)).first->second;
+}
+
+} // namespace
+
+ConfigHandle
+sharedPreset(const std::string &name)
+{
+    std::string lower(name);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return cachedConfig("preset:" + lower, presetByName, name);
+}
+
+ConfigHandle
+sharedConfigFile(const std::string &path)
+{
+    return cachedConfig("file:" + path, loadConfigFile, path);
 }
 
 } // namespace ccsim::machine

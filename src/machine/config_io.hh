@@ -63,6 +63,21 @@ MachineConfig loadConfigFile(const std::string &path);
  *  case-insensitive, so CLI spellings like "paragon" work. */
 MachineConfig presetByName(const std::string &name);
 
+/**
+ * Shared-handle preset lookup: the preset is built and validated
+ * once per process and the immutable description handed out to every
+ * caller, so concurrent sessions (the `ccsim serve` daemon's
+ * connections, sweep workers) instantiate Machines from it without
+ * copying or re-parsing.  Thread-safe; ConfigError on unknown names.
+ */
+ConfigHandle sharedPreset(const std::string &name);
+
+/** Shared-handle analogue of loadConfigFile(): parsed and validated
+ *  once per distinct path, then cached for the process lifetime
+ *  (edits to the file after the first load are not observed).
+ *  Thread-safe; ConfigError if unreadable or malformed. */
+ConfigHandle sharedConfigFile(const std::string &path);
+
 /** Key-name slug of a collective ("alltoall", "reduce_scatter"...). */
 std::string collKey(Coll op);
 

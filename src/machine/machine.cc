@@ -9,36 +9,44 @@
 namespace ccsim::machine {
 
 Machine::Machine(MachineConfig config, int p)
+    : Machine(std::make_shared<const MachineConfig>(std::move(config)),
+              p)
+{
+}
+
+Machine::Machine(ConfigHandle config, int p)
     : config_(std::move(config)), size_(p)
 {
-    config_.validate();
+    if (!config_)
+        fatal("Machine: null config handle");
+    config_->validate();
     if (p < 1)
         fatal("Machine: need at least one node, got %d", p);
-    network_ = std::make_unique<net::Network>(config_.makeTopology(p),
-                                              config_.network);
-    if (config_.fault.enabled()) {
+    network_ = std::make_unique<net::Network>(config_->makeTopology(p),
+                                              config_->network);
+    if (config_->fault.enabled()) {
         fault_ = std::make_unique<fault::FaultInjector>(
-            config_.fault, p, network_->topology().numLinks());
+            config_->fault, p, network_->topology().numLinks());
         if (fault_->degradedLinks() > 0)
             network_->setLinkSlowdownHook(
                 [fi = fault_.get()](net::LinkId l, Time t) {
                     return fi->linkSlowdown(l, t);
                 });
     }
-    if (config_.collect_metrics) {
+    if (config_->collect_metrics) {
         metrics_ = std::make_unique<stats::MachineMetrics>(kNumColl);
         network_->enableCounters();
     }
     fabric_ = std::make_unique<msg::Fabric>(
-        sim_, *network_, p, config_.transport, &trace_, fault_.get(),
+        sim_, *network_, p, config_->transport, &trace_, fault_.get(),
         metrics_ ? &metrics_->transport : nullptr);
     // Pending-event high water scales with the node count (each rank
     // keeps a few wire/resume events in flight); pre-size the
     // calendar so sweeps at large p skip the early growth phase.
     sim_.queue().reserve(static_cast<std::size_t>(p) * 8);
-    if (config_.hardware_barrier)
+    if (config_->hardware_barrier)
         hw_barrier_ = std::make_unique<HardwareBarrier>(
-            sim_, p, config_.hardware_barrier_latency);
+            sim_, p, config_->hardware_barrier_latency);
 }
 
 int

@@ -41,6 +41,13 @@ class Machine
     /** Instantiate @p config for @p p nodes (validates the config). */
     Machine(MachineConfig config, int p);
 
+    /**
+     * Instantiate a shared immutable config for @p p nodes without
+     * copying it — the cheap path for concurrent sessions that build
+     * many Machines from one description (sharedPreset() et al.).
+     */
+    Machine(ConfigHandle config, int p);
+
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 
@@ -48,7 +55,7 @@ class Machine
     int size() const { return size_; }
 
     /** The configuration this machine was built from. */
-    const MachineConfig &config() const { return config_; }
+    const MachineConfig &config() const { return *config_; }
 
     sim::Simulator &sim() { return sim_; }
     net::Network &network() { return *network_; }
@@ -111,7 +118,7 @@ class Machine
     int contextFor(const std::vector<int> &global_ranks);
 
   private:
-    MachineConfig config_;
+    ConfigHandle config_;
     int size_;
     sim::Simulator sim_;
     sim::Trace trace_;

@@ -167,6 +167,16 @@ MachineConfig paragonConfig();
  */
 MachineConfig idealConfig();
 
+/**
+ * A shared immutable machine description.  Machine construction from
+ * a handle copies nothing: any number of concurrent sessions (e.g.\
+ * the `ccsim serve` query daemon's connections) can instantiate
+ * Machines from one parsed-and-validated config.  Obtain handles
+ * from sharedPreset() / sharedConfigFile() (config_io.hh), or wrap a
+ * hand-built config once with std::make_shared.
+ */
+using ConfigHandle = std::shared_ptr<const MachineConfig>;
+
 /** The paper's three machines, in its presentation order. */
 std::array<MachineConfig, 3> paperMachines();
 

@@ -1,0 +1,224 @@
+#include "serve/backfill.hh"
+
+#include "serve/protocol.hh" // ServeError
+#include "util/error.hh"
+
+namespace ccsim::serve {
+
+BackfillQueue::BackfillQueue(QueryCache &cache, int jobs)
+    : cache_(cache), runner_(jobs)
+{
+    collector_ = std::thread([this] { collectorLoop(); });
+}
+
+BackfillQueue::~BackfillQueue()
+{
+    stop();
+}
+
+std::uint64_t
+BackfillQueue::submit(const BackfillJob &job)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_)
+        throw ServeError("backfill queue is draining for shutdown");
+    std::uint64_t ticket = next_ticket_++;
+    ++submitted_;
+    open_tickets_.insert(ticket);
+
+    auto it = live_keys_.find(job.key);
+    if (it != live_keys_.end()) {
+        it->second->tickets.push_back(ticket);
+        ++coalesced_;
+        return ticket;
+    }
+
+    auto j = std::make_shared<Job>();
+    j->spec = job;
+    j->tickets.push_back(ticket);
+    live_keys_.emplace(job.key, j);
+    pending_.push_back(std::move(j));
+    work_cv_.notify_one();
+    return ticket;
+}
+
+void
+BackfillQueue::prefetch(const BackfillJob &job)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || live_keys_.count(job.key))
+        return;
+    auto j = std::make_shared<Job>();
+    j->spec = job; // no tickets: completion publishes only the cache
+    live_keys_.emplace(job.key, j);
+    pending_.push_back(std::move(j));
+    work_cv_.notify_one();
+}
+
+BackfillResult
+BackfillQueue::wait(std::uint64_t ticket)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&] { return results_.count(ticket) != 0; });
+    BackfillResult r = results_[ticket];
+    results_.erase(ticket);
+    return r;
+}
+
+BackfillResult
+BackfillQueue::poll(std::uint64_t ticket)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = results_.find(ticket);
+    if (it != results_.end()) {
+        BackfillResult r = it->second;
+        results_.erase(it);
+        return r;
+    }
+    if (open_tickets_.count(ticket))
+        return {}; // still pending / in flight
+    throw ServeError("unknown ticket " + std::to_string(ticket) +
+                         " (never issued, or already collected)");
+}
+
+std::size_t
+BackfillQueue::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+}
+
+std::uint64_t
+BackfillQueue::submitted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return submitted_;
+}
+
+std::uint64_t
+BackfillQueue::coalesced() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return coalesced_;
+}
+
+std::uint64_t
+BackfillQueue::completed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return completed_;
+}
+
+std::uint64_t
+BackfillQueue::failed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_;
+}
+
+std::uint64_t
+BackfillQueue::batches() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return batches_;
+}
+
+int
+BackfillQueue::jobs() const
+{
+    return runner_.jobs();
+}
+
+void
+BackfillQueue::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+        return pending_.empty() && inflight_ == 0;
+    });
+}
+
+void
+BackfillQueue::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_ && !collector_.joinable())
+            return;
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    if (collector_.joinable())
+        collector_.join();
+}
+
+void
+BackfillQueue::collectorLoop()
+{
+    for (;;) {
+        std::vector<std::shared_ptr<Job>> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                return stopping_ || !pending_.empty();
+            });
+            if (pending_.empty()) {
+                // stopping_ with nothing queued: drained, exit.
+                return;
+            }
+            batch.assign(pending_.begin(), pending_.end());
+            pending_.clear();
+            inflight_ = batch.size();
+        }
+        runBatch(std::move(batch));
+    }
+}
+
+void
+BackfillQueue::runBatch(std::vector<std::shared_ptr<Job>> batch)
+{
+    std::vector<BackfillResult> results(batch.size());
+    runner_.runTasks(batch.size(), [&](std::size_t i) {
+        const BackfillJob &job = batch[i]->spec;
+        BackfillResult &r = results[i];
+        r.done = true;
+        try {
+            r.meas = harness::measureCollective(
+                *job.cfg, job.p, job.op, job.m, job.algo,
+                job.options);
+        } catch (const Error &e) {
+            r.failed = true;
+            r.component = e.component();
+            r.message = e.what();
+            r.exit_code = e.exitCode();
+        } catch (const std::exception &e) {
+            r.failed = true;
+            r.component = "serve";
+            r.message = e.what();
+            r.exit_code = kUserExit;
+        }
+        if (!r.failed && job.cacheable)
+            cache_.insert(job.key, r.meas);
+    });
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (results[i].failed)
+                ++failed_;
+            else
+                ++completed_;
+            for (std::uint64_t t : batch[i]->tickets) {
+                results_[t] = results[i];
+                open_tickets_.erase(t);
+            }
+            live_keys_.erase(batch[i]->spec.key);
+        }
+        ++batches_;
+        inflight_ = 0;
+    }
+    done_cv_.notify_all();
+}
+
+} // namespace ccsim::serve

@@ -1,0 +1,55 @@
+#include "serve/cache.hh"
+
+namespace ccsim::serve {
+
+bool
+QueryCache::lookup(const std::string &key, harness::Measurement &out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    out = it->second;
+    return true;
+}
+
+void
+QueryCache::insert(const std::string &key,
+                   const harness::Measurement &meas)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_[key] = meas;
+}
+
+bool
+QueryCache::contains(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.count(key) != 0;
+}
+
+std::size_t
+QueryCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+stats::CacheStats
+QueryCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+QueryCache::recordBypass()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.bypassed;
+}
+
+} // namespace ccsim::serve

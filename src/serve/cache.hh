@@ -1,0 +1,66 @@
+/**
+ * @file
+ * QueryCache — the daemon's tier-1 answer store.
+ *
+ * Keys are harness::measurePointKey() strings (the DESIGN.md §4.11
+ * memo canonicalization, with Algo::Auto resolved before the key is
+ * formed), values are complete harness::Measurement records.  Because
+ * both the key and the stored value come from the same deterministic
+ * measurement path, a cache hit is byte-identical to re-simulating
+ * the point — tests/test_serve.cc asserts equality field by field.
+ *
+ * The cache is shared by every connection thread and the backfill
+ * pool, so all accessors take one internal mutex.  Entries are never
+ * evicted: a Measurement is a few hundred bytes and the daemon's
+ * working set is the query cross product users actually ask about.
+ */
+
+#ifndef CCSIM_SERVE_CACHE_HH
+#define CCSIM_SERVE_CACHE_HH
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "harness/measure.hh"
+#include "stats/cache_stats.hh"
+
+namespace ccsim::serve {
+
+/** Thread-safe key -> Measurement store; see file comment. */
+class QueryCache
+{
+  public:
+    /** Copy the entry for @p key into @p out; false (and a recorded
+     *  miss) when absent. */
+    bool lookup(const std::string &key, harness::Measurement &out);
+
+    /** Store (or overwrite — deterministic values make overwrites
+     *  idempotent) the entry for @p key. */
+    void insert(const std::string &key,
+                const harness::Measurement &meas);
+
+    /** True without touching the hit/miss counters (for probes that
+     *  are not answer attempts). */
+    bool contains(const std::string &key) const;
+
+    /** Number of distinct cached points. */
+    std::size_t size() const;
+
+    /** Lookup hit/miss counters (bypassed counts lookups of points
+     *  that were never cacheable, recorded by the server). */
+    stats::CacheStats stats() const;
+
+    /** Record one lookup that skipped the cache (uncacheable point). */
+    void recordBypass();
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, harness::Measurement> map_;
+    stats::CacheStats stats_;
+};
+
+} // namespace ccsim::serve
+
+#endif // CCSIM_SERVE_CACHE_HH

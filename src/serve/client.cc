@@ -1,0 +1,112 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.hh"
+
+namespace ccsim::serve {
+
+namespace {
+
+[[noreturn]] void
+clientError(const std::string &what)
+{
+    throw ServeError(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::connect(int port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        clientError("socket() failed");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int saved = errno;
+        close();
+        errno = saved;
+        clientError("cannot connect to 127.0.0.1:" +
+                    std::to_string(port));
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::string
+Client::request(const std::string &line)
+{
+    if (fd_ < 0)
+        throw ServeError("request() before connect()");
+
+    std::string out = line + "\n";
+    std::size_t off = 0;
+    while (off < out.size()) {
+        ssize_t n = ::send(fd_, out.data() + off, out.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            clientError("send() failed");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    char chunk[4096];
+    for (;;) {
+        std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string resp = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            if (!resp.empty() && resp.back() == '\r')
+                resp.pop_back();
+            return resp;
+        }
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            throw ServeError("daemon closed the connection mid-request");
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            clientError("recv() failed");
+        }
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::string
+Client::request(const Request &req)
+{
+    return request(formatRequest(req));
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+} // namespace ccsim::serve

@@ -1,0 +1,326 @@
+#include "serve/protocol.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "machine/config_io.hh"
+#include "util/error.hh"
+
+namespace ccsim::serve {
+
+namespace {
+
+using machine::ConfigError;
+
+[[noreturn]] void
+badRequest(const std::string &what)
+{
+    throw ConfigError("bad request: " + what +
+                      " (see docs/SERVE.md for the grammar)");
+}
+
+long long
+parseInt(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        long long v = std::stoll(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        badRequest("key '" + key + "' wants an integer, got '" +
+                   value + "'");
+    }
+}
+
+machine::Coll
+parseOp(const std::string &value)
+{
+    for (machine::Coll op : machine::kAllColls)
+        if (machine::collKey(op) == value)
+            return op;
+    badRequest("unknown op '" + value + "'");
+}
+
+/** "%.9g" — the snapshot layer's fixed number formatting. */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+Request
+parseRequest(const std::string &line)
+{
+    std::istringstream in(line);
+    std::string verb_word;
+    if (!(in >> verb_word))
+        badRequest("empty request");
+
+    Request req;
+    if (verb_word == "predict")
+        req.verb = Verb::Predict;
+    else if (verb_word == "poll")
+        req.verb = Verb::Poll;
+    else if (verb_word == "metrics")
+        req.verb = Verb::Metrics;
+    else if (verb_word == "ping")
+        req.verb = Verb::Ping;
+    else if (verb_word == "shutdown")
+        req.verb = Verb::Shutdown;
+    else
+        badRequest("unknown verb '" + verb_word +
+                   "' (predict, poll, metrics, ping, shutdown)");
+
+    bool saw_p = false, saw_op = false, saw_ticket = false;
+    std::string word;
+    while (in >> word) {
+        std::size_t eq = word.find('=');
+        if (eq == std::string::npos || eq == 0)
+            badRequest("expected key=value, got '" + word + "'");
+        std::string key = word.substr(0, eq);
+        std::string value = word.substr(eq + 1);
+        if (value.empty())
+            badRequest("key '" + key + "' has an empty value");
+
+        if (req.verb == Verb::Poll) {
+            if (key != "ticket")
+                badRequest("poll understands only ticket=N");
+            long long t = parseInt(key, value);
+            if (t < 0)
+                badRequest("ticket must be non-negative");
+            req.ticket = static_cast<std::uint64_t>(t);
+            saw_ticket = true;
+            continue;
+        }
+        if (req.verb != Verb::Predict)
+            badRequest("'" + verb_word + "' takes no keys");
+
+        if (key == "machine") {
+            req.machine = value;
+        } else if (key == "config") {
+            req.config_path = value;
+        } else if (key == "selection") {
+            req.selection = value;
+        } else if (key == "op") {
+            req.op = parseOp(value);
+            saw_op = true;
+        } else if (key == "algo") {
+            // algoFromName raises ConfigError itself, listing the
+            // valid spellings.
+            req.algo = machine::algoFromName(value);
+        } else if (key == "p") {
+            long long p = parseInt(key, value);
+            if (p < 1)
+                badRequest("p must be >= 1");
+            req.p = static_cast<int>(p);
+            saw_p = true;
+        } else if (key == "m") {
+            long long m = parseInt(key, value);
+            if (m < 0)
+                badRequest("m must be >= 0");
+            req.m = m;
+            req.has_m = true;
+        } else if (key == "tier") {
+            if (value == "auto")
+                req.tier = TierChoice::Auto;
+            else if (value == "fast")
+                req.tier = TierChoice::Fast;
+            else if (value == "exact")
+                req.tier = TierChoice::Exact;
+            else
+                badRequest("tier must be auto, fast, or exact");
+        } else if (key == "wait") {
+            if (value == "block")
+                req.wait = WaitMode::Block;
+            else if (value == "ticket")
+                req.wait = WaitMode::Ticket;
+            else
+                badRequest("wait must be block or ticket");
+        } else {
+            badRequest("unknown key '" + key + "'");
+        }
+    }
+
+    if (req.verb == Verb::Poll && !saw_ticket)
+        badRequest("poll needs ticket=N");
+    if (req.verb == Verb::Predict) {
+        if (!saw_op)
+            badRequest("predict needs op=<collective>");
+        if (!saw_p)
+            badRequest("predict needs p=<nodes>");
+        // The barrier has no length axis; everything else needs m.
+        if (!req.has_m && req.op != machine::Coll::Barrier)
+            badRequest("predict needs m=<bytes> for op " +
+                       machine::collKey(req.op));
+        if (req.op == machine::Coll::Barrier)
+            req.m = 0;
+    }
+    return req;
+}
+
+std::string
+formatRequest(const Request &req)
+{
+    switch (req.verb) {
+      case Verb::Ping:
+        return "ping";
+      case Verb::Metrics:
+        return "metrics";
+      case Verb::Shutdown:
+        return "shutdown";
+      case Verb::Poll:
+        return "poll ticket=" + std::to_string(req.ticket);
+      case Verb::Predict:
+        break;
+    }
+
+    std::string out = "predict";
+    if (!req.config_path.empty())
+        out += " config=" + req.config_path;
+    else
+        out += " machine=" + req.machine;
+    if (!req.selection.empty())
+        out += " selection=" + req.selection;
+    out += " op=" + machine::collKey(req.op);
+    out += " p=" + std::to_string(req.p);
+    out += " m=" + std::to_string(req.m);
+    if (req.algo != machine::Algo::Auto)
+        out += " algo=" + machine::algoName(req.algo);
+    out += std::string(" tier=") +
+           (req.tier == TierChoice::Auto
+                ? "auto"
+                : req.tier == TierChoice::Fast ? "fast" : "exact");
+    if (req.wait == WaitMode::Ticket)
+        out += " wait=ticket";
+    return out;
+}
+
+std::string
+tierName(AnswerTier t)
+{
+    switch (t) {
+      case AnswerTier::Cache:
+        return "cache";
+      case AnswerTier::Fast:
+        return "fast";
+      case AnswerTier::Exact:
+        return "exact";
+    }
+    return "?";
+}
+
+Answer
+Answer::of(const harness::Measurement &meas, AnswerTier t)
+{
+    Answer a;
+    a.tier = t;
+    a.approx = false;
+    a.machine = meas.machine;
+    a.op = meas.op;
+    a.algo = meas.algo;
+    a.p = meas.p;
+    a.m = meas.m;
+    a.time_us = meas.us();
+    a.max_ps = meas.max_time;
+    a.min_ps = meas.min_time;
+    a.mean_ps = meas.mean_time;
+    return a;
+}
+
+std::string
+okResponse(const Answer &a)
+{
+    std::string out = "{\"status\":\"ok\",\"tier\":\"" +
+                      tierName(a.tier) + "\",\"approx\":" +
+                      (a.approx ? "true" : "false");
+    out += ",\"machine\":\"" + jsonEscape(a.machine) + "\"";
+    out += ",\"op\":\"" + machine::collKey(a.op) + "\"";
+    out += ",\"algo\":\"" + machine::algoName(a.algo) + "\"";
+    out += ",\"p\":" + std::to_string(a.p);
+    out += ",\"m\":" + std::to_string(a.m);
+    out += ",\"time_us\":" + num(a.time_us);
+    if (!a.approx) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      ",\"max_ps\":%" PRId64 ",\"min_ps\":%" PRId64
+                      ",\"mean_ps\":%" PRId64,
+                      a.max_ps, a.min_ps, a.mean_ps);
+        out += buf;
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+pendingResponse(std::uint64_t ticket)
+{
+    return "{\"status\":\"pending\",\"ticket\":" +
+           std::to_string(ticket) + "}";
+}
+
+std::string
+errorResponse(const Error &e)
+{
+    return "{\"status\":\"error\",\"component\":\"" +
+           jsonEscape(e.component()) +
+           "\",\"exit_code\":" + std::to_string(e.exitCode()) +
+           ",\"message\":\"" + jsonEscape(e.what()) + "\"}";
+}
+
+std::string
+pongResponse()
+{
+    return "{\"status\":\"ok\",\"pong\":true}";
+}
+
+std::string
+shutdownResponse()
+{
+    return "{\"status\":\"ok\",\"shutdown\":true}";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ccsim::serve

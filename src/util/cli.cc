@@ -1,5 +1,7 @@
 #include "util/cli.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -56,9 +58,18 @@ Options::parse(int argc, char **argv, int start)
             std::exit(0);
         }
         const Decl *d = find(key);
-        if (!d)
+        if (!d) {
+            std::vector<std::string> names;
+            for (const Decl &decl : decls_)
+                names.push_back(decl.name);
+            std::string hint = closestMatch(key, names);
+            if (!hint.empty())
+                fatal("unknown option '--%s' (did you mean "
+                      "'--%s'?)\n%s", key.c_str(), hint.c_str(),
+                      usage().c_str());
             fatal("unknown option '--%s'\n%s", key.c_str(),
                   usage().c_str());
+        }
         if (d->placeholder.empty()) {
             values_[key] = "1";
         } else {
@@ -160,6 +171,63 @@ Options::usage() const
         os << d.help << "\n";
     }
     return os.str();
+}
+
+namespace {
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/** Plain dynamic-programming Levenshtein distance. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t up = row[j];
+            std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+std::string
+closestMatch(const std::string &given,
+             const std::vector<std::string> &candidates)
+{
+    const std::string g = lowered(given);
+    // A typo plausibly reaches its target within max(2, len/3)
+    // edits; anything farther would suggest unrelated names.
+    const std::size_t budget = std::max<std::size_t>(2, g.size() / 3);
+    std::string best;
+    std::size_t best_dist = budget + 1;
+    for (const std::string &c : candidates) {
+        // d == 0 still suggests: a case-mangled spelling ("--Jobs")
+        // is unknown to the case-sensitive schema but lowers to an
+        // exact candidate.
+        std::size_t d = editDistance(g, lowered(c));
+        if (d < best_dist) {
+            best_dist = d;
+            best = c;
+        }
+    }
+    return best;
 }
 
 std::vector<std::string>

@@ -102,6 +102,17 @@ class Options
 /** Split a comma-separated string; empty items dropped. */
 std::vector<std::string> splitList(const std::string &s);
 
+/**
+ * The candidate closest to @p given by edit distance
+ * (case-insensitive Levenshtein), or "" when nothing is close enough
+ * to suggest — a typo plausibly reaches its target within
+ * max(2, len/3) edits; anything farther is a different word.  Backs
+ * the "did you mean" hints on unknown options (Options::parse) and
+ * unknown ccsim subcommands.
+ */
+std::string closestMatch(const std::string &given,
+                         const std::vector<std::string> &candidates);
+
 } // namespace ccsim::cli
 
 #endif // CCSIM_UTIL_CLI_HH

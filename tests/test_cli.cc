@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The did-you-mean machinery: closestMatch edit-distance suggestions
+ * and their wiring into Options::parse unknown-flag errors.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace ccsim::cli {
+namespace {
+
+const std::vector<std::string> kSubcommands = {
+    "measure", "sweep", "compare", "tune",  "trace",
+    "replay",  "serve", "query",   "paper", "machines",
+};
+
+TEST(ClosestMatch, CatchesCommonTypos)
+{
+    EXPECT_EQ(closestMatch("mesure", kSubcommands), "measure");
+    EXPECT_EQ(closestMatch("serv", kSubcommands), "serve");
+    EXPECT_EQ(closestMatch("qurey", kSubcommands), "query");
+    EXPECT_EQ(closestMatch("sweeep", kSubcommands), "sweep");
+}
+
+TEST(ClosestMatch, IsCaseInsensitive)
+{
+    EXPECT_EQ(closestMatch("MEASURE", kSubcommands), "measure");
+    EXPECT_EQ(closestMatch("Serve", kSubcommands), "serve");
+}
+
+TEST(ClosestMatch, StaysQuietWhenNothingIsClose)
+{
+    // Budget is max(2, len/3): a different word is not a typo.
+    EXPECT_EQ(closestMatch("frobnicate", kSubcommands), "");
+    EXPECT_EQ(closestMatch("xz", kSubcommands), "");
+    EXPECT_EQ(closestMatch("", kSubcommands), "");
+}
+
+TEST(ClosestMatch, PrefersTheNearestCandidate)
+{
+    // One edit from "serve", three from "sweep".
+    EXPECT_EQ(closestMatch("sarve", kSubcommands), "serve");
+}
+
+class OptionsSuggest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { prev_ = throwOnError(true); }
+    void TearDown() override { throwOnError(prev_); }
+    bool prev_ = false;
+};
+
+TEST_F(OptionsSuggest, UnknownFlagNamesTheNearestDeclared)
+{
+    Options opt("ccsim serve");
+    opt.value("port", "TCP port", "N");
+    opt.value("jobs", "worker threads", "K");
+
+    const char *argv[] = {"ccsim", "--jbos", "4"};
+    try {
+        opt.parse(3, const_cast<char **>(argv), 1);
+        FAIL() << "typo accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "did you mean '--jobs'?"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(OptionsSuggest, HopelessFlagGetsNoSuggestion)
+{
+    Options opt("ccsim serve");
+    opt.value("port", "TCP port", "N");
+
+    const char *argv[] = {"ccsim", "--frobnicate"};
+    try {
+        opt.parse(2, const_cast<char **>(argv), 1);
+        FAIL() << "unknown flag accepted";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(std::string(e.what()).find("did you mean"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace ccsim::cli

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * The prediction service: protocol strictness (malformed queries are
+ * typed error responses, never dropped connections), cache-hit
+ * byte-identity with direct simulation, fast-tier tolerance against
+ * the exact tier, ticketed backfill, and concurrent-client
+ * determinism at different --jobs levels.
+ */
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/measure.hh"
+#include "machine/config_io.hh"
+#include "serve/backfill.hh"
+#include "serve/cache.hh"
+#include "serve/client.hh"
+#include "serve/fastpath.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+namespace ccsim::serve {
+namespace {
+
+// ---- protocol ------------------------------------------------------
+
+TEST(ServeProtocol, ParsesAFullPredictRequest)
+{
+    Request r = parseRequest(
+        "predict machine=SP2 op=bcast p=16 m=4096 algo=binomial "
+        "tier=exact wait=ticket");
+    EXPECT_EQ(r.verb, Verb::Predict);
+    EXPECT_EQ(r.machine, "SP2");
+    EXPECT_EQ(r.op, machine::Coll::Bcast);
+    EXPECT_EQ(r.p, 16);
+    EXPECT_EQ(r.m, 4096);
+    EXPECT_EQ(r.algo, machine::Algo::Binomial);
+    EXPECT_EQ(r.tier, TierChoice::Exact);
+    EXPECT_EQ(r.wait, WaitMode::Ticket);
+}
+
+TEST(ServeProtocol, RoundTripsThroughFormat)
+{
+    Request r;
+    r.verb = Verb::Predict;
+    r.machine = "Paragon";
+    r.selection = "Paragon";
+    r.op = machine::Coll::Alltoall;
+    r.p = 32;
+    r.m = 65536;
+    r.has_m = true;
+    r.tier = TierChoice::Fast;
+
+    Request back = parseRequest(formatRequest(r));
+    EXPECT_EQ(back.machine, r.machine);
+    EXPECT_EQ(back.selection, r.selection);
+    EXPECT_EQ(back.op, r.op);
+    EXPECT_EQ(back.p, r.p);
+    EXPECT_EQ(back.m, r.m);
+    EXPECT_EQ(back.tier, r.tier);
+}
+
+TEST(ServeProtocol, BarrierNeedsNoMessageLength)
+{
+    Request r = parseRequest("predict machine=T3D op=barrier p=8");
+    EXPECT_EQ(r.op, machine::Coll::Barrier);
+    EXPECT_EQ(r.m, 0);
+}
+
+TEST(ServeProtocol, MalformedRequestsRaiseConfigError)
+{
+    // Every protocol mistake is machine::ConfigError (exit code 5),
+    // so the server can answer with a typed error response.
+    const char *bad[] = {
+        "",                                  // empty
+        "frobnicate p=4",                    // unknown verb
+        "predict op=bcast p=4",              // missing m
+        "predict machine=T3D op=bcast m=64", // missing p
+        "predict machine=T3D op=nosuch p=4 m=64",  // unknown op
+        "predict machine=T3D op=bcast p=zero m=64", // bad int
+        "predict machine=T3D op=bcast p=4 m=64 tier=soon",
+        "predict machine=T3D op=bcast p=4 m=64 color=red",
+        "poll",                              // missing ticket
+        "ping p=4",                          // keys on a bare verb
+    };
+    for (const char *line : bad) {
+        try {
+            parseRequest(line);
+            FAIL() << "no error for: " << line;
+        } catch (const machine::ConfigError &e) {
+            EXPECT_EQ(e.exitCode(), kConfigExit) << line;
+            EXPECT_EQ(e.component(), "config") << line;
+        }
+    }
+}
+
+// ---- the brain (handleLine, no sockets) ----------------------------
+
+TEST(ServeServer, MalformedQueryGetsTypedErrorResponse)
+{
+    Server server;
+    std::string resp = server.handleLine("predict op=bcast");
+    EXPECT_EQ(resp.rfind("{\"status\":\"error\"", 0), 0u) << resp;
+    EXPECT_NE(resp.find("\"component\":\"config\""), std::string::npos);
+    EXPECT_NE(resp.find("\"exit_code\":5"), std::string::npos);
+
+    // The brain keeps serving after a protocol error.
+    EXPECT_EQ(server.handleLine("ping"), pongResponse());
+}
+
+TEST(ServeServer, CacheHitIsByteIdenticalToDirectSimulation)
+{
+    Server server;
+    const std::string q =
+        "predict machine=T3D op=bcast p=8 m=1024 tier=exact";
+
+    std::string first = server.handleLine(q);
+    std::string second = server.handleLine(q);
+
+    // Same point, simulated directly with the same procedure the
+    // exact tier uses (the CLI's defaults).
+    auto meas = harness::measureCollective(
+        *machine::sharedPreset("T3D"), 8, machine::Coll::Bcast, 1024);
+
+    EXPECT_EQ(first, okResponse(Answer::of(meas, AnswerTier::Exact)));
+    EXPECT_EQ(second, okResponse(Answer::of(meas, AnswerTier::Cache)));
+}
+
+TEST(ServeServer, AutoAlgoSharesTheCacheEntryWithItsExplicitTwin)
+{
+    Server server;
+    // T3D bcast resolves Algo::Auto to the machine default
+    // (binomial); the explicit spelling must hit the same entry.
+    std::string implicit = server.handleLine(
+        "predict machine=T3D op=bcast p=8 m=512 tier=exact");
+    std::string explicit_twin = server.handleLine(
+        "predict machine=T3D op=bcast p=8 m=512 algo=binomial "
+        "tier=exact");
+    EXPECT_NE(implicit.find("\"tier\":\"exact\""), std::string::npos);
+    EXPECT_NE(explicit_twin.find("\"tier\":\"cache\""),
+              std::string::npos)
+        << "second spelling should have hit the cache";
+}
+
+TEST(ServeServer, FastTierTracksExactWithinTolerance)
+{
+    Server server;
+    auto cfg = machine::sharedPreset("T3D");
+    // Points inside the calibration envelope (p <= 32, m <= 64 KiB)
+    // but not on the calibration grid.
+    struct Point
+    {
+        machine::Coll op;
+        int p;
+        Bytes m;
+    } points[] = {
+        {machine::Coll::Bcast, 16, 2048},
+        {machine::Coll::Alltoall, 8, 8192},
+        {machine::Coll::Reduce, 16, 512},
+    };
+    for (const auto &pt : points) {
+        double fast = server.fastPath().predictUs(
+            *cfg, pt.op, machine::Algo::Auto, pt.p, pt.m);
+        auto exact =
+            harness::measureCollective(*cfg, pt.p, pt.op, pt.m);
+        // The documented envelope: within a factor of two across the
+        // calibration region (in practice a few percent).
+        EXPECT_GT(fast, exact.us() / 2.0)
+            << collName(pt.op) << " p=" << pt.p << " m=" << pt.m;
+        EXPECT_LT(fast, exact.us() * 2.0)
+            << collName(pt.op) << " p=" << pt.p << " m=" << pt.m;
+    }
+}
+
+TEST(ServeServer, TicketFlowDeliversTheExactAnswer)
+{
+    Server server;
+    std::string pending = server.handleLine(
+        "predict machine=SP2 op=barrier p=8 tier=exact wait=ticket");
+    ASSERT_EQ(pending.rfind("{\"status\":\"pending\",\"ticket\":", 0),
+              0u)
+        << pending;
+    std::uint64_t ticket = std::stoull(
+        pending.substr(pending.rfind(':') + 1));
+
+    server.backfill().drain();
+    std::string resp =
+        server.handleLine("poll ticket=" + std::to_string(ticket));
+    EXPECT_NE(resp.find("\"tier\":\"exact\""), std::string::npos)
+        << resp;
+
+    // A consumed (or never issued) ticket is a typed error.
+    std::string again =
+        server.handleLine("poll ticket=" + std::to_string(ticket));
+    EXPECT_NE(again.find("\"status\":\"error\""), std::string::npos);
+    EXPECT_NE(again.find("\"component\":\"serve\""),
+              std::string::npos);
+}
+
+TEST(ServeServer, MetricsCountPerTierHits)
+{
+    Server server;
+    server.handleLine(
+        "predict machine=T3D op=barrier p=4 tier=exact");
+    server.handleLine(
+        "predict machine=T3D op=barrier p=4 tier=exact"); // cache
+    server.handleLine(
+        "predict machine=T3D op=barrier p=4 tier=fast"); // cache too
+    auto snap = server.metricsSnapshot();
+    EXPECT_EQ(snap.counters.at("serve.tier_exact"), 1u);
+    EXPECT_EQ(snap.counters.at("serve.tier_cache"), 2u);
+    EXPECT_EQ(snap.counters.at("serve.requests"), 3u);
+    EXPECT_GE(snap.gauges.at("serve.request_us_p99"),
+              snap.gauges.at("serve.request_us_p50"));
+}
+
+TEST(ServeBackfill, CoalescesDuplicateKeysIntoOneSimulation)
+{
+    QueryCache cache;
+    BackfillQueue queue(cache, 1);
+
+    BackfillJob job;
+    job.cfg = machine::sharedPreset("T3D");
+    job.p = 4;
+    job.op = machine::Coll::Barrier;
+    job.algo = machine::Algo::Default;
+    job.key = harness::measurePointKey(*job.cfg, 4,
+                                       machine::Coll::Barrier, 0,
+                                       machine::Algo::Default);
+
+    std::uint64_t t1 = queue.submit(job);
+    std::uint64_t t2 = queue.submit(job);
+    BackfillResult r1 = queue.wait(t1);
+    BackfillResult r2 = queue.wait(t2);
+    EXPECT_FALSE(r1.failed);
+    EXPECT_EQ(r1.meas.max_time, r2.meas.max_time);
+    EXPECT_GE(queue.coalesced(), 1u);
+    EXPECT_TRUE(cache.contains(job.key));
+}
+
+// ---- over TCP ------------------------------------------------------
+
+TEST(ServeTcp, MalformedLineDoesNotDropTheConnection)
+{
+    Server server;
+    server.start();
+
+    Client client;
+    client.connect(server.port());
+    std::string err = client.request("predict tier=warp");
+    EXPECT_NE(err.find("\"status\":\"error\""), std::string::npos);
+    // Same connection, next request answers normally.
+    EXPECT_EQ(client.request("ping"), pongResponse());
+    client.close();
+    server.stop();
+}
+
+/** The full query mix one client issues in the determinism test. */
+std::vector<std::string>
+queryMix()
+{
+    std::vector<std::string> lines;
+    for (const char *op : {"bcast", "alltoall"})
+        for (int p : {4, 8})
+            for (int m : {256, 1024})
+                lines.push_back(
+                    "predict machine=T3D op=" + std::string(op) +
+                    " p=" + std::to_string(p) +
+                    " m=" + std::to_string(m) + " tier=exact");
+    return lines;
+}
+
+/** Whether a point came from the exact tier or its replayed cache
+ *  entry is a scheduling race; the payload must not be. */
+std::string
+normalizeTier(std::string resp)
+{
+    const std::string cache = "\"tier\":\"cache\"";
+    auto at = resp.find(cache);
+    if (at != std::string::npos)
+        resp.replace(at, cache.size(), "\"tier\":\"exact\"");
+    return resp;
+}
+
+/** Run @p clients concurrent clients through one daemon; returns
+ *  each client's responses in request order, tier-normalized. */
+std::vector<std::vector<std::string>>
+runClients(int jobs, int clients)
+{
+    ServerOptions opts;
+    opts.jobs = jobs;
+    Server server(opts);
+    server.start();
+
+    std::vector<std::vector<std::string>> out(clients);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            Client client;
+            client.connect(server.port());
+            for (const std::string &q : queryMix())
+                out[c].push_back(normalizeTier(client.request(q)));
+        });
+    for (auto &t : threads)
+        t.join();
+    server.stop();
+    return out;
+}
+
+TEST(ServeTcp, ConcurrentClientsGetIdenticalAnswersAtAnyJobsLevel)
+{
+    auto serial = runClients(/*jobs=*/1, /*clients=*/4);
+    auto pooled = runClients(/*jobs=*/2, /*clients=*/4);
+
+    // Every client of every server sees the same answer for the same
+    // query — simulation determinism survives the pool and the race
+    // between cache and backfill.
+    for (int c = 1; c < 4; ++c) {
+        EXPECT_EQ(serial[0], serial[c]) << "client " << c;
+        EXPECT_EQ(pooled[0], pooled[c]) << "client " << c;
+    }
+    EXPECT_EQ(serial[0], pooled[0]) << "jobs=1 vs jobs=2";
+}
+
+} // namespace
+} // namespace ccsim::serve

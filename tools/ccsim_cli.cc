@@ -61,6 +61,24 @@
  *         written to --out (stdout without it) and loads back via
  *         --selection; output is identical at any --jobs level.
  *
+ *     ccsim serve [--port N] [--jobs K] [--port-file FILE]
+ *                 [--verbose]
+ *         Run the collective-latency prediction daemon on
+ *         127.0.0.1 (docs/SERVE.md): a line/JSON query protocol
+ *         answered from a result cache (byte-identical to fresh
+ *         simulation), a fitted fast path (flagged approx), and an
+ *         exact simulation backfill pool of --jobs workers.  SIGINT
+ *         or a client 'shutdown' drains the queue and exits 0.
+ *
+ *     ccsim query --port N | --port-file FILE
+ *                 [--machine T3D] [--op alltoall] [--p 64] [--m 65536]
+ *                 [--algo NAME] [--selection SRC] [--tier auto|fast|
+ *                 exact] [--ticket] [--poll N] [--metrics] [--ping]
+ *                 [--shutdown]
+ *         One request against a running daemon; prints the JSON
+ *         response line and exits with the daemon-side error family
+ *         on error responses.
+ *
  *     ccsim dump-config --machine SP2
  *         Emit a preset as an editable config file (see --config).
  *
@@ -80,10 +98,14 @@
  * 5 machine config, 70 internal bug).
  */
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ccsim.hh"
@@ -813,6 +835,162 @@ cmdTune(int argc, char **argv)
     return 0;
 }
 
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void
+onInterrupt(int)
+{
+    g_interrupted = 1;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    cli::Options o("ccsim serve");
+    o.value("port", "TCP port on 127.0.0.1 (default 0: ephemeral)",
+            "N");
+    o.value("jobs", "backfill simulation workers (default 1)", "N");
+    o.value("port-file", "write the bound port to FILE", "FILE");
+    o.flag("verbose", "log one line per request to stderr");
+    o.parse(argc, argv, 2);
+
+    serve::ServerOptions opts;
+    long long port = o.getInt("port", 0);
+    if (port < 0 || port > 65535)
+        fatal("--port wants 0..65535, got %lld", port);
+    opts.port = static_cast<int>(port);
+    long long jobs = o.getInt("jobs", 1);
+    if (o.has("jobs") && jobs < 1)
+        fatal("--jobs wants a positive integer, got %lld", jobs);
+    opts.jobs = static_cast<int>(jobs);
+    opts.port_file = o.get("port-file");
+    opts.verbose = o.has("verbose");
+
+    serve::Server server(opts);
+    server.start();
+    std::fprintf(stderr,
+                 "ccsim serve: listening on 127.0.0.1:%d "
+                 "(%d backfill jobs; 'shutdown' or SIGINT stops)\n",
+                 server.port(), server.backfill().jobs());
+
+    std::signal(SIGINT, onInterrupt);
+    std::signal(SIGTERM, onInterrupt);
+    while (!g_interrupted && !server.shutdownRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::fprintf(stderr,
+                 "ccsim serve: draining the backfill queue...\n");
+    server.stop();
+
+    auto snap = server.metricsSnapshot();
+    std::fprintf(stderr,
+                 "ccsim serve: %llu requests (%llu cache, %llu fast, "
+                 "%llu exact), %llu points simulated, exit 0\n",
+                 static_cast<unsigned long long>(
+                     snap.counters.at("serve.requests")),
+                 static_cast<unsigned long long>(
+                     snap.counters.at("serve.tier_cache")),
+                 static_cast<unsigned long long>(
+                     snap.counters.at("serve.tier_fast")),
+                 static_cast<unsigned long long>(
+                     snap.counters.at("serve.tier_exact")),
+                 static_cast<unsigned long long>(
+                     snap.counters.at("serve.backfill_completed")));
+    return 0;
+}
+
+/** The daemon port: --port, or --port-file as written by serve. */
+int
+resolveQueryPort(const cli::Options &o)
+{
+    if (o.has("port"))
+        return static_cast<int>(o.getInt("port", 0));
+    if (o.has("port-file")) {
+        std::ifstream pf(o.get("port-file"));
+        int port = 0;
+        if (!(pf >> port))
+            fatal("cannot read a port from '%s'",
+                  o.get("port-file").c_str());
+        return port;
+    }
+    fatal("query needs --port N or --port-file FILE to find the "
+          "daemon");
+}
+
+int
+cmdQuery(int argc, char **argv)
+{
+    cli::Options o("ccsim query");
+    o.value("port", "daemon port on 127.0.0.1", "N");
+    o.value("port-file", "read the daemon port from FILE", "FILE");
+    o.value("machine", "machine preset (SP2, T3D, Paragon, Ideal)",
+            "NAME");
+    o.value("config", "machine config file (daemon-side path)",
+            "FILE");
+    addPointOpts(o);
+    o.value("tier", "auto | fast | exact (default auto)", "T");
+    o.flag("ticket", "exact tier: return a ticket instead of blocking");
+    o.value("poll", "poll a previously issued ticket", "N");
+    o.flag("metrics", "fetch the daemon's metrics snapshot");
+    o.flag("ping", "liveness probe");
+    o.flag("shutdown", "ask the daemon to drain and exit");
+    o.parse(argc, argv, 2);
+
+    serve::Request req;
+    if (o.has("shutdown")) {
+        req.verb = serve::Verb::Shutdown;
+    } else if (o.has("ping")) {
+        req.verb = serve::Verb::Ping;
+    } else if (o.has("metrics")) {
+        req.verb = serve::Verb::Metrics;
+    } else if (o.has("poll")) {
+        req.verb = serve::Verb::Poll;
+        long long t = o.getInt("poll", 0);
+        if (t < 1)
+            fatal("--poll wants a ticket number, got %lld", t);
+        req.ticket = static_cast<std::uint64_t>(t);
+    } else {
+        req.verb = serve::Verb::Predict;
+        req.machine = o.get("machine", "T3D");
+        req.config_path = o.get("config");
+        req.selection = o.get("selection");
+        req.op = resolveOp(o);
+        req.algo = resolveAlgo(o);
+        req.p = static_cast<int>(o.getInt("p", 32));
+        req.m = req.op == machine::Coll::Barrier ? 0
+                                                 : o.getInt("m", 1024);
+        req.has_m = true;
+        std::string tier = o.get("tier", "auto");
+        if (tier == "auto")
+            req.tier = serve::TierChoice::Auto;
+        else if (tier == "fast")
+            req.tier = serve::TierChoice::Fast;
+        else if (tier == "exact")
+            req.tier = serve::TierChoice::Exact;
+        else
+            fatal("--tier wants auto, fast, or exact, got '%s'",
+                  tier.c_str());
+        req.wait = o.has("ticket") ? serve::WaitMode::Ticket
+                                   : serve::WaitMode::Block;
+    }
+
+    serve::Client client;
+    client.connect(resolveQueryPort(o));
+    std::string resp = client.request(req);
+    std::printf("%s\n", resp.c_str());
+
+    // Scripted callers get the daemon-side error family as the exit
+    // code, exactly as if the failure had happened locally.
+    if (resp.rfind("{\"status\":\"error\"", 0) == 0) {
+        std::size_t at = resp.find("\"exit_code\":");
+        int code = kUserExit;
+        if (at != std::string::npos)
+            code = std::atoi(resp.c_str() + at + 12);
+        return code > 0 ? code : kUserExit;
+    }
+    return 0;
+}
+
 int
 cmdDumpConfig(int argc, char **argv)
 {
@@ -826,28 +1004,46 @@ cmdDumpConfig(int argc, char **argv)
 int
 run(int argc, char **argv)
 {
+    struct Subcommand
+    {
+        const char *name;
+        int (*entry)(int, char **);
+    };
+    static const Subcommand kCommands[] = {
+        {"machines", [](int, char **) { return cmdMachines(); }},
+        {"measure", cmdMeasure},
+        {"sweep", cmdSweep},
+        {"stats", cmdStats},
+        {"pingpong", cmdPingPong},
+        {"replay", cmdReplay},
+        {"tune", cmdTune},
+        {"serve", cmdServe},
+        {"query", cmdQuery},
+        {"dump-config", cmdDumpConfig},
+    };
+
+    std::string all;
+    std::vector<std::string> names;
+    for (const Subcommand &c : kCommands) {
+        names.push_back(c.name);
+        if (!all.empty())
+            all += ", ";
+        all += c.name;
+    }
+
     if (argc < 2)
-        fatal("usage: ccsim <machines|measure|sweep|stats|pingpong|"
-              "replay|tune|dump-config> [options]");
+        fatal("usage: ccsim <command> [options]\ncommands: %s",
+              all.c_str());
     std::string command = argv[1];
-    if (command == "machines")
-        return cmdMachines();
-    if (command == "measure")
-        return cmdMeasure(argc, argv);
-    if (command == "sweep")
-        return cmdSweep(argc, argv);
-    if (command == "stats")
-        return cmdStats(argc, argv);
-    if (command == "pingpong")
-        return cmdPingPong(argc, argv);
-    if (command == "replay")
-        return cmdReplay(argc, argv);
-    if (command == "tune")
-        return cmdTune(argc, argv);
-    if (command == "dump-config")
-        return cmdDumpConfig(argc, argv);
-    fatal("unknown command '%s' (machines, measure, sweep, stats, "
-          "pingpong, replay, tune, dump-config)", command.c_str());
+    for (const Subcommand &c : kCommands)
+        if (command == c.name)
+            return c.entry(argc, argv);
+    std::string hint = cli::closestMatch(command, names);
+    if (!hint.empty())
+        fatal("unknown command '%s' (did you mean '%s'?)\ncommands: "
+              "%s", command.c_str(), hint.c_str(), all.c_str());
+    fatal("unknown command '%s'\ncommands: %s", command.c_str(),
+          all.c_str());
 }
 
 } // namespace
