@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "net/network.hh"
 #include "util/logging.hh"
 
 namespace ccsim::fault {
@@ -97,6 +98,48 @@ FaultInjector::blackholedOnRoute(const net::RouteVec &route,
 }
 
 bool
+FaultInjector::blackholed(net::LinkId link) const
+{
+    return link >= 0 &&
+           static_cast<std::size_t>(link) < link_blackholed_.size() &&
+           link_blackholed_[static_cast<std::size_t>(link)];
+}
+
+int
+FaultInjector::fallbackVia(int src, int dst, net::Network &net)
+{
+    int nodes = net.topology().numNodes();
+    std::size_t key = static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(nodes) +
+                      static_cast<std::size_t>(dst);
+    auto it = fallback_cache_.find(key);
+    if (it != fallback_cache_.end())
+        return it->second;
+
+    ++fallbacks_computed_;
+    auto clear = [&](int a, int b) {
+        for (net::LinkId l : net.cachedRoute(a, b))
+            if (blackholed(l))
+                return false;
+        return true;
+    };
+    int via = -1;
+    // Lowest-w first: a deterministic choice that is independent of
+    // which message asked, so every retransmission of every pair
+    // detours the same way at any --jobs level.
+    for (int w = 0; w < nodes; ++w) {
+        if (w == src || w == dst)
+            continue;
+        if (clear(src, w) && clear(w, dst)) {
+            via = w;
+            break;
+        }
+    }
+    fallback_cache_.emplace(key, via);
+    return via;
+}
+
+bool
 FaultInjector::drawDrop()
 {
     if (spec_.msg_drop_rate <= 0)
@@ -147,6 +190,39 @@ FaultInjector::recordRetransmit(int src, int dst, Time when, Bytes bytes,
     ++report_.retransmits;
     recordEvent(FaultEvent::Kind::Retransmit, src, dst, -1, when, bytes,
                 attempt);
+}
+
+void
+FaultInjector::recordReroute(int src, int via, int dst, Time when,
+                             Bytes bytes)
+{
+    ++report_.degradation.reroutes;
+    report_.degradation.extra_bytes += bytes;
+    // The detour node rides in the link field (there is no faulted
+    // link to name: the reroute is the *avoidance* of one).
+    recordEvent(FaultEvent::Kind::Reroute, src, dst,
+                static_cast<net::LinkId>(via), when, bytes, 0);
+}
+
+void
+FaultInjector::recordEscalation(int src, int dst, Time when, Bytes bytes,
+                                int attempt, Time waited)
+{
+    ++report_.degradation.escalations;
+    report_.degradation.absorbed_delay += waited;
+    recordEvent(FaultEvent::Kind::Escalate, src, dst, -1, when, bytes,
+                attempt);
+}
+
+void
+FaultInjector::recordAbsorb(int src, int dst, net::LinkId link,
+                            Time when, Bytes bytes, int attempts,
+                            Time waited)
+{
+    ++report_.degradation.absorbed;
+    report_.degradation.absorbed_delay += waited;
+    recordEvent(FaultEvent::Kind::Absorb, src, dst, link, when, bytes,
+                attempts);
 }
 
 void

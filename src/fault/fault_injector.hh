@@ -27,6 +27,7 @@
 #ifndef CCSIM_FAULT_FAULT_INJECTOR_HH
 #define CCSIM_FAULT_FAULT_INJECTOR_HH
 
+#include <unordered_map>
 #include <vector>
 
 #include "fault/fault_report.hh"
@@ -34,6 +35,10 @@
 #include "net/topology.hh"
 #include "util/random.hh"
 #include "util/units.hh"
+
+namespace ccsim::net {
+class Network;
+}
 
 namespace ccsim::fault {
 
@@ -74,6 +79,24 @@ class FaultInjector
     int degradedLinks() const { return degraded_count_; }
     int blackholedLinks() const { return blackholed_count_; }
 
+    /** Static black-hole assignment of @p link (window ignored). */
+    bool blackholed(net::LinkId link) const;
+
+    /**
+     * The cached fallback intermediate for (src, dst) under the
+     * `degrade` policy: the lowest-numbered node w (w != src, dst)
+     * whose two routes src -> w and w -> dst avoid every black-holed
+     * link, or -1 when no such detour exists (src or dst is cut off).
+     * The search enumerates routes through @p net's route cache; the
+     * answer is computed once per pair and memoised for the
+     * machine's lifetime (black-hole assignment is static).
+     */
+    int fallbackVia(int src, int dst, net::Network &net);
+
+    /** Distinct (src, dst) fallback searches performed (cache
+     *  misses of the fallback memo). */
+    std::uint64_t fallbacksComputed() const { return fallbacks_computed_; }
+
     // ---- dynamic message faults ----------------------------------------
 
     /** Bernoulli drop draw for one wire message. */
@@ -89,6 +112,22 @@ class FaultInjector
     void recordDelay(int src, int dst, Time when, Bytes bytes);
     void recordRetransmit(int src, int dst, Time when, Bytes bytes,
                           int attempt);
+
+    /** Record a delivery detoured around a black-holed link; the
+     *  extra bytes are the second leg's payload (the price of
+     *  store-and-forward at @p via). */
+    void recordReroute(int src, int via, int dst, Time when,
+                       Bytes bytes);
+
+    /** Record a retry round beyond the base budget and the wait it
+     *  absorbed. */
+    void recordEscalation(int src, int dst, Time when, Bytes bytes,
+                          int attempt, Time waited);
+
+    /** Record an out-of-band backstop delivery (degrade policy only)
+     *  and the final wait it absorbed. */
+    void recordAbsorb(int src, int dst, net::LinkId link, Time when,
+                      Bytes bytes, int attempts, Time waited);
 
     /** Record exhaustion and throw FaultError. */
     [[noreturn]] void failExhausted(int src, int dst, net::LinkId link,
@@ -115,6 +154,11 @@ class FaultInjector
 
     Rng msg_rng_; //!< dynamic drop/delay stream
     FaultReport report_;
+
+    /** Memoised fallback intermediates, keyed src * nodes + dst;
+     *  -1 = no detour exists, absent = not yet searched. */
+    std::unordered_map<std::size_t, int> fallback_cache_;
+    std::uint64_t fallbacks_computed_ = 0;
 };
 
 } // namespace ccsim::fault

@@ -18,6 +18,12 @@ kindName(FaultEvent::Kind k)
         return "resend";
       case FaultEvent::Kind::Exhausted:
         return "exhausted";
+      case FaultEvent::Kind::Reroute:
+        return "reroute";
+      case FaultEvent::Kind::Escalate:
+        return "escalate";
+      case FaultEvent::Kind::Absorb:
+        return "absorb";
       default:
         return "?";
     }
@@ -38,6 +44,21 @@ FaultEvent::str() const
 }
 
 std::string
+DegradationReport::str() const
+{
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "degradation: %llu rerouted (+%s), %llu escalated, "
+                  "%llu absorbed, %s delay absorbed",
+                  static_cast<unsigned long long>(reroutes),
+                  formatBytes(extra_bytes).c_str(),
+                  static_cast<unsigned long long>(escalations),
+                  static_cast<unsigned long long>(absorbed),
+                  formatTime(absorbed_delay).c_str());
+    return buf;
+}
+
+std::string
 FaultReport::str() const
 {
     char head[160];
@@ -49,6 +70,10 @@ FaultReport::str() const
                   static_cast<unsigned long long>(delays),
                   static_cast<unsigned long long>(exhausted));
     std::string out = head;
+    if (degradation.any()) {
+        out += "\n  ";
+        out += degradation.str();
+    }
     for (const FaultEvent &e : events) {
         out += "\n  ";
         out += e.str();

@@ -33,6 +33,9 @@ struct FaultEvent
         Delay,      //!< a delivered message was delayed
         Retransmit, //!< the sender retransmitted after a timeout
         Exhausted,  //!< the retry budget ran out (run failed)
+        Reroute,    //!< delivery detoured around a black-holed link
+        Escalate,   //!< a retry round beyond the base budget
+        Absorb,     //!< undeliverable message delivered out-of-band
     };
 
     Kind kind = Kind::Drop;
@@ -48,6 +51,37 @@ struct FaultEvent
     std::string str() const;
 };
 
+/**
+ * What graceful recovery cost a run — the price paid, under the
+ * retry_escalate / degrade policies, for completing instead of
+ * throwing FaultError.  The action counters are all zero under
+ * fail_fast; makespan_inflation is filled by the harness whenever
+ * faults are enabled and a clean baseline is available.
+ */
+struct DegradationReport
+{
+    std::uint64_t reroutes = 0;    //!< deliveries via fallback detours
+    Bytes extra_bytes = 0;         //!< extra wire bytes those cost
+    std::uint64_t escalations = 0; //!< retry rounds beyond the budget
+    Time absorbed_delay = 0;       //!< simulated time spent in
+                                   //!< escalated waits and absorptions
+    std::uint64_t absorbed = 0;    //!< out-of-band backstop deliveries
+
+    /** Faulty-vs-clean makespan ratio minus one; filled by
+     *  harness::measureCollective (which can afford the memoized
+     *  clean twin), 0 where no baseline exists (replay). */
+    double makespan_inflation = 0.0;
+
+    bool
+    any() const
+    {
+        return reroutes || escalations || absorbed;
+    }
+
+    /** One-line human-readable summary. */
+    std::string str() const;
+};
+
 /** Aggregated outcome of fault injection over one run. */
 struct FaultReport
 {
@@ -55,6 +89,9 @@ struct FaultReport
     std::uint64_t delays = 0;      //!< deliveries delayed
     std::uint64_t retransmits = 0; //!< timeout-driven resends
     std::uint64_t exhausted = 0;   //!< messages that ran out of retries
+
+    /** What recovery cost, when a non-fail-fast policy is active. */
+    DegradationReport degradation;
 
     /** First events in occurrence order, capped at kMaxEvents. */
     std::vector<FaultEvent> events;

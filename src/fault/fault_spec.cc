@@ -1,10 +1,46 @@
 #include "fault/fault_spec.hh"
 
 #include <stdexcept>
+#include <vector>
 
+#include "util/cli.hh"
 #include "util/logging.hh"
 
 namespace ccsim::fault {
+
+const char *
+policyName(RecoveryPolicy p)
+{
+    switch (p) {
+      case RecoveryPolicy::FailFast:
+        return "fail_fast";
+      case RecoveryPolicy::RetryEscalate:
+        return "retry_escalate";
+      case RecoveryPolicy::Degrade:
+        return "degrade";
+    }
+    return "?";
+}
+
+RecoveryPolicy
+policyFromName(const std::string &name)
+{
+    if (name == "fail_fast")
+        return RecoveryPolicy::FailFast;
+    if (name == "retry_escalate")
+        return RecoveryPolicy::RetryEscalate;
+    if (name == "degrade")
+        return RecoveryPolicy::Degrade;
+    std::string hint = cli::closestMatch(
+        name, {"fail_fast", "retry_escalate", "degrade"});
+    if (!hint.empty())
+        fatal("--faults: unknown policy '%s' (did you mean '%s'? "
+              "valid: fail_fast, retry_escalate, degrade)",
+              name.c_str(), hint.c_str());
+    fatal("--faults: unknown policy '%s' (valid: fail_fast, "
+          "retry_escalate, degrade)",
+          name.c_str());
+}
 
 bool
 FaultSpec::enabled() const
@@ -52,6 +88,8 @@ FaultSpec::validate() const
               "is possible");
     if (retry_backoff < 1)
         fatal("FaultSpec: retry backoff %g < 1", retry_backoff);
+    if (escalation_budget < 0)
+        fatal("FaultSpec: negative escalation budget");
 }
 
 std::uint64_t
@@ -152,8 +190,34 @@ parseFaultSpec(const std::string &text)
                 microseconds(parseDoubleArg(key, value));
         else if (key == "backoff")
             spec.retry_backoff = parseDoubleArg(key, value);
-        else
-            fatal("--faults: unknown key '%s'", key.c_str());
+        else if (key == "policy")
+            spec.policy = policyFromName(value);
+        else if (key == "escalations")
+            spec.escalation_budget =
+                static_cast<int>(parseIntArg(key, value));
+        else {
+            static const std::vector<std::string> kKeys = {
+                "seed",          "degrade",   "degrade_factor",
+                "blackhole",     "straggler", "straggler_factor",
+                "drop",          "delay",     "delay_us",
+                "window_start_us", "window_us", "retries",
+                "timeout_us",    "backoff",   "policy",
+                "escalations",
+            };
+            std::string keys;
+            for (const std::string &k : kKeys) {
+                if (!keys.empty())
+                    keys += ", ";
+                keys += k;
+            }
+            std::string hint = cli::closestMatch(key, kKeys);
+            if (!hint.empty())
+                fatal("--faults: unknown key '%s' (did you mean "
+                      "'%s'? valid keys: %s)",
+                      key.c_str(), hint.c_str(), keys.c_str());
+            fatal("--faults: unknown key '%s' (valid keys: %s)",
+                  key.c_str(), keys.c_str());
+        }
     }
     spec.validate();
     return spec;

@@ -26,9 +26,21 @@
  * When loss is possible (drops or black holes), the transport
  * switches to an acknowledged protocol: every wire payload waits for
  * a zero-byte ack, retransmitting on timeout with exponential
- * backoff, and raising fault::FaultError (carrying a FaultReport
- * naming the link/node and what was in flight) once the retry budget
- * is exhausted.
+ * backoff.  What happens when the base retry budget is exhausted is
+ * governed by the RecoveryPolicy:
+ *
+ *  - fail_fast (default): raise fault::FaultError (carrying a
+ *    FaultReport naming the link/node and what was in flight);
+ *  - retry_escalate: keep retransmitting with further-escalating
+ *    backoff for `escalation_budget` extra rounds, recording the
+ *    absorbed delay, and throw only once those too are exhausted;
+ *  - degrade: never throw.  A message whose route crosses a
+ *    black-holed link is rerouted via a cached fallback intermediate
+ *    node whose two-leg detour avoids every black-holed link; losses
+ *    without a usable detour escalate like retry_escalate, and a
+ *    message that still cannot be delivered is absorbed — delivered
+ *    out-of-band after one final escalated timeout.  Every recovery
+ *    action is tallied in the run's DegradationReport.
  */
 
 #ifndef CCSIM_FAULT_FAULT_SPEC_HH
@@ -40,6 +52,22 @@
 #include "util/units.hh"
 
 namespace ccsim::fault {
+
+/**
+ * What the transport does when a message exhausts its base retry
+ * budget (see the file comment for the full semantics).
+ */
+enum class RecoveryPolicy {
+    FailFast,      //!< throw FaultError immediately (the 1997 answer)
+    RetryEscalate, //!< escalate backoff for extra rounds, then throw
+    Degrade,       //!< reroute / escalate / absorb — never throw
+};
+
+/** Canonical lower-snake name of a policy ("fail_fast", ...). */
+const char *policyName(RecoveryPolicy p);
+
+/** Inverse of policyName(); fatal() on unknown names. */
+RecoveryPolicy policyFromName(const std::string &name);
 
 /** Complete description of one fault-injection scenario. */
 struct FaultSpec
@@ -96,6 +124,16 @@ struct FaultSpec
     /** Timeout multiplier (>= 1) per successive retransmission. */
     double retry_backoff = 2.0;
 
+    // ---- recovery ------------------------------------------------------
+
+    /** What happens once the base retry budget is exhausted. */
+    RecoveryPolicy policy = RecoveryPolicy::FailFast;
+
+    /** Extra retransmission rounds granted beyond retry_budget under
+     *  retry_escalate / degrade; each round keeps compounding the
+     *  exponential backoff and is tallied as an escalation. */
+    int escalation_budget = 8;
+
     /** True when any fault family is active. */
     bool enabled() const;
 
@@ -122,8 +160,10 @@ std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t salt);
  *
  * Keys: seed, degrade, degrade_factor, blackhole, straggler,
  * straggler_factor, drop, delay, delay_us, window_start_us,
- * window_us, retries, timeout_us, backoff.  fatal() on unknown keys
- * or malformed values; the result is validate()d.
+ * window_us, retries, timeout_us, backoff, policy (fail_fast |
+ * retry_escalate | degrade), escalations.  fatal() on unknown keys
+ * or malformed values (listing the valid keys, with a did-you-mean
+ * suggestion); the result is validate()d.
  */
 FaultSpec parseFaultSpec(const std::string &text);
 

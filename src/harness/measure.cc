@@ -218,26 +218,17 @@ runCollectiveOnce(mpi::Comm &comm, Coll op, Bytes m, Algo algo)
     }
 }
 
+namespace {
+
+/**
+ * One simulation of one point — the whole pre-ensemble
+ * measureCollective, memo cache included.  @p algo must already be
+ * resolved (never Auto).
+ */
 Measurement
-measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
-                  Bytes m, Algo algo, const MeasureOptions &opt)
+measureOnePoint(const machine::MachineConfig &cfg, int p, Coll op,
+                Bytes m, Algo algo, const MeasureOptions &opt)
 {
-    if (opt.iterations < 1 || opt.repetitions < 1 || opt.warmup < 0)
-        fatal("measureCollective: bad options (k=%d reps=%d warmup=%d)",
-              opt.iterations, opt.repetitions, opt.warmup);
-    if (opt.max_skew < 0)
-        fatal("measureCollective: negative clock skew bound");
-
-    // Resolve Algo::Auto up front, before the memo key is formed:
-    // cfg.selection is deliberately NOT part of the key (it only
-    // influences a run through this resolution), so an unresolved
-    // Auto would alias across different tables.  Resolving here also
-    // makes an Auto point share its cache entry — and produce a
-    // byte-identical Measurement, resolved algo included — with the
-    // same point measured under the explicit algorithm.
-    if (algo == Algo::Auto)
-        algo = tuning::resolveAlgo(cfg, op, p, m, algo);
-
     const bool memo = memoEligible(cfg, opt);
     std::string key;
     if (memo) {
@@ -337,6 +328,7 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
         out.fault_drops = fr.drops;
         out.fault_retransmits = fr.retransmits;
         out.fault_delays = fr.delays;
+        out.degradation = fr.degradation;
     }
     out.metrics = mach.metricsSnapshot(); // empty when metrics are off
 
@@ -353,6 +345,138 @@ measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
         ++c.stats.bypassed;
     }
     return out;
+}
+
+/**
+ * Makespan of the clean twin of a faulty point: same machine with
+ * the fault spec stripped, same procedure.  Rides the memo cache, so
+ * across a sweep each distinct twin is simulated once.
+ */
+Time
+cleanTwinMakespan(const machine::MachineConfig &cfg, int p, Coll op,
+                  Bytes m, Algo algo, const MeasureOptions &opt)
+{
+    machine::MachineConfig clean = cfg;
+    clean.fault = fault::FaultSpec{};
+    clean.collect_metrics = false;
+    MeasureOptions copt = opt;
+    copt.metrics = false;
+    copt.ensemble = 1;
+    return measureOnePoint(clean, p, op, m, algo, copt).max_time;
+}
+
+} // namespace
+
+Measurement
+measureCollective(const machine::MachineConfig &cfg, int p, Coll op,
+                  Bytes m, Algo algo, const MeasureOptions &opt)
+{
+    if (opt.iterations < 1 || opt.repetitions < 1 || opt.warmup < 0)
+        fatal("measureCollective: bad options (k=%d reps=%d warmup=%d)",
+              opt.iterations, opt.repetitions, opt.warmup);
+    if (opt.max_skew < 0)
+        fatal("measureCollective: negative clock skew bound");
+    if (opt.ensemble < 1)
+        fatal("measureCollective: ensemble must be >= 1, got %d",
+              opt.ensemble);
+
+    // Resolve Algo::Auto up front, before the memo key is formed:
+    // cfg.selection is deliberately NOT part of the key (it only
+    // influences a run through this resolution), so an unresolved
+    // Auto would alias across different tables.  Resolving here also
+    // makes an Auto point share its cache entry — and produce a
+    // byte-identical Measurement, resolved algo included — with the
+    // same point measured under the explicit algorithm.
+    if (algo == Algo::Auto)
+        algo = tuning::resolveAlgo(cfg, op, p, m, algo);
+
+    if (!cfg.fault.enabled() || opt.ensemble == 1) {
+        Measurement out = measureOnePoint(cfg, p, op, m, algo, opt);
+        if (cfg.fault.enabled()) {
+            Time clean = cleanTwinMakespan(cfg, p, op, m, algo, opt);
+            if (clean > 0)
+                out.degradation.makespan_inflation =
+                    static_cast<double>(out.max_time) /
+                        static_cast<double>(clean) -
+                    1.0;
+        }
+        return out;
+    }
+
+    // Fault-ensemble mode: the same point under opt.ensemble derived
+    // fault universes, sequentially (the sweep point remains the
+    // unit of parallelism, so --jobs N stays byte-identical).
+    MeasureOptions mopt = opt;
+    mopt.ensemble = 1;
+    std::vector<Time> makespans;
+    makespans.reserve(static_cast<std::size_t>(opt.ensemble));
+    double min_sum = 0, mean_sum = 0;
+    Measurement agg;
+    std::exception_ptr last_failure;
+    for (int k = 0; k < opt.ensemble; ++k) {
+        machine::MachineConfig mcfg = cfg;
+        mcfg.fault.seed =
+            fault::mixSeed(cfg.fault.seed,
+                           0x656e73656d626cULL + // "ensembl"
+                               static_cast<std::uint64_t>(k));
+        try {
+            Measurement one =
+                measureOnePoint(mcfg, p, op, m, algo, mopt);
+            makespans.push_back(one.max_time);
+            min_sum += static_cast<double>(one.min_time);
+            mean_sum += static_cast<double>(one.mean_time);
+            agg.fault_drops += one.fault_drops;
+            agg.fault_retransmits += one.fault_retransmits;
+            agg.fault_delays += one.fault_delays;
+            agg.degradation.reroutes += one.degradation.reroutes;
+            agg.degradation.extra_bytes += one.degradation.extra_bytes;
+            agg.degradation.escalations += one.degradation.escalations;
+            agg.degradation.absorbed_delay +=
+                one.degradation.absorbed_delay;
+            agg.degradation.absorbed += one.degradation.absorbed;
+            if ((opt.metrics || cfg.collect_metrics) &&
+                !one.metrics.empty()) {
+                if (agg.metrics.empty())
+                    agg.metrics = std::move(one.metrics);
+                else
+                    agg.metrics.merge(one.metrics);
+            }
+        } catch (const fault::FaultError &) {
+            ++agg.ensemble_failures;
+            last_failure = std::current_exception();
+        }
+    }
+    agg.machine = cfg.name;
+    agg.op = op;
+    agg.algo = algo;
+    agg.m = m;
+    agg.p = p;
+    agg.ensemble_runs = opt.ensemble;
+    if (makespans.empty()) {
+        // Every universe killed the point; under fail_fast that IS
+        // the result — surface it as the last member's FaultError.
+        std::rethrow_exception(last_failure);
+    }
+    const double n = static_cast<double>(makespans.size());
+    double max_sum = 0;
+    for (Time t : makespans)
+        max_sum += static_cast<double>(t);
+    agg.max_time = static_cast<Time>(max_sum / n);
+    agg.min_time = static_cast<Time>(min_sum / n);
+    agg.mean_time = static_cast<Time>(mean_sum / n);
+    std::sort(makespans.begin(), makespans.end());
+    std::size_t idx =
+        (makespans.size() * 95 + 99) / 100; // ceil(0.95 n)
+    if (idx > 0)
+        --idx;
+    agg.p95_time = makespans[idx];
+    Time clean = cleanTwinMakespan(cfg, p, op, m, algo, opt);
+    if (clean > 0)
+        agg.degradation.makespan_inflation =
+            static_cast<double>(agg.max_time) /
+                static_cast<double>(clean) -
+            1.0;
+    return agg;
 }
 
 Measurement

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_report.hh"
 #include "machine/machine.hh"
 #include "model/predictor.hh"
 #include "mpi/comm.hh"
@@ -69,6 +70,22 @@ struct MeasureOptions
      */
     bool memoize = true;
 
+    /**
+     * Fault-ensemble mode: when > 1 and the config's FaultSpec is
+     * enabled, the point is simulated this many times under derived
+     * fault seeds (mixSeed of the spec seed and the member index)
+     * and the Measurement reports ensemble statistics — mean and p95
+     * makespan, summed fault/degradation counters, and the failure
+     * fraction (members that raised FaultError under fail_fast /
+     * retry_escalate).  A faulty point is a random variable; the
+     * ensemble is what makes it a well-defined statistic the tuner
+     * can rank algorithms by.  Ignored when faults are off.  Members
+     * run sequentially inside the point (the sweep point stays the
+     * unit of parallelism), so results are byte-identical at any
+     * --jobs level.
+     */
+    int ensemble = 1;
+
     /** The paper's full procedure: k = 20, 5 reps, 2 warm-up runs. */
     static MeasureOptions
     paperFaithful()
@@ -98,10 +115,33 @@ struct Measurement
     Time mean_time = 0; //!< mean over ranks, averaged over reps
 
     /** Fault-layer activity over the whole run (all zero when the
-     *  machine's FaultSpec is disabled). */
+     *  machine's FaultSpec is disabled; summed over members in
+     *  ensemble mode). */
     std::uint64_t fault_drops = 0;       //!< messages lost in flight
     std::uint64_t fault_retransmits = 0; //!< retries issued
     std::uint64_t fault_delays = 0;      //!< messages delayed in flight
+
+    /** What graceful recovery cost (zeros under fail_fast; summed
+     *  over members in ensemble mode).  makespan_inflation compares
+     *  against the memoized clean twin of the same point. */
+    fault::DegradationReport degradation;
+
+    /** Ensemble statistics (MeasureOptions::ensemble > 1 with faults
+     *  enabled): members attempted, members that raised FaultError,
+     *  and the p95 of the per-member makespans.  ensemble_runs == 0
+     *  marks a plain single-run measurement. */
+    int ensemble_runs = 0;
+    int ensemble_failures = 0;
+    Time p95_time = 0;
+
+    /** Failed members / attempted members (0.0 for plain runs). */
+    double
+    failureFraction() const
+    {
+        return ensemble_runs > 0 ? static_cast<double>(ensemble_failures) /
+                                       static_cast<double>(ensemble_runs)
+                                 : 0.0;
+    }
 
     /** Full observability snapshot of the run; empty() unless
      *  MeasureOptions::metrics (or cfg.collect_metrics) was set. */

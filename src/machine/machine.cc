@@ -130,6 +130,18 @@ Machine::metricsSnapshot()
     snap.counters["fault.delays"] = fr.delays;
     snap.counters["fault.retransmits"] = fr.retransmits;
     snap.counters["fault.exhausted"] = fr.exhausted;
+    if (fr.degradation.any() || (fault_ && fault_->spec().policy !=
+                                 fault::RecoveryPolicy::FailFast)) {
+        snap.counters["fault.reroutes"] = fr.degradation.reroutes;
+        snap.counters["fault.reroute_extra_bytes"] =
+            static_cast<std::uint64_t>(fr.degradation.extra_bytes);
+        snap.counters["fault.escalations"] = fr.degradation.escalations;
+        snap.counters["fault.absorbed"] = fr.degradation.absorbed;
+        snap.counters["fault.fallback_routes"] =
+            fault_ ? fault_->fallbacksComputed() : 0;
+        snap.gauges["fault.absorbed_delay_us"] =
+            toMicros(fr.degradation.absorbed_delay);
+    }
 
     if (const net::Network::LinkCounters *lc = network_->counters()) {
         snap.counters["net.stalled_transfers"] = lc->stalled_transfers;

@@ -88,16 +88,39 @@ Transport::reliableDeliver(int dst, Bytes bytes, Time when,
                            sim::DeliverFn deliver)
 {
     const fault::FaultSpec &spec = fi_->spec();
+    const fault::RecoveryPolicy policy = spec.policy;
+    // fail_fast stops at the base budget; the recovering policies
+    // are granted escalation_budget further rounds before giving up
+    // (retry_escalate) or absorbing (degrade).
+    const int max_attempts =
+        policy == fault::RecoveryPolicy::FailFast
+            ? spec.retry_budget
+            : spec.retry_budget + spec.escalation_budget;
     Time timeout = spec.retry_timeout;
     for (int attempt = 0;; ++attempt) {
         Time xmit = std::max(when, sim_.now());
         net::LinkId hole =
             fi_->blackholedOnRoute(net_.cachedRoute(node_, dst), xmit);
-        bool lost = hole >= 0 || fi_->drawDrop();
 
-        // The worm occupies the route either way; a lost message
-        // held the wires up to the failure point.
-        Time arrival = injectAt(dst, bytes, xmit);
+        // degrade: the first copy probes the direct route; once a
+        // black hole has eaten it, retransmissions detour via the
+        // cached fallback node (when one exists).
+        int via = -1;
+        if (hole >= 0 && attempt > 0 &&
+            policy == fault::RecoveryPolicy::Degrade)
+            via = fi_->fallbackVia(node_, dst, net_);
+
+        bool lost;
+        Time arrival;
+        if (via >= 0) {
+            lost = fi_->drawDrop(); // the detour is still lossy
+            arrival = net_.transferVia(node_, via, dst, bytes, xmit);
+        } else {
+            lost = hole >= 0 || fi_->drawDrop();
+            // The worm occupies the route either way; a lost message
+            // held the wires up to the failure point.
+            arrival = injectAt(dst, bytes, xmit);
+        }
 
         if (!lost) {
             Time penalty = fi_->drawDelayPenalty();
@@ -105,24 +128,49 @@ Transport::reliableDeliver(int dst, Bytes bytes, Time when,
                 fi_->recordDelay(node_, dst, xmit, bytes);
                 arrival += penalty;
             }
+            if (via >= 0)
+                fi_->recordReroute(node_, via, dst, xmit, bytes);
             deliver(arrival);
             // Zero-byte ack on the reverse route; the protocol
-            // engine is done when it lands.
-            Time acked = net_.transfer(dst, node_, 0, arrival);
+            // engine is done when it lands.  A detoured delivery
+            // acks over the same detour (the direct reverse route
+            // would cross the hole's neighbourhood again).
+            Time acked =
+                via >= 0
+                    ? net_.transferVia(dst, via, node_, 0, arrival)
+                    : net_.transfer(dst, node_, 0, arrival);
             if (acked > sim_.now())
                 co_await sim_.delay(acked - sim_.now());
             co_return;
         }
 
-        fi_->recordDrop(node_, dst, hole, xmit, bytes, attempt);
-        if (attempt >= spec.retry_budget)
+        fi_->recordDrop(node_, dst, via >= 0 ? -1 : hole, xmit, bytes,
+                        attempt);
+        if (attempt >= max_attempts) {
+            if (policy == fault::RecoveryPolicy::Degrade) {
+                // The backstop: degrade never fails a run.  A message
+                // that can be neither delivered nor detoured is
+                // absorbed — handed over out-of-band after one final
+                // escalated timeout, at full price in the report.
+                Time done = xmit + timeout;
+                fi_->recordAbsorb(node_, dst, hole, xmit, bytes,
+                                  attempt + 1, timeout);
+                deliver(done);
+                if (done > sim_.now())
+                    co_await sim_.delay(done - sim_.now());
+                co_return;
+            }
             fi_->failExhausted(node_, dst, hole, xmit, bytes,
                                attempt + 1);
+        }
 
         // Ack-timeout expiry, then exponential backoff.
         Time resend_at = xmit + timeout;
         if (resend_at > sim_.now())
             co_await sim_.delay(resend_at - sim_.now());
+        if (attempt >= spec.retry_budget)
+            fi_->recordEscalation(node_, dst, sim_.now(), bytes,
+                                  attempt + 1, timeout);
         timeout = scaleTime(timeout, spec.retry_backoff);
         fi_->recordRetransmit(node_, dst, sim_.now(), bytes,
                               attempt + 1);

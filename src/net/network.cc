@@ -119,6 +119,16 @@ Network::transfer(int src, int dst, Bytes bytes, Time now)
     return start + hops_delay + ser;
 }
 
+Time
+Network::transferVia(int src, int via, int dst, Bytes bytes, Time now)
+{
+    if (via == src || via == dst)
+        panic("Network::transferVia: intermediate %d must differ from "
+              "endpoints %d -> %d", via, src, dst);
+    Time relay = transfer(src, via, bytes, now);
+    return transfer(via, dst, bytes, relay);
+}
+
 Network::Utilization
 Network::utilization(Time horizon) const
 {

@@ -75,6 +75,17 @@ class Network
      */
     Time transfer(int src, int dst, Bytes bytes, Time now);
 
+    /**
+     * Two-leg detour: move @p bytes src -> via -> dst as two chained
+     * transfers (the second starts when the first fully arrives —
+     * store-and-forward at @p via, deliberately pessimistic).  Used
+     * by the fault layer's `degrade` recovery to route around a
+     * black-holed link; the paid price is exactly the two legs'
+     * serialisation, contention, and hop latency.  @p via must
+     * differ from both endpoints.
+     */
+    Time transferVia(int src, int via, int dst, Bytes bytes, Time now);
+
     const Topology &topology() const { return *topo_; }
     const NetworkParams &params() const { return params_; }
 

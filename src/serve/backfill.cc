@@ -1,5 +1,7 @@
 #include "serve/backfill.hh"
 
+#include <chrono>
+
 #include "serve/protocol.hh" // ServeError
 #include "util/error.hh"
 
@@ -42,12 +44,47 @@ BackfillQueue::submit(const BackfillJob &job)
     return ticket;
 }
 
+bool
+BackfillQueue::trySubmit(const BackfillJob &job,
+                         std::uint64_t &ticket)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = live_keys_.find(job.key);
+    if (it != live_keys_.end()) {
+        // Coalescing adds a ticket to an existing job — no queue
+        // growth, so the bound never sheds these.
+        ticket = next_ticket_++;
+        ++submitted_;
+        ++coalesced_;
+        open_tickets_.insert(ticket);
+        it->second->tickets.push_back(ticket);
+        return true;
+    }
+    if (stopping_ ||
+        (max_pending_ > 0 && pending_.size() >= max_pending_)) {
+        ++shed_;
+        return false;
+    }
+    ticket = next_ticket_++;
+    ++submitted_;
+    open_tickets_.insert(ticket);
+    auto j = std::make_shared<Job>();
+    j->spec = job;
+    j->tickets.push_back(ticket);
+    live_keys_.emplace(job.key, j);
+    pending_.push_back(std::move(j));
+    work_cv_.notify_one();
+    return true;
+}
+
 void
 BackfillQueue::prefetch(const BackfillJob &job)
 {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ || live_keys_.count(job.key))
         return;
+    if (max_pending_ > 0 && pending_.size() >= max_pending_)
+        return; // opportunistic work never displaces the bound
     auto j = std::make_shared<Job>();
     j->spec = job; // no tickets: completion publishes only the cache
     live_keys_.emplace(job.key, j);
@@ -64,6 +101,27 @@ BackfillQueue::wait(std::uint64_t ticket)
     BackfillResult r = results_[ticket];
     results_.erase(ticket);
     return r;
+}
+
+std::optional<BackfillResult>
+BackfillQueue::waitFor(std::uint64_t ticket, int timeout_ms)
+{
+    if (timeout_ms <= 0)
+        return wait(ticket);
+    std::unique_lock<std::mutex> lock(mu_);
+    bool landed = done_cv_.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms),
+        [&] { return results_.count(ticket) != 0; });
+    if (landed) {
+        BackfillResult r = results_[ticket];
+        results_.erase(ticket);
+        return r;
+    }
+    // Deadline missed: abandon the ticket.  The simulation still
+    // completes (and still feeds the cache); publish drops the
+    // per-ticket result instead of retaining it forever.
+    abandoned_.insert(ticket);
+    return std::nullopt;
 }
 
 BackfillResult
@@ -87,6 +145,27 @@ BackfillQueue::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return pending_.size();
+}
+
+void
+BackfillQueue::setMaxPending(std::size_t max)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    max_pending_ = max;
+}
+
+std::size_t
+BackfillQueue::maxPending() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_pending_;
+}
+
+std::uint64_t
+BackfillQueue::shed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return shed_;
 }
 
 std::uint64_t
@@ -210,8 +289,10 @@ BackfillQueue::runBatch(std::vector<std::shared_ptr<Job>> batch)
             else
                 ++completed_;
             for (std::uint64_t t : batch[i]->tickets) {
-                results_[t] = results[i];
                 open_tickets_.erase(t);
+                if (abandoned_.erase(t))
+                    continue; // waiter timed out: drop, don't retain
+                results_[t] = results[i];
             }
             live_keys_.erase(batch[i]->spec.key);
         }

@@ -25,6 +25,16 @@
  * stop() drains: no new submissions are accepted, every already
  * accepted point still simulates, then the collector exits — the
  * SIGINT contract of `ccsim serve`.
+ *
+ * Overload hardening (DESIGN.md §4.14): setMaxPending(n) bounds the
+ * number of jobs waiting for the collector.  trySubmit() refuses
+ * (sheds) instead of growing the queue past the bound — the server
+ * answers such requests from the approximate fast path with a `shed`
+ * flag on the wire — while coalescing submissions are always accepted
+ * (they add a ticket, not a job).  waitFor() bounds how long a
+ * blocking client waits: on timeout the ticket is abandoned, and the
+ * eventual result is dropped at publish time instead of accumulating
+ * in the results map forever.
  */
 
 #ifndef CCSIM_SERVE_BACKFILL_HH
@@ -36,6 +46,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -96,6 +107,16 @@ class BackfillQueue
     std::uint64_t submit(const BackfillJob &job);
 
     /**
+     * Bounded submit: like submit(), but when the queue is draining
+     * or already holds maxPending() uncollected jobs AND @p job's key
+     * is not already live (a coalescing submission never grows the
+     * queue), refuse — return false, bump the shed counter, and leave
+     * @p ticket untouched.  The server's load-shedding entry point:
+     * a false return means "answer from the fast path, flag shed".
+     */
+    bool trySubmit(const BackfillJob &job, std::uint64_t &ticket);
+
+    /**
      * Fire-and-forget submit: no ticket, the only observable outcome
      * is the QueryCache entry.  The auto tier's "answer fast now,
      * upgrade the cache in the background" path.  Quietly a no-op
@@ -108,6 +129,17 @@ class BackfillQueue
     BackfillResult wait(std::uint64_t ticket);
 
     /**
+     * wait() with a deadline: the result if it lands within
+     * @p timeout_ms, else nullopt — and the ticket is ABANDONED: its
+     * simulation still runs (and still feeds the cache), but the
+     * per-ticket result is discarded at publish time rather than
+     * retained for a waiter that gave up.  timeout_ms <= 0 blocks
+     * like wait().
+     */
+    std::optional<BackfillResult> waitFor(std::uint64_t ticket,
+                                          int timeout_ms);
+
+    /**
      * Non-blocking: done (consuming the ticket), or done = false for
      * a ticket still pending/in flight.  FatalError("serve") for a
      * ticket never issued or already consumed.
@@ -117,12 +149,20 @@ class BackfillQueue
     /** Points waiting for the collector (not yet simulating). */
     std::size_t queueDepth() const;
 
+    /** Cap the uncollected-job count (0 = unbounded).  Affects
+     *  trySubmit() and prefetch() only; submit() is the unbounded
+     *  legacy path. */
+    void setMaxPending(std::size_t max);
+
+    std::size_t maxPending() const;
+
     /** Monotonic totals for /metrics. */
     std::uint64_t submitted() const;  //!< tickets issued
     std::uint64_t coalesced() const;  //!< tickets that joined a job
     std::uint64_t completed() const;  //!< points simulated ok
     std::uint64_t failed() const;     //!< points that threw
     std::uint64_t batches() const;    //!< collector batches run
+    std::uint64_t shed() const;       //!< trySubmits refused at bound
 
     /** Resolved worker-pool width. */
     int jobs() const;
@@ -152,9 +192,11 @@ class BackfillQueue
     std::deque<std::shared_ptr<Job>> pending_;
     std::unordered_map<std::string, std::shared_ptr<Job>> live_keys_;
     std::unordered_set<std::uint64_t> open_tickets_;
+    std::unordered_set<std::uint64_t> abandoned_; //!< waitFor timeouts
     std::map<std::uint64_t, BackfillResult> results_;
     std::uint64_t next_ticket_ = 1;
     std::size_t inflight_ = 0; //!< points in the running batch
+    std::size_t max_pending_ = 0; //!< 0 = unbounded
     bool stopping_ = false;
 
     std::uint64_t submitted_ = 0;
@@ -162,6 +204,7 @@ class BackfillQueue
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
     std::uint64_t batches_ = 0;
+    std::uint64_t shed_ = 0;
 
     std::thread collector_;
 };

@@ -1,6 +1,30 @@
 #include "serve/cache.hh"
 
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "machine/config_io.hh"
+#include "serve/protocol.hh" // ServeError
+#include "util/logging.hh"
+
 namespace ccsim::serve {
+
+void
+QueryCache::touch(Entry &e)
+{
+    lru_.splice(lru_.begin(), lru_, e.lru);
+}
+
+void
+QueryCache::evictOverflow()
+{
+    while (max_entries_ > 0 && map_.size() > max_entries_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
 
 bool
 QueryCache::lookup(const std::string &key, harness::Measurement &out)
@@ -12,7 +36,8 @@ QueryCache::lookup(const std::string &key, harness::Measurement &out)
         return false;
     }
     ++stats_.hits;
-    out = it->second;
+    touch(it->second);
+    out = it->second.meas;
     return true;
 }
 
@@ -21,7 +46,15 @@ QueryCache::insert(const std::string &key,
                    const harness::Measurement &meas)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    map_[key] = meas;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second.meas = meas;
+        touch(it->second);
+        return;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{meas, lru_.begin()});
+    evictOverflow();
 }
 
 bool
@@ -50,6 +83,156 @@ QueryCache::recordBypass()
 {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.bypassed;
+}
+
+void
+QueryCache::setMaxEntries(std::size_t max)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    max_entries_ = max;
+    evictOverflow();
+}
+
+std::size_t
+QueryCache::maxEntries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_entries_;
+}
+
+namespace {
+
+constexpr const char *kCacheMagic = "ccsim-query-cache v1";
+
+} // namespace
+
+std::size_t
+QueryCache::saveFile(const std::string &path) const
+{
+    // Snapshot under the lock, write outside it.
+    std::vector<std::pair<std::string, harness::Measurement>> entries;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        entries.reserve(map_.size());
+        for (const std::string &key : lru_) {
+            auto it = map_.find(key);
+            entries.emplace_back(key, it->second.meas);
+        }
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        throw ServeError("cannot write cache file " + path);
+    std::fprintf(f, "%s %zu\n", kCacheMagic, entries.size());
+    for (const auto &[key, meas] : entries) {
+        std::fprintf(f, "%s\n", key.c_str());
+        // Only the identity and the three times are ever non-default
+        // in a cacheable Measurement (cacheable == clean machine).
+        std::fprintf(f, "%s|%s|%s|%d|%" PRId64 "|%" PRId64 "|%" PRId64
+                        "|%" PRId64 "\n",
+                     meas.machine.c_str(),
+                     machine::collKey(meas.op).c_str(),
+                     machine::algoName(meas.algo).c_str(), meas.p,
+                     meas.m, meas.max_time, meas.min_time,
+                     meas.mean_time);
+    }
+    bool failed = std::ferror(f) != 0;
+    if (std::fclose(f) != 0)
+        failed = true;
+    if (failed)
+        throw ServeError("write failed for cache file " + path);
+    return entries.size();
+}
+
+namespace {
+
+[[noreturn]] void
+badCacheFile(const std::string &path, std::size_t line,
+             const char *what)
+{
+    throw machine::ConfigError(path + ":" + std::to_string(line) +
+                               ": bad cache file: " + what);
+}
+
+machine::Coll
+collFromKey(const std::string &path, std::size_t line,
+            const std::string &key)
+{
+    for (machine::Coll op : machine::kAllColls)
+        if (machine::collKey(op) == key)
+            return op;
+    badCacheFile(path, line, "unknown collective");
+}
+
+} // namespace
+
+std::size_t
+QueryCache::loadFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return 0; // first start: nothing persisted yet
+
+    char buf[4096];
+    std::size_t line = 0;
+    auto getLine = [&](std::string &out) {
+        if (!std::fgets(buf, sizeof(buf), f))
+            return false;
+        ++line;
+        out = buf;
+        while (!out.empty() &&
+               (out.back() == '\n' || out.back() == '\r'))
+            out.pop_back();
+        return true;
+    };
+
+    std::string text;
+    std::size_t count = 0;
+    try {
+        if (!getLine(text))
+            badCacheFile(path, 1, "empty file");
+        std::size_t n = 0;
+        if (std::sscanf(text.c_str(),
+                        "ccsim-query-cache v1 %zu", &n) != 1)
+            badCacheFile(path, line, "bad header");
+
+        // Entries are saved hottest-first; inserting in REVERSE
+        // (coldest first) reproduces the saved recency order, so a
+        // bounded cache keeps the hottest prefix.
+        std::vector<std::pair<std::string, harness::Measurement>> all;
+        all.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::string key, val;
+            if (!getLine(key) || !getLine(val))
+                badCacheFile(path, line, "truncated entry");
+            harness::Measurement m;
+            char mach[128], op[32], algo[32];
+            long long mm, maxt, mint, meant;
+            if (std::sscanf(val.c_str(),
+                            "%127[^|]|%31[^|]|%31[^|]|%d|%lld|%lld|"
+                            "%lld|%lld",
+                            mach, op, algo, &m.p, &mm, &maxt, &mint,
+                            &meant) != 8)
+                badCacheFile(path, line, "bad entry record");
+            m.machine = mach;
+            m.op = collFromKey(path, line, op);
+            m.algo = machine::algoFromName(algo);
+            m.m = mm;
+            m.max_time = maxt;
+            m.min_time = mint;
+            m.mean_time = meant;
+            all.emplace_back(std::move(key), std::move(m));
+        }
+        for (auto it = all.rbegin(); it != all.rend(); ++it) {
+            insert(it->first, it->second);
+            ++count;
+        }
+    } catch (...) {
+        std::fclose(f);
+        throw;
+    }
+    std::fclose(f);
+    return count;
 }
 
 } // namespace ccsim::serve

@@ -70,13 +70,16 @@ parseRequest(const std::string &line)
         req.verb = Verb::Poll;
     else if (verb_word == "metrics")
         req.verb = Verb::Metrics;
+    else if (verb_word == "health")
+        req.verb = Verb::Health;
     else if (verb_word == "ping")
         req.verb = Verb::Ping;
     else if (verb_word == "shutdown")
         req.verb = Verb::Shutdown;
     else
         badRequest("unknown verb '" + verb_word +
-                   "' (predict, poll, metrics, ping, shutdown)");
+                   "' (predict, poll, metrics, health, ping, "
+                   "shutdown)");
 
     bool saw_p = false, saw_op = false, saw_ticket = false;
     std::string word;
@@ -143,6 +146,11 @@ parseRequest(const std::string &line)
                 req.wait = WaitMode::Ticket;
             else
                 badRequest("wait must be block or ticket");
+        } else if (key == "deadline_ms") {
+            long long d = parseInt(key, value);
+            if (d < 0)
+                badRequest("deadline_ms must be >= 0");
+            req.deadline_ms = static_cast<int>(d);
         } else {
             badRequest("unknown key '" + key + "'");
         }
@@ -173,6 +181,8 @@ formatRequest(const Request &req)
         return "ping";
       case Verb::Metrics:
         return "metrics";
+      case Verb::Health:
+        return "health";
       case Verb::Shutdown:
         return "shutdown";
       case Verb::Poll:
@@ -199,6 +209,8 @@ formatRequest(const Request &req)
                 : req.tier == TierChoice::Fast ? "fast" : "exact");
     if (req.wait == WaitMode::Ticket)
         out += " wait=ticket";
+    if (req.deadline_ms > 0)
+        out += " deadline_ms=" + std::to_string(req.deadline_ms);
     return out;
 }
 
@@ -240,6 +252,8 @@ okResponse(const Answer &a)
     std::string out = "{\"status\":\"ok\",\"tier\":\"" +
                       tierName(a.tier) + "\",\"approx\":" +
                       (a.approx ? "true" : "false");
+    if (a.shed)
+        out += ",\"shed\":true";
     out += ",\"machine\":\"" + jsonEscape(a.machine) + "\"";
     out += ",\"op\":\"" + machine::collKey(a.op) + "\"";
     out += ",\"algo\":\"" + machine::algoName(a.algo) + "\"";
@@ -278,6 +292,23 @@ std::string
 pongResponse()
 {
     return "{\"status\":\"ok\",\"pong\":true}";
+}
+
+std::string
+healthResponse(const HealthInfo &h)
+{
+    std::string out = "{\"status\":\"ok\",\"health\":\"";
+    out += h.draining ? "draining" : "ok";
+    out += "\",\"cache_size\":" + std::to_string(h.cache_size);
+    out += ",\"cache_max\":" + std::to_string(h.cache_max);
+    out += ",\"backfill_depth\":" + std::to_string(h.backfill_depth);
+    out += ",\"backfill_max\":" + std::to_string(h.backfill_max);
+    out += ",\"shed\":" + std::to_string(h.shed);
+    out += ",\"deadline_missed\":" + std::to_string(h.deadline_missed);
+    out += ",\"connections\":" + std::to_string(h.connections);
+    out += ",\"uptime_s\":" + num(h.uptime_s);
+    out += "}";
+    return out;
 }
 
 std::string

@@ -12,8 +12,10 @@
  *     predict machine=T3D op=alltoall p=64 m=65536
  *             [algo=auto] [selection=NAME|FILE] [config=FILE]
  *             [tier=auto|fast|exact] [wait=block|ticket]
+ *             [deadline_ms=N]
  *     poll ticket=N
  *     metrics
+ *     health
  *     ping
  *     shutdown
  *
@@ -23,6 +25,11 @@
  *     {"status":"pending","ticket":7}
  *     {"status":"error","component":"config","exit_code":5,
  *      "message":"..."}
+ *
+ * An answer downgraded by overload protection — the backfill queue
+ * was full, or the request's deadline expired while an exact
+ * simulation was still running — carries `"shed":true` so clients can
+ * tell a degraded approximation from a first-class one.
  *
  * A malformed request raises machine::ConfigError from
  * parseRequest(); the server converts it to an error response on the
@@ -63,6 +70,7 @@ enum class Verb
     Predict,  //!< answer T(machine, op, algo, p, m)
     Poll,     //!< query the state of a backfill ticket
     Metrics,  //!< dump the daemon's MetricsSnapshot as JSON
+    Health,   //!< one-line liveness/saturation summary
     Ping,     //!< liveness probe
     Shutdown, //!< stop accepting, drain the backfill queue, exit
 };
@@ -99,6 +107,12 @@ struct Request
     TierChoice tier = TierChoice::Auto;
     WaitMode wait = WaitMode::Block;
 
+    /** Per-request deadline for a blocking exact answer, ms; 0 = use
+     *  the server's default (which may itself be "no deadline").  On
+     *  expiry the server sheds to the fast tier instead of holding
+     *  the connection. */
+    int deadline_ms = 0;
+
     // poll
     std::uint64_t ticket = 0;
 };
@@ -134,6 +148,9 @@ struct Answer
 {
     AnswerTier tier = AnswerTier::Exact;
     bool approx = false;
+    /** Overload protection downgraded this answer (full backfill
+     *  queue or an expired deadline); serialized only when true. */
+    bool shed = false;
     std::string machine;
     machine::Coll op = machine::Coll::Barrier;
     machine::Algo algo = machine::Algo::Default;
@@ -160,6 +177,24 @@ std::string errorResponse(const Error &e);
 
 /** {"status":"ok","pong":true} */
 std::string pongResponse();
+
+/** What the `health` verb reports: is the daemon up, how loaded is
+ *  it, and how often has overload protection engaged. */
+struct HealthInfo
+{
+    bool draining = false;        //!< shutdown drain in progress
+    std::size_t cache_size = 0;
+    std::size_t cache_max = 0;    //!< 0 = unbounded
+    std::size_t backfill_depth = 0;
+    std::size_t backfill_max = 0; //!< 0 = unbounded
+    std::uint64_t shed = 0;       //!< queue-full fast-path fallbacks
+    std::uint64_t deadline_missed = 0;
+    int connections = 0;
+    double uptime_s = 0.0;
+};
+
+/** {"status":"ok","health":"ok|draining",...} */
+std::string healthResponse(const HealthInfo &h);
 
 /** {"status":"ok","shutdown":true} */
 std::string shutdownResponse();

@@ -98,6 +98,8 @@ sendAll(int fd, const std::string &data)
 Server::Server(ServerOptions opts)
     : opts_(opts), backfill_(cache_, opts.jobs)
 {
+    cache_.setMaxEntries(opts_.cache_max);
+    backfill_.setMaxPending(opts_.backfill_max);
 }
 
 Server::~Server()
@@ -210,13 +212,40 @@ Server::handlePredict(const Request &req)
         break;
     }
 
+    // Exact tier: bounded submission.  A full backfill queue (or a
+    // draining daemon) sheds to the fast tier instead of growing the
+    // queue or erroring — the answer is flagged so clients can tell.
+    std::uint64_t ticket = 0;
+    if (!backfill_.trySubmit(job, ticket)) {
+        Answer a = fastAnswer(*cfg, req, algo);
+        a.shed = true;
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        ++tier_fast_;
+        return okResponse(a);
+    }
+
     if (req.wait == WaitMode::Ticket) {
-        std::uint64_t ticket = backfill_.submit(job);
         std::lock_guard<std::mutex> lock(metrics_mu_);
         ++pending_issued_;
         return pendingResponse(ticket);
     }
-    BackfillResult r = backfill_.wait(backfill_.submit(job));
+
+    // Blocking delivery, bounded by the request deadline (or the
+    // server default).  On expiry the simulation keeps running and
+    // still feeds the cache; this client gets the fast answer now.
+    int deadline = req.deadline_ms > 0 ? req.deadline_ms
+                                       : opts_.deadline_ms;
+    std::optional<BackfillResult> got =
+        backfill_.waitFor(ticket, deadline);
+    if (!got) {
+        Answer a = fastAnswer(*cfg, req, algo);
+        a.shed = true;
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        ++deadline_missed_;
+        ++tier_fast_;
+        return okResponse(a);
+    }
+    BackfillResult r = *got;
     if (r.failed)
         throw Error(r.component, r.message, r.exit_code);
     {
@@ -263,6 +292,26 @@ Server::handleLine(const std::string &line)
           case Verb::Metrics:
             resp = oneLine(metricsSnapshot().toJson());
             break;
+          case Verb::Health: {
+            HealthInfo h;
+            h.draining = stop_ || shutdown_requested_;
+            h.cache_size = cache_.size();
+            h.cache_max = cache_.maxEntries();
+            h.backfill_depth = backfill_.queueDepth();
+            h.backfill_max = backfill_.maxPending();
+            h.shed = backfill_.shed();
+            h.connections = open_connections_;
+            h.uptime_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             started_at_)
+                             .count();
+            {
+                std::lock_guard<std::mutex> lock(metrics_mu_);
+                h.deadline_missed = deadline_missed_;
+            }
+            resp = healthResponse(h);
+            break;
+          }
           case Verb::Shutdown:
             shutdown_requested_ = true;
             resp = shutdownResponse();
@@ -312,8 +361,10 @@ Server::metricsSnapshot() const
     snap.counters["serve.backfill_coalesced"] = backfill_.coalesced();
     snap.counters["serve.backfill_completed"] = backfill_.completed();
     snap.counters["serve.backfill_failed"] = backfill_.failed();
+    snap.counters["serve.backfill_shed"] = backfill_.shed();
     snap.counters["serve.backfill_submitted"] = backfill_.submitted();
     snap.counters["serve.cache_bypassed"] = cs.bypassed;
+    snap.counters["serve.cache_evictions"] = cs.evictions;
     snap.counters["serve.cache_hits"] = cs.hits;
     snap.counters["serve.cache_misses"] = cs.misses;
     snap.counters["serve.cache_size"] = cache_.size();
@@ -322,6 +373,7 @@ Server::metricsSnapshot() const
 
     std::lock_guard<std::mutex> lock(metrics_mu_);
     snap.counters["serve.connections"] = connections_;
+    snap.counters["serve.deadline_missed"] = deadline_missed_;
     snap.counters["serve.errors"] = errors_;
     snap.counters["serve.polls"] = polls_;
     snap.counters["serve.predicts"] = predicts_;
@@ -336,8 +388,12 @@ Server::metricsSnapshot() const
                           started_at_)
                           .count();
     std::uint64_t answered = tier_cache_ + tier_fast_ + tier_exact_;
+    snap.gauges["serve.backfill_max"] =
+        static_cast<double>(backfill_.maxPending());
     snap.gauges["serve.backfill_queue_depth"] =
         static_cast<double>(backfill_.queueDepth());
+    snap.gauges["serve.cache_max"] =
+        static_cast<double>(cache_.maxEntries());
     snap.gauges["serve.connections_hw"] = connections_hw_;
     snap.gauges["serve.jobs"] = backfill_.jobs();
     snap.gauges["serve.qps"] =
@@ -400,6 +456,16 @@ Server::start()
                                  opts_.port_file);
     }
 
+    if (!opts_.cache_file.empty()) {
+        std::size_t n = cache_.loadFile(opts_.cache_file);
+        if (opts_.verbose && n > 0)
+            std::fprintf(stderr,
+                         "ccsim serve: warmed %zu cache entries "
+                         "from %s\n",
+                         n, opts_.cache_file.c_str());
+    }
+
+    started_ = true;
     accept_thread_ = std::thread([this] { acceptLoop(); });
 }
 
@@ -487,6 +553,22 @@ Server::stop()
     if (listen_fd_ >= 0) {
         ::close(listen_fd_);
         listen_fd_ = -1;
+    }
+    if (started_) {
+        started_ = false;
+        // Persist the warmed cache; a failed save must not turn a
+        // clean drain into a crash, so it only warns.
+        if (!opts_.cache_file.empty()) {
+            try {
+                cache_.saveFile(opts_.cache_file);
+            } catch (const Error &e) {
+                std::fprintf(stderr, "ccsim serve: %s\n", e.what());
+            }
+        }
+        // A clean drain removes the port file so scripts watching it
+        // see the daemon as down, not merely unresponsive.
+        if (!opts_.port_file.empty())
+            std::remove(opts_.port_file.c_str());
     }
     (void)was_stopped;
 }

@@ -53,8 +53,18 @@ struct ServerOptions
 {
     int port = 0;          //!< 0: kernel-assigned ephemeral port
     int jobs = 1;          //!< backfill SweepRunner width (0 = cores)
-    std::string port_file; //!< write the bound port here (scripts)
+    std::string port_file; //!< write the bound port here (scripts);
+                           //!< removed again on a clean stop()
     bool verbose = false;  //!< log one line per request to stderr
+
+    // Hardening knobs (DESIGN.md §4.14).
+    std::size_t cache_max = 65536; //!< QueryCache bound (0 = none)
+    std::string cache_file; //!< load at start(), save at stop()
+    int deadline_ms = 0;    //!< default blocking-exact deadline
+                            //!< (0 = wait forever); per-request
+                            //!< deadline_ms overrides
+    std::size_t backfill_max = 1024; //!< queue bound; full = shed
+                                     //!< to the fast tier (0 = none)
 };
 
 /** The prediction daemon; see file comment. */
@@ -129,6 +139,7 @@ class Server
     std::uint64_t tier_fast_ = 0;
     std::uint64_t tier_exact_ = 0;
     std::uint64_t pending_issued_ = 0;
+    std::uint64_t deadline_missed_ = 0;
     std::uint64_t connections_ = 0;
     double connections_hw_ = 0;
     stats::Histogram request_us_;
@@ -138,6 +149,7 @@ class Server
     // sockets and threads
     int listen_fd_ = -1;
     int port_ = 0;
+    bool started_ = false; //!< start() ran (gates cache_file save)
     std::atomic<bool> stop_{false};
     std::atomic<bool> shutdown_requested_{false};
     std::atomic<int> open_connections_{0};

@@ -21,6 +21,8 @@ struct CacheStats
     std::uint64_t hits = 0;     //!< lookups served from the cache
     std::uint64_t misses = 0;   //!< lookups computed and stored
     std::uint64_t bypassed = 0; //!< requests not eligible for caching
+    std::uint64_t evictions = 0; //!< entries dropped by a bound (only
+                                 //!< bounded caches ever set this)
 
     /** Fraction of eligible lookups served from the cache. */
     double

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_report.hh"
+#include "fault/fault_spec.hh"
 #include "harness/sweep.hh"
 #include "util/logging.hh"
 
@@ -147,6 +149,7 @@ tuneMachine(const machine::MachineConfig &cfg, const TuneGrid &grid,
         std::size_t count;  // number of candidates
     };
     const std::vector<Bytes> barrier_lengths{0};
+    const bool faulty = base.fault.enabled();
     std::vector<harness::SweepPoint> points;
     std::vector<CellRef> refs;
     for (Coll op : ops) {
@@ -157,15 +160,47 @@ tuneMachine(const machine::MachineConfig &cfg, const TuneGrid &grid,
             for (Bytes m : ms) {
                 refs.push_back({op, p, m, points.size(),
                                 candidates.size()});
-                for (Algo a : candidates)
+                // Fault-conditioned tuning: every candidate of a
+                // cell faces the SAME fault universe (apples-to-
+                // apples ranking), while each cell gets its own
+                // derived universe — the tuner calls run(points)
+                // directly, so it must do the per-cell salting that
+                // SweepSpec::expand does per point.
+                std::uint64_t cell_seed =
+                    faulty ? fault::mixSeed(base.fault.seed,
+                                            0x74756e65ULL + // "tune"
+                                                refs.size())
+                           : 0;
+                for (Algo a : candidates) {
                     points.push_back(
                         {base, p, op, m, a, grid.options});
+                    if (faulty)
+                        points.back().cfg.fault.seed = cell_seed;
+                }
             }
         }
     }
 
     harness::SweepRunner runner(jobs);
-    std::vector<harness::Measurement> results = runner.run(points);
+    std::vector<harness::Measurement> results(points.size());
+    std::vector<char> failed(points.size(), 0);
+    if (faulty) {
+        // Under fault injection a candidate can die with FaultError
+        // (fail_fast / retry_escalate policies).  That is signal,
+        // not an abort: the candidate is ranked last in its cell
+        // instead of killing the whole batch.
+        runner.runTasks(points.size(), [&](std::size_t i) {
+            const harness::SweepPoint &pt = points[i];
+            try {
+                results[i] = harness::measureCollective(
+                    pt.cfg, pt.p, pt.op, pt.m, pt.algo, pt.options);
+            } catch (const fault::FaultError &) {
+                failed[i] = 1;
+            }
+        });
+    } else {
+        results = runner.run(points);
+    }
 
     TuneResult out;
     out.table.setMachine(cfg.name);
@@ -184,10 +219,25 @@ tuneMachine(const machine::MachineConfig &cfg, const TuneGrid &grid,
                 // Winner: strictly fastest; ties keep the earlier
                 // candidate (the incumbent is candidate 0), which is
                 // what makes tune output deterministic and minimal.
+                // Under faults, reliability ranks before speed: a
+                // candidate with fewer failed ensemble members (or
+                // that did not die outright) beats a faster one that
+                // failed more.
+                auto better = [&](std::size_t a, std::size_t b) {
+                    if (failed[a] != failed[b])
+                        return failed[a] == 0;
+                    if (failed[a])
+                        return false;
+                    const harness::Measurement &ra = results[a];
+                    const harness::Measurement &rb = results[b];
+                    if (ra.ensemble_failures != rb.ensemble_failures)
+                        return ra.ensemble_failures <
+                               rb.ensemble_failures;
+                    return ra.max_time < rb.max_time;
+                };
                 std::size_t best = 0;
                 for (std::size_t k = 1; k < ref.count; ++k)
-                    if (results[ref.first + k].max_time <
-                        results[ref.first + best].max_time)
+                    if (better(ref.first + k, ref.first + best))
                         best = k;
 
                 RegretCell cell;

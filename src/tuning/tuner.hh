@@ -118,6 +118,17 @@ std::vector<machine::Algo> candidateAlgos(
  * along the m axis, rows only where a p differs from the previous
  * row).  Any selection table already attached to @p cfg is ignored:
  * the tuner measures explicit algorithms only.
+ *
+ * Fault-conditioned tuning: when @p cfg carries an enabled
+ * FaultSpec, the tuner builds decision maps for the *degraded*
+ * machine — every candidate of a cell is measured under the same
+ * derived fault universe (distinct universes across cells), a
+ * candidate that raises FaultError is ranked last in its cell
+ * instead of aborting the tune, and with grid.options.ensemble > 1
+ * candidates are ranked by (ensemble failures, mean makespan).
+ * Pair it with a clean tune of the same grid to see where the 1997
+ * clean-condition winners flip under faults (bench/
+ * ablation_resilience).
  */
 TuneResult tuneMachine(const machine::MachineConfig &cfg,
                        const TuneGrid &grid = {}, int jobs = 0);

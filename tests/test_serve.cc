@@ -8,6 +8,10 @@
  */
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -96,6 +100,38 @@ TEST(ServeProtocol, MalformedRequestsRaiseConfigError)
             EXPECT_EQ(e.component(), "config") << line;
         }
     }
+}
+
+TEST(ServeProtocol, DeadlineParsesAndRoundTrips)
+{
+    Request r = parseRequest(
+        "predict machine=T3D op=bcast p=8 m=64 deadline_ms=250");
+    EXPECT_EQ(r.deadline_ms, 250);
+    Request back = parseRequest(formatRequest(r));
+    EXPECT_EQ(back.deadline_ms, 250);
+    EXPECT_THROW(
+        parseRequest(
+            "predict machine=T3D op=bcast p=8 m=64 deadline_ms=-1"),
+        machine::ConfigError);
+}
+
+TEST(ServeProtocol, HealthIsABareVerb)
+{
+    EXPECT_EQ(parseRequest("health").verb, Verb::Health);
+    EXPECT_THROW(parseRequest("health p=4"), machine::ConfigError);
+    Request r;
+    r.verb = Verb::Health;
+    EXPECT_EQ(formatRequest(r), "health");
+}
+
+TEST(ServeProtocol, ShedIsOnTheWireOnlyWhenSet)
+{
+    Answer a;
+    a.machine = "T3D";
+    EXPECT_EQ(okResponse(a).find("\"shed\""), std::string::npos);
+    a.shed = true;
+    EXPECT_NE(okResponse(a).find("\"shed\":true"),
+              std::string::npos);
 }
 
 // ---- the brain (handleLine, no sockets) ----------------------------
@@ -240,6 +276,285 @@ TEST(ServeBackfill, CoalescesDuplicateKeysIntoOneSimulation)
     EXPECT_EQ(r1.meas.max_time, r2.meas.max_time);
     EXPECT_GE(queue.coalesced(), 1u);
     EXPECT_TRUE(cache.contains(job.key));
+}
+
+// ---- hardening: LRU bound, persistence, shedding, health -----------
+
+/** A fabricated-but-well-formed cache value (real measurements are
+ *  not needed to exercise the store itself). */
+harness::Measurement
+syntheticPoint(int p, Bytes m, Time t)
+{
+    harness::Measurement meas;
+    meas.machine = "T3D";
+    meas.op = machine::Coll::Bcast;
+    meas.algo = machine::Algo::Binomial;
+    meas.p = p;
+    meas.m = m;
+    meas.max_time = t;
+    meas.min_time = t / 2;
+    meas.mean_time = (t + t / 2) / 2;
+    return meas;
+}
+
+TEST(ServeCache, LruBoundEvictsTheLeastRecentlyAnsweredEntry)
+{
+    QueryCache cache;
+    cache.setMaxEntries(2);
+    cache.insert("a", syntheticPoint(4, 64, 1000));
+    cache.insert("b", syntheticPoint(8, 64, 2000));
+
+    harness::Measurement out;
+    ASSERT_TRUE(cache.lookup("a", out)); // "a" is hot again
+    cache.insert("c", syntheticPoint(16, 64, 3000));
+
+    EXPECT_TRUE(cache.contains("a"));
+    EXPECT_FALSE(cache.contains("b")) << "b was the coldest entry";
+    EXPECT_TRUE(cache.contains("c"));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ServeCache, ShrinkingTheBoundEvictsImmediately)
+{
+    QueryCache cache;
+    for (int i = 0; i < 4; ++i)
+        cache.insert("k" + std::to_string(i),
+                     syntheticPoint(4, 64, 1000 + i));
+    cache.setMaxEntries(1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(cache.contains("k3")) << "hottest entry survives";
+    EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(ServeCache, SaveLoadRoundTripsEveryField)
+{
+    const std::string path = "/tmp/ccsim_cache_roundtrip.txt";
+    std::remove(path.c_str());
+
+    QueryCache cache;
+    harness::Measurement in = syntheticPoint(8, 4096, 123456789);
+    cache.insert("point-a", in);
+    cache.insert("point-b", syntheticPoint(16, 64, 777));
+    EXPECT_EQ(cache.saveFile(path), 2u);
+
+    QueryCache fresh;
+    EXPECT_EQ(fresh.loadFile(path), 2u);
+    harness::Measurement out;
+    ASSERT_TRUE(fresh.lookup("point-a", out));
+    EXPECT_EQ(out.machine, in.machine);
+    EXPECT_EQ(out.op, in.op);
+    EXPECT_EQ(out.algo, in.algo);
+    EXPECT_EQ(out.p, in.p);
+    EXPECT_EQ(out.m, in.m);
+    EXPECT_EQ(out.max_time, in.max_time);
+    EXPECT_EQ(out.min_time, in.min_time);
+    EXPECT_EQ(out.mean_time, in.mean_time);
+    std::remove(path.c_str());
+}
+
+TEST(ServeCache, BoundedReloadKeepsTheHottestEntries)
+{
+    const std::string path = "/tmp/ccsim_cache_bounded.txt";
+    std::remove(path.c_str());
+
+    QueryCache cache;
+    cache.insert("cold", syntheticPoint(4, 64, 1));
+    cache.insert("warm", syntheticPoint(8, 64, 2));
+    cache.insert("hot", syntheticPoint(16, 64, 3));
+    cache.saveFile(path); // written hottest first
+
+    QueryCache fresh;
+    fresh.setMaxEntries(2);
+    fresh.loadFile(path); // replayed oldest first into the bound
+    EXPECT_TRUE(fresh.contains("hot"));
+    EXPECT_TRUE(fresh.contains("warm"));
+    EXPECT_FALSE(fresh.contains("cold"));
+    std::remove(path.c_str());
+}
+
+TEST(ServeCache, MissingFileLoadsNothingAndGarbageIsAConfigError)
+{
+    QueryCache cache;
+    EXPECT_EQ(cache.loadFile("/tmp/ccsim_no_such_cache_file"), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+
+    const std::string path = "/tmp/ccsim_cache_garbage.txt";
+    {
+        std::ofstream f(path);
+        f << "not a cache file\n";
+    }
+    EXPECT_THROW(cache.loadFile(path), machine::ConfigError);
+    std::remove(path.c_str());
+}
+
+/** A backfill job for one point on @p cfg. */
+BackfillJob
+jobFor(const machine::ConfigHandle &cfg, machine::Coll op, int p,
+       Bytes m)
+{
+    BackfillJob job;
+    job.cfg = cfg;
+    job.p = p;
+    job.op = op;
+    job.m = m;
+    job.key = harness::measurePointKey(*cfg, p, op, m,
+                                       machine::Algo::Default);
+    return job;
+}
+
+TEST(ServeBackfill, AStoppedQueueShedsInsteadOfAccepting)
+{
+    QueryCache cache;
+    BackfillQueue queue(cache, 1);
+    queue.stop();
+
+    std::uint64_t ticket = 0;
+    BackfillJob job = jobFor(machine::sharedPreset("T3D"),
+                             machine::Coll::Barrier, 4, 0);
+    EXPECT_FALSE(queue.trySubmit(job, ticket));
+    EXPECT_EQ(queue.shed(), 1u);
+}
+
+TEST(ServeBackfill, TheBoundShedsNewKeysButStillCoalescesLiveOnes)
+{
+    QueryCache cache;
+    BackfillQueue queue(cache, 1);
+    auto cfg = machine::sharedPreset("T3D");
+
+    // A heavy point occupies the single-threaded runner; until it
+    // completes, everything below queues up behind it, so the bound
+    // arithmetic is deterministic.
+    std::uint64_t slow_ticket =
+        queue.submit(jobFor(cfg, machine::Coll::Alltoall, 32,
+                            64 * 1024));
+    while (queue.queueDepth() > 0) // until the collector owns it
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    queue.setMaxPending(1);
+    BackfillJob filler = jobFor(cfg, machine::Coll::Bcast, 4, 64);
+    BackfillJob extra = jobFor(cfg, machine::Coll::Reduce, 4, 64);
+    std::uint64_t t1 = 0, t2 = 0, t3 = 0;
+    EXPECT_TRUE(queue.trySubmit(filler, t1)); // fills the bound
+    EXPECT_FALSE(queue.trySubmit(extra, t2)); // new key: shed
+    EXPECT_TRUE(queue.trySubmit(filler, t3)); // live key: coalesced
+    EXPECT_EQ(queue.shed(), 1u);
+    EXPECT_GE(queue.coalesced(), 1u);
+
+    // Shedding never strands the work that WAS accepted.
+    EXPECT_FALSE(queue.wait(slow_ticket).failed);
+    BackfillResult r1 = queue.wait(t1);
+    BackfillResult r3 = queue.wait(t3);
+    EXPECT_FALSE(r1.failed);
+    EXPECT_EQ(r1.meas.max_time, r3.meas.max_time);
+}
+
+TEST(ServeServer, HealthVerbReportsDaemonState)
+{
+    ServerOptions opts;
+    opts.cache_max = 128;
+    opts.backfill_max = 7;
+    Server server(opts);
+
+    std::string h = server.handleLine("health");
+    EXPECT_EQ(h.rfind("{\"status\":\"ok\",\"health\":\"ok\"", 0), 0u)
+        << h;
+    EXPECT_NE(h.find("\"cache_size\":0"), std::string::npos) << h;
+    EXPECT_NE(h.find("\"cache_max\":128"), std::string::npos);
+    EXPECT_NE(h.find("\"backfill_max\":7"), std::string::npos);
+    EXPECT_NE(h.find("\"shed\":0"), std::string::npos);
+    EXPECT_NE(h.find("\"deadline_missed\":0"), std::string::npos);
+
+    server.handleLine(
+        "predict machine=T3D op=barrier p=4 tier=exact");
+    std::string after = server.handleLine("health");
+    EXPECT_NE(after.find("\"cache_size\":1"), std::string::npos)
+        << after;
+}
+
+TEST(ServeServer, AMissedDeadlineDowngradesToAShedFastAnswer)
+{
+    Server server;
+    // Far too heavy a point for a 1 ms deadline: the caller gets a
+    // fast-tier estimate flagged as shed instead of blocking.
+    std::string resp = server.handleLine(
+        "predict machine=Paragon op=alltoall p=32 m=65536 tier=exact "
+        "deadline_ms=1");
+    EXPECT_NE(resp.find("\"tier\":\"fast\""), std::string::npos)
+        << resp;
+    EXPECT_NE(resp.find("\"shed\":true"), std::string::npos) << resp;
+    auto snap = server.metricsSnapshot();
+    EXPECT_EQ(snap.counters.at("serve.deadline_missed"), 1u);
+
+    // The abandoned simulation still completes and feeds the cache,
+    // so the same query later is exact and instantaneous.
+    server.backfill().drain();
+    std::string again = server.handleLine(
+        "predict machine=Paragon op=alltoall p=32 m=65536 tier=exact");
+    EXPECT_NE(again.find("\"tier\":\"cache\""), std::string::npos)
+        << again;
+    EXPECT_EQ(again.find("\"shed\""), std::string::npos) << again;
+}
+
+TEST(ServeServer, AFullBackfillQueueShedsToTheFastTier)
+{
+    ServerOptions opts;
+    opts.backfill_max = 1;
+    Server server(opts);
+
+    // Occupy the runner with a heavy ticketed point (one no other
+    // test simulates, so the harness-level memo cannot shortcut it)…
+    server.handleLine(
+        "predict machine=SP2 op=alltoall p=32 m=65536 tier=exact "
+        "wait=ticket");
+    while (server.backfill().queueDepth() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // ...fill the single queue slot behind it...
+    server.handleLine(
+        "predict machine=T3D op=bcast p=8 m=256 tier=exact "
+        "wait=ticket");
+    // ...and the next new point is shed to the fast tier.
+    std::string resp = server.handleLine(
+        "predict machine=T3D op=reduce p=8 m=256 tier=exact");
+    EXPECT_NE(resp.find("\"tier\":\"fast\""), std::string::npos)
+        << resp;
+    EXPECT_NE(resp.find("\"shed\":true"), std::string::npos) << resp;
+
+    auto snap = server.metricsSnapshot();
+    EXPECT_GE(snap.counters.at("serve.backfill_shed"), 1u);
+    server.backfill().drain();
+}
+
+TEST(ServeServer, CacheFileWarmsTheNextStart)
+{
+    const std::string path = "/tmp/ccsim_serve_cache_restart.txt";
+    std::remove(path.c_str());
+    ServerOptions opts;
+    opts.cache_file = path;
+    const std::string q =
+        "predict machine=T3D op=bcast p=8 m=1024 tier=exact";
+
+    std::string first;
+    {
+        Server server(opts);
+        server.start();
+        first = server.handleLine(q);
+        server.stop(); // persists the cache
+    }
+
+    Server server(opts);
+    server.start(); // warms from the file
+    std::string warmed = server.handleLine(q);
+    server.stop();
+    std::remove(path.c_str());
+
+    // Byte-identical to the run that wrote the file, except the
+    // answer now comes from the warmed cache.
+    std::size_t at = first.find("\"tier\":\"exact\"");
+    ASSERT_NE(at, std::string::npos) << first;
+    first.replace(at, std::string("\"tier\":\"exact\"").size(),
+                  "\"tier\":\"cache\"");
+    EXPECT_EQ(warmed, first);
 }
 
 // ---- over TCP ------------------------------------------------------

@@ -10,15 +10,19 @@
  *     ccsim measure --machine T3D --op alltoall --p 64 --m 65536
  *                   [--algo pairwise|auto] [--selection SRC]
  *                   [--config FILE] [--paper] [--faults SPEC]
- *                   [--metrics]
+ *                   [--ensemble N] [--metrics]
  *         Run the Section 2 measurement procedure for one point and
  *         print max/mean/min over ranks plus the paper's Table 3
  *         prediction when one exists.  --paper uses the full
  *         22-run procedure with clock-skew injection.  --faults
  *         injects deterministic faults, e.g.
- *         --faults "straggler=0.1,drop=0.01,seed=7" (see
- *         fault::parseFaultSpec for the key list); a fault summary
- *         (drops / retransmits / delays) is printed after the times.
+ *         --faults "straggler=0.1,drop=0.01,seed=7,policy=degrade"
+ *         (see docs/FAULTS.md for the grammar and recovery
+ *         policies); a fault summary (drops / retransmits / delays,
+ *         plus the degradation report when recovery acted) is
+ *         printed after the times.  --ensemble N repeats the
+ *         measurement under N derived fault universes and reports
+ *         the mean/p95 makespan and the failure fraction.
  *         --metrics appends an observability summary (link
  *         utilization, stalls, queue high-waters).
  *
@@ -54,30 +58,44 @@
  *
  *     ccsim tune --machine SP2 [--ops LIST] [--sizes LIST]
  *                [--lengths LIST] [--jobs N] [--out FILE] [--cells]
+ *                [--faults SPEC] [--ensemble N]
  *         Empirically derive a selection table: measure every
  *         candidate algorithm over the (op, p, m) grid, keep the
  *         winners, and print a regret report — how much time the
  *         machine's 1997 defaults left on the table.  The table is
  *         written to --out (stdout without it) and loads back via
  *         --selection; output is identical at any --jobs level.
+ *         With --faults the table is tuned for the DEGRADED machine
+ *         (candidates of a cell share one fault universe;
+ *         --ensemble, default 3 under faults, averages universes) —
+ *         bench/ablation_resilience compares such tables against
+ *         clean ones.
  *
  *     ccsim serve [--port N] [--jobs K] [--port-file FILE]
- *                 [--verbose]
+ *                 [--cache-max N] [--cache-file FILE]
+ *                 [--deadline-ms N] [--backfill-max N] [--verbose]
  *         Run the collective-latency prediction daemon on
  *         127.0.0.1 (docs/SERVE.md): a line/JSON query protocol
  *         answered from a result cache (byte-identical to fresh
  *         simulation), a fitted fast path (flagged approx), and an
  *         exact simulation backfill pool of --jobs workers.  SIGINT
- *         or a client 'shutdown' drains the queue and exits 0.
+ *         or a client 'shutdown' drains the queue and exits 0,
+ *         removing --port-file again.  --cache-max bounds the result
+ *         cache (LRU eviction); --cache-file persists it across
+ *         restarts; --deadline-ms bounds blocking exact answers and
+ *         --backfill-max bounds the queue — past either limit the
+ *         daemon sheds to the approximate tier with "shed":true on
+ *         the wire instead of stalling or growing without bound.
  *
  *     ccsim query --port N | --port-file FILE
  *                 [--machine T3D] [--op alltoall] [--p 64] [--m 65536]
  *                 [--algo NAME] [--selection SRC] [--tier auto|fast|
- *                 exact] [--ticket] [--poll N] [--metrics] [--ping]
- *                 [--shutdown]
+ *                 exact] [--deadline-ms N] [--ticket] [--poll N]
+ *                 [--metrics] [--health] [--ping] [--shutdown]
  *         One request against a running daemon; prints the JSON
  *         response line and exits with the daemon-side error family
- *         on error responses.
+ *         on error responses.  --health fetches the one-line
+ *         liveness/saturation summary.
  *
  *     ccsim dump-config --machine SP2
  *         Emit a preset as an editable config file (see --config).
@@ -363,6 +381,7 @@ cmdMeasure(int argc, char **argv)
     addJobsOpt(o);
     o.flag("paper", "use the paper's full 22-run procedure");
     o.flag("metrics", "append an observability summary");
+    o.value("ensemble", "fault universes to average (default 1)", "N");
     o.value("trace-out", "write a Chrome trace of one call", "FILE");
     o.parse(argc, argv, 2);
 
@@ -375,6 +394,11 @@ cmdMeasure(int argc, char **argv)
                    ? harness::MeasureOptions::paperFaithful()
                    : harness::MeasureOptions{};
     opt.metrics = o.has("metrics");
+    long long ensemble = o.getInt("ensemble", 1);
+    if (o.has("ensemble") && ensemble < 1)
+        fatal("--ensemble wants a positive integer, got %lld",
+              ensemble);
+    opt.ensemble = static_cast<int>(ensemble);
 
     // A one-point sweep: same engine as the figure benches.
     harness::SweepPoint pt;
@@ -414,6 +438,17 @@ cmdMeasure(int argc, char **argv)
                     static_cast<unsigned long long>(
                         meas.fault_retransmits),
                     static_cast<unsigned long long>(meas.fault_delays));
+    if (meas.degradation.any())
+        std::printf("  %s\n", meas.degradation.str().c_str());
+    if (cfg.fault.enabled() && meas.degradation.makespan_inflation > 0)
+        std::printf("  vs clean run   : +%.1f%% makespan\n",
+                    100.0 * meas.degradation.makespan_inflation);
+    if (meas.ensemble_runs > 1)
+        std::printf("  ensemble       : %d universes, p95 %s, "
+                    "%.0f%% failed\n",
+                    meas.ensemble_runs,
+                    formatTime(meas.p95_time).c_str(),
+                    100.0 * meas.failureFraction());
     if (o.has("metrics"))
         printMetricsSummary(meas.metrics, 8);
     if (o.has("trace-out"))
@@ -733,12 +768,12 @@ cmdTune(int argc, char **argv)
     o.value("out", "write the selection table here (default: stdout)",
             "FILE");
     o.flag("cells", "also print every per-point regret cell");
+    o.value("ensemble",
+            "fault universes per candidate (default 3 under --faults)",
+            "N");
     o.parse(argc, argv, 2);
 
     auto cfg = resolveMachine(o, "SP2");
-    if (cfg.fault.enabled())
-        fatal("tune: measuring under fault injection would tune for "
-              "the faults, not the machine — drop --faults");
 
     tuning::TuneGrid grid;
     if (o.has("ops")) {
@@ -771,10 +806,25 @@ cmdTune(int argc, char **argv)
     // doubles as a warm memo-cache entry for later sweeps.
     grid.options.iterations = 3;
     grid.options.repetitions = 1;
+    // Under faults one universe is anecdote; average a few by
+    // default so the winner map reflects the fault process, not one
+    // roll of it.
+    long long ensemble =
+        o.getInt("ensemble", cfg.fault.enabled() ? 3 : 1);
+    if (ensemble < 1)
+        fatal("--ensemble wants a positive integer, got %lld",
+              ensemble);
+    grid.options.ensemble = static_cast<int>(ensemble);
 
     long long jobs = o.getInt("jobs", 0);
     if (o.has("jobs") && jobs < 1)
         fatal("--jobs wants a positive integer, got %lld", jobs);
+    if (cfg.fault.enabled())
+        std::fprintf(stderr,
+                     "ccsim tune: tuning for the DEGRADED machine "
+                     "(%s; %lld universes per candidate)\n",
+                     fault::policyName(cfg.fault.policy),
+                     ensemble);
     tuning::TuneResult res =
         tuning::tuneMachine(cfg, grid, static_cast<int>(jobs));
 
@@ -851,6 +901,17 @@ cmdServe(int argc, char **argv)
             "N");
     o.value("jobs", "backfill simulation workers (default 1)", "N");
     o.value("port-file", "write the bound port to FILE", "FILE");
+    o.value("cache-max",
+            "result-cache entry bound, LRU evicted (0 = unbounded)",
+            "N");
+    o.value("cache-file", "persist the result cache here across "
+            "restarts", "FILE");
+    o.value("deadline-ms",
+            "default deadline for blocking exact answers (0 = none)",
+            "N");
+    o.value("backfill-max",
+            "backfill queue bound; full = shed to the fast tier "
+            "(0 = unbounded)", "N");
     o.flag("verbose", "log one line per request to stderr");
     o.parse(argc, argv, 2);
 
@@ -865,6 +926,23 @@ cmdServe(int argc, char **argv)
     opts.jobs = static_cast<int>(jobs);
     opts.port_file = o.get("port-file");
     opts.verbose = o.has("verbose");
+    long long cache_max =
+        o.getInt("cache-max",
+                 static_cast<long long>(opts.cache_max));
+    if (cache_max < 0)
+        fatal("--cache-max wants >= 0, got %lld", cache_max);
+    opts.cache_max = static_cast<std::size_t>(cache_max);
+    opts.cache_file = o.get("cache-file");
+    long long deadline = o.getInt("deadline-ms", 0);
+    if (deadline < 0)
+        fatal("--deadline-ms wants >= 0, got %lld", deadline);
+    opts.deadline_ms = static_cast<int>(deadline);
+    long long backfill_max =
+        o.getInt("backfill-max",
+                 static_cast<long long>(opts.backfill_max));
+    if (backfill_max < 0)
+        fatal("--backfill-max wants >= 0, got %lld", backfill_max);
+    opts.backfill_max = static_cast<std::size_t>(backfill_max);
 
     serve::Server server(opts);
     server.start();
@@ -931,7 +1009,10 @@ cmdQuery(int argc, char **argv)
     o.value("tier", "auto | fast | exact (default auto)", "T");
     o.flag("ticket", "exact tier: return a ticket instead of blocking");
     o.value("poll", "poll a previously issued ticket", "N");
+    o.value("deadline-ms",
+            "per-request deadline for a blocking exact answer", "N");
     o.flag("metrics", "fetch the daemon's metrics snapshot");
+    o.flag("health", "fetch the liveness/saturation summary");
     o.flag("ping", "liveness probe");
     o.flag("shutdown", "ask the daemon to drain and exit");
     o.parse(argc, argv, 2);
@@ -943,6 +1024,8 @@ cmdQuery(int argc, char **argv)
         req.verb = serve::Verb::Ping;
     } else if (o.has("metrics")) {
         req.verb = serve::Verb::Metrics;
+    } else if (o.has("health")) {
+        req.verb = serve::Verb::Health;
     } else if (o.has("poll")) {
         req.verb = serve::Verb::Poll;
         long long t = o.getInt("poll", 0);
@@ -972,6 +1055,10 @@ cmdQuery(int argc, char **argv)
                   tier.c_str());
         req.wait = o.has("ticket") ? serve::WaitMode::Ticket
                                    : serve::WaitMode::Block;
+        long long deadline = o.getInt("deadline-ms", 0);
+        if (deadline < 0)
+            fatal("--deadline-ms wants >= 0, got %lld", deadline);
+        req.deadline_ms = static_cast<int>(deadline);
     }
 
     serve::Client client;
