@@ -21,6 +21,8 @@
 #include "harness/sweep.hh"
 #include "machine/machine.hh"
 #include "mpi/comm.hh"
+#include "net/dragonfly.hh"
+#include "net/fat_tree.hh"
 #include "net/mesh2d.hh"
 #include "net/network.hh"
 #include "net/omega.hh"
@@ -116,15 +118,15 @@ void
 routeAllPairs(benchmark::State &state, Args... args)
 {
     Topo topo(args...);
-    std::vector<net::LinkId> path;
     for (auto _ : state) {
         for (int s = 0; s < topo.numNodes(); ++s) {
             for (int d = 0; d < topo.numNodes(); ++d) {
                 if (s == d)
                     continue;
-                path.clear();
-                topo.route(s, d, path);
-                benchmark::DoNotOptimize(path.data());
+                net::LinkId last = net::kNoLink;
+                topo.forEachLink(s, d,
+                                 [&](net::LinkId l) { last = l; });
+                benchmark::DoNotOptimize(last);
             }
         }
     }
@@ -153,6 +155,42 @@ BM_RouteOmega(benchmark::State &state)
 }
 BENCHMARK(BM_RouteOmega);
 
+/** All-pairs walk over a topology built by a factory helper. */
+void
+routeAllPairsOf(benchmark::State &state, const net::Topology &topo)
+{
+    for (auto _ : state) {
+        for (int s = 0; s < topo.numNodes(); ++s) {
+            for (int d = 0; d < topo.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                net::LinkId last = net::kNoLink;
+                topo.forEachLink(s, d,
+                                 [&](net::LinkId l) { last = l; });
+                benchmark::DoNotOptimize(last);
+            }
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * topo.numNodes() *
+                            (topo.numNodes() - 1));
+}
+
+void
+BM_RouteFatTree(benchmark::State &state)
+{
+    auto topo = net::FatTree::balancedFor(64);
+    routeAllPairsOf(state, *topo);
+}
+BENCHMARK(BM_RouteFatTree);
+
+void
+BM_RouteDragonfly(benchmark::State &state)
+{
+    auto topo = net::Dragonfly::balancedFor(64);
+    routeAllPairsOf(state, *topo);
+}
+BENCHMARK(BM_RouteDragonfly);
+
 void
 BM_NetworkTransfer(benchmark::State &state)
 {
@@ -171,15 +209,16 @@ BM_NetworkTransfer(benchmark::State &state)
 }
 BENCHMARK(BM_NetworkTransfer);
 
-/** Steady-state transfers: every route is a cache hit. */
+/** Steady-state transfers on warm link occupancy (routes are always
+ *  computed analytically; there is no route cache to hit). */
 void
-BM_NetworkTransferRouteCacheHit(benchmark::State &state)
+BM_NetworkTransferSteady(benchmark::State &state)
 {
     net::NetworkParams np;
     np.link_bandwidth_mbs = 300;
     np.hop_latency = 20 * NS;
     net::Network net(std::make_unique<net::Torus3D>(4, 4, 4), np);
-    for (int s = 0; s < 64; ++s) // warm the cache
+    for (int s = 0; s < 64; ++s) // warm the occupancy state
         net.transfer(s, (s + 17) % 64, 4096, 0);
     Time now = 0;
     for (auto _ : state) {
@@ -190,12 +229,12 @@ BM_NetworkTransferRouteCacheHit(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * 64);
 }
-BENCHMARK(BM_NetworkTransferRouteCacheHit);
+BENCHMARK(BM_NetworkTransferSteady);
 
-/** Cold-cache transfers: reset() clears the cache each round, so
- *  every route recomputes via Topology::route (all misses). */
+/** Cold-state transfers: reset() drops the lazy occupancy pages
+ *  each round, so every transfer re-materializes its links. */
 void
-BM_NetworkTransferRouteCacheMiss(benchmark::State &state)
+BM_NetworkTransferColdReset(benchmark::State &state)
 {
     net::NetworkParams np;
     np.link_bandwidth_mbs = 300;
@@ -211,7 +250,7 @@ BM_NetworkTransferRouteCacheMiss(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * 64);
 }
-BENCHMARK(BM_NetworkTransferRouteCacheMiss);
+BENCHMARK(BM_NetworkTransferColdReset);
 
 void
 BM_SimulateCollective(benchmark::State &state)

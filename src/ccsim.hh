@@ -8,6 +8,10 @@
  *
  *  - machine::MachineConfig + the paper presets, machine::Machine,
  *    config file I/O;
+ *  - net::Topology / RouteCursor / makeTopology — the analytic
+ *    routing surface (docs/TOPOLOGY.md): stream a route one link at
+ *    a time in O(1) memory, or build any fabric from a spec string
+ *    ("fattree:2;4,4;1,2", "hier:2x4/dragonfly", ...);
  *  - mpi::Comm — the collective API rank programs run against;
  *  - harness::measureCollective / SweepSpec / SweepRunner — the
  *    Section 2 measurement procedure and the parallel sweep engine;
@@ -37,7 +41,8 @@
  *    hand out in their interfaces.
  *
  * Headers under src/ not reachable from here (sim/simulator.hh,
- * net/*, msg/*, the collective algorithm internals) are library
+ * net/network.hh and the concrete topology headers, the msg/
+ * transport, the collective algorithm internals) are library
  * internals: they may change layout or signature without notice.
  * See docs/EXTENDING.md for the internal-header map and how to grow
  * the simulator itself.
@@ -60,6 +65,8 @@
 #include "model/paper_data.hh"
 #include "model/predictor.hh"
 #include "mpi/comm.hh"
+#include "net/topology.hh"
+#include "net/topology_factory.hh"
 #include "replay/recorder.hh"
 #include "replay/replayer.hh"
 #include "replay/trace_parser.hh"

@@ -83,17 +83,15 @@ FaultInjector::linkSlowdown(net::LinkId link, Time t) const
 }
 
 net::LinkId
-FaultInjector::blackholedOnRoute(const net::RouteVec &route,
-                                 Time t) const
+FaultInjector::blackholedOnRoute(const net::Topology &topo, int src,
+                                 int dst, Time t) const
 {
     if (blackholed_count_ == 0 || !inWindow(t))
         return -1;
-    for (net::LinkId l : route) {
-        if (l >= 0 &&
-            static_cast<std::size_t>(l) < link_blackholed_.size() &&
-            link_blackholed_[static_cast<std::size_t>(l)])
+    net::RouteCursor cur = topo.routeFrom(src, dst);
+    for (net::LinkId l = cur.next(); l != net::kNoLink; l = cur.next())
+        if (blackholed(l))
             return l;
-    }
     return -1;
 }
 
@@ -117,8 +115,11 @@ FaultInjector::fallbackVia(int src, int dst, net::Network &net)
         return it->second;
 
     ++fallbacks_computed_;
+    const net::Topology &topo = net.topology();
     auto clear = [&](int a, int b) {
-        for (net::LinkId l : net.cachedRoute(a, b))
+        net::RouteCursor cur = topo.routeFrom(a, b);
+        for (net::LinkId l = cur.next(); l != net::kNoLink;
+             l = cur.next())
             if (blackholed(l))
                 return false;
         return true;

@@ -71,9 +71,11 @@ class FaultInjector
     /** Serialisation multiplier of @p link at time @p t (>= 1). */
     double linkSlowdown(net::LinkId link, Time t) const;
 
-    /** First black-holed link on @p route at time @p t, or -1. */
-    net::LinkId blackholedOnRoute(const net::RouteVec &route,
-                                  Time t) const;
+    /** First black-holed link on the @p src -> @p dst route at time
+     *  @p t, or -1.  Walks the route analytically (RouteCursor);
+     *  cheap enough per retransmission that no route is stored. */
+    net::LinkId blackholedOnRoute(const net::Topology &topo, int src,
+                                  int dst, Time t) const;
 
     /** Links assigned as degraded / black-holed. */
     int degradedLinks() const { return degraded_count_; }
@@ -87,9 +89,10 @@ class FaultInjector
      * `degrade` policy: the lowest-numbered node w (w != src, dst)
      * whose two routes src -> w and w -> dst avoid every black-holed
      * link, or -1 when no such detour exists (src or dst is cut off).
-     * The search enumerates routes through @p net's route cache; the
-     * answer is computed once per pair and memoised for the
-     * machine's lifetime (black-hole assignment is static).
+     * The search walks candidate routes analytically (no routes are
+     * materialized); the answer is computed once per pair and
+     * memoised for the machine's lifetime (black-hole assignment is
+     * static).
      */
     int fallbackVia(int src, int dst, net::Network &net);
 

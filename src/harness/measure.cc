@@ -88,9 +88,16 @@ memoKey(const machine::MachineConfig &cfg, int p, Coll op, Bytes m,
     std::string key;
     key.reserve(512);
 
-    appendF(key, "v1");
+    appendF(key, "v2");
     appendF(key, "%d", static_cast<int>(cfg.topology));
     appendF(key, "%d", cfg.switch_radix);
+    appendF(key, "%s", cfg.topo_spec.c_str());
+    appendF(key, "%d", cfg.hierarchy.chips);
+    appendF(key, "%d", cfg.hierarchy.cores);
+    appendF(key, "%.17g", cfg.hierarchy.chip.link_bandwidth_mbs);
+    appendF(key, "%" PRId64, cfg.hierarchy.chip.hop_latency);
+    appendF(key, "%.17g", cfg.hierarchy.node.link_bandwidth_mbs);
+    appendF(key, "%" PRId64, cfg.hierarchy.node.hop_latency);
 
     const net::NetworkParams &n = cfg.network;
     appendF(key, "%.17g", n.link_bandwidth_mbs);

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "util/cli.hh"
 #include "util/logging.hh"
 
 namespace ccsim::machine {
@@ -115,6 +116,10 @@ applyGlobal(MachineConfig &cfg, const std::string &key,
         cfg.name = value;
     else if (key == "topology")
         cfg.topology = topologyKindByName(value);
+    else if (key == "topology_spec")
+        // Full net::makeTopology grammar; "none" clears an inherited
+        // spec so a derived config can fall back to the kind above.
+        cfg.topo_spec = (value == "none") ? "" : value;
     else if (key == "switch_radix")
         cfg.switch_radix = static_cast<int>(parseInt(key, value));
     else if (key == "link_bandwidth_mbs")
@@ -229,6 +234,28 @@ applyFault(MachineConfig &cfg, const std::string &field,
         configFatal("unknown fault field '%s'", key.c_str());
 }
 
+/** Apply one hierarchy.<field> setting (multi-core node model). */
+void
+applyHierarchy(MachineConfig &cfg, const std::string &field,
+               const std::string &key, const std::string &value)
+{
+    HierarchySpec &h = cfg.hierarchy;
+    if (field == "chips")
+        h.chips = static_cast<int>(parseInt(key, value));
+    else if (field == "cores")
+        h.cores = static_cast<int>(parseInt(key, value));
+    else if (field == "chip_bandwidth_mbs")
+        h.chip.link_bandwidth_mbs = parseDouble(key, value);
+    else if (field == "chip_latency_ns")
+        h.chip.hop_latency = nanoseconds(parseDouble(key, value));
+    else if (field == "node_bandwidth_mbs")
+        h.node.link_bandwidth_mbs = parseDouble(key, value);
+    else if (field == "node_latency_ns")
+        h.node.hop_latency = nanoseconds(parseDouble(key, value));
+    else
+        configFatal("unknown hierarchy field '%s'", key.c_str());
+}
+
 } // namespace
 
 std::string
@@ -267,13 +294,22 @@ algoByName(const std::string &name)
 TopologyKind
 topologyKindByName(const std::string &name)
 {
-    for (TopologyKind k :
-         {TopologyKind::Mesh2D, TopologyKind::Torus3D,
-          TopologyKind::Omega, TopologyKind::Hypercube,
-          TopologyKind::FullyConnected}) {
+    static const TopologyKind kinds[] = {
+        TopologyKind::Mesh2D,    TopologyKind::Torus3D,
+        TopologyKind::Omega,     TopologyKind::Hypercube,
+        TopologyKind::FatTree,   TopologyKind::Dragonfly,
+        TopologyKind::FullyConnected,
+    };
+    std::vector<std::string> names;
+    for (TopologyKind k : kinds) {
         if (topologyKindName(k) == name)
             return k;
+        names.push_back(topologyKindName(k));
     }
+    std::string hint = cli::closestMatch(name, names);
+    if (!hint.empty())
+        configFatal("unknown topology '%s' (did you mean '%s'?)",
+                    name.c_str(), hint.c_str());
     configFatal("unknown topology '%s'", name.c_str());
 }
 
@@ -305,6 +341,8 @@ saveConfig(const MachineConfig &cfg, std::ostream &os)
     os << "# ccsim machine configuration\n";
     os << "name = " << cfg.name << "\n";
     os << "topology = " << topologyKindName(cfg.topology) << "\n";
+    if (!cfg.topo_spec.empty())
+        os << "topology_spec = " << cfg.topo_spec << "\n";
     os << "switch_radix = " << cfg.switch_radix << "\n";
     os << "link_bandwidth_mbs = " << cfg.network.link_bandwidth_mbs
        << "\n";
@@ -334,6 +372,22 @@ saveConfig(const MachineConfig &cfg, std::ostream &os)
        << (cfg.hardware_barrier ? "true" : "false") << "\n";
     os << "hardware_barrier_latency_us = "
        << toMicros(cfg.hardware_barrier_latency) << "\n";
+
+    // Hierarchy block only when enabled, so flat configs round-trip
+    // byte-identically to their pre-hierarchy form.
+    if (cfg.hierarchy.enabled()) {
+        const HierarchySpec &h = cfg.hierarchy;
+        os << "\nhierarchy.chips = " << h.chips << "\n";
+        os << "hierarchy.cores = " << h.cores << "\n";
+        os << "hierarchy.chip_bandwidth_mbs = "
+           << h.chip.link_bandwidth_mbs << "\n";
+        os << "hierarchy.chip_latency_ns = "
+           << toNanos(h.chip.hop_latency) << "\n";
+        os << "hierarchy.node_bandwidth_mbs = "
+           << h.node.link_bandwidth_mbs << "\n";
+        os << "hierarchy.node_latency_ns = "
+           << toNanos(h.node.hop_latency) << "\n";
+    }
 
     // Fault block only when active, so pristine configs round-trip
     // byte-identically to their pre-fault-layer form.
@@ -440,6 +494,10 @@ loadConfig(std::istream &is)
             std::string field = key.substr(dot + 1);
             if (op_key == "fault") {
                 applyFault(cfg, field, key, value);
+                continue;
+            }
+            if (op_key == "hierarchy") {
+                applyHierarchy(cfg, field, key, value);
                 continue;
             }
             auto it = collKeys().find(op_key);

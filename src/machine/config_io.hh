@@ -13,9 +13,16 @@
  *     name = MyCluster
  *     base = SP2
  *     link_bandwidth_mbs = 100
+ *     topology_spec = fattree:2;4,4;1,2
+ *     hierarchy.chips = 2
+ *     hierarchy.chip_bandwidth_mbs = 4000
  *     bcast.algorithm = scatter-allgather
  *     bcast.per_stage_us = 12
  * @endverbatim
+ *
+ * `topology_spec` (the net::makeTopology grammar, docs/TOPOLOGY.md)
+ * overrides the preset's topology kind; `hierarchy.*` keys set the
+ * multi-core node shape and the per-class link parameters.
  *
  * saveConfig() emits a complete round-trippable file; loadConfig()
  * is strict — unknown keys, malformed values, or out-of-range
@@ -35,17 +42,12 @@ namespace ccsim::machine {
 
 /**
  * A bad machine configuration: unknown preset/key/algorithm, a
- * malformed value, or an unreadable config file.  Derives from
- * FatalError (a user error, catchable as one) but refines the
- * component to "config" and the CLI exit code to kConfigExit.
+ * malformed value, or an unreadable config file.  Now defined at the
+ * util layer (util/error.hh) so the net topology factory raises the
+ * same type; this alias keeps every existing machine::ConfigError
+ * throw/catch site compiling unchanged.
  */
-struct ConfigError : FatalError
-{
-    explicit ConfigError(const std::string &message)
-        : FatalError("config", message, kConfigExit)
-    {
-    }
-};
+using ConfigError = ccsim::ConfigError;
 
 /** Write @p cfg as a complete key = value document. */
 void saveConfig(const MachineConfig &cfg, std::ostream &os);

@@ -24,6 +24,14 @@ Machine::Machine(ConfigHandle config, int p)
         fatal("Machine: need at least one node, got %d", p);
     network_ = std::make_unique<net::Network>(config_->makeTopology(p),
                                               config_->network);
+    if (network_->topology().numLinkClasses() > 1) {
+        // Hierarchical wiring: classes 1/2 are the intra-chip and
+        // intra-node fabrics, parameterized by the config's
+        // HierarchySpec (its defaults apply even when the hierarchy
+        // came from a `hier:` topo spec rather than the struct).
+        network_->setLinkClassParams(1, config_->hierarchy.chip);
+        network_->setLinkClassParams(2, config_->hierarchy.node);
+    }
     if (config_->fault.enabled()) {
         fault_ = std::make_unique<fault::FaultInjector>(
             config_->fault, p, network_->topology().numLinks());
@@ -101,9 +109,11 @@ Machine::metricsSnapshot()
     snap.counters["net.messages"] = network_->messages();
     snap.counters["net.payload_bytes"] =
         static_cast<std::uint64_t>(network_->totalBytes());
-    snap.counters["net.route_cache_hits"] = network_->routeCacheHits();
-    snap.counters["net.route_cache_misses"] =
-        network_->routeCacheMisses();
+    // net.route_cache_hits / net.route_cache_misses are gone with
+    // the route cache itself (routes are analytic now); these count
+    // the streaming walks instead.
+    snap.counters["net.route.walks"] = network_->routeWalks();
+    snap.counters["net.route.hops"] = network_->routeHops();
 
     // Completion-slot pool effectiveness across all endpoints.  The
     // counters are per-machine and derived only from operation
@@ -145,24 +155,28 @@ Machine::metricsSnapshot()
 
     if (const net::Network::LinkCounters *lc = network_->counters()) {
         snap.counters["net.stalled_transfers"] = lc->stalled_transfers;
-        const std::vector<Time> &busy = network_->linkBusyTimes();
-        for (std::size_t i = 0; i < lc->bytes.size(); ++i) {
-            if (lc->bytes[i] == 0 && lc->stall[i] == 0)
-                continue;
+        // Only touched occupancy pages are visited — per-link rows
+        // stay O(links used) even on million-link fabrics.
+        network_->forEachTouchedLink([&](net::LinkId l, Time busy) {
+            const auto i = static_cast<std::size_t>(l);
+            const Bytes b = lc->bytes.get(i);
+            const Time stall = lc->stall.get(i);
+            if (b == 0 && stall == 0)
+                return;
             // Zero-padded ids keep the name-sorted link table in
             // numeric order.
             char label[16];
             std::snprintf(label, sizeof(label), "link%05zu", i);
             stats::LinkRow row;
             row.link = label;
-            row.bytes = static_cast<std::uint64_t>(lc->bytes[i]);
-            row.busy_us = toMicros(busy[i]);
-            row.stall_us = toMicros(lc->stall[i]);
+            row.bytes = static_cast<std::uint64_t>(b);
+            row.busy_us = toMicros(busy);
+            row.stall_us = toMicros(stall);
             row.util = snap.horizon_us > 0.0
                            ? row.busy_us / snap.horizon_us
                            : 0.0;
             snap.links.push_back(std::move(row));
-        }
+        });
     }
 
     // Extension-point registry entries, folded in under their own

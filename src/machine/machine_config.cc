@@ -1,9 +1,13 @@
 #include "machine/machine_config.hh"
 
+#include "net/dragonfly.hh"
+#include "net/fat_tree.hh"
 #include "net/fully_connected.hh"
+#include "net/hierarchical.hh"
 #include "net/hypercube.hh"
 #include "net/mesh2d.hh"
 #include "net/omega.hh"
+#include "net/topology_factory.hh"
 #include "net/torus3d.hh"
 #include "util/logging.hh"
 
@@ -23,6 +27,10 @@ topologyKindName(TopologyKind k)
         return "hypercube";
       case TopologyKind::FullyConnected:
         return "fully-connected";
+      case TopologyKind::FatTree:
+        return "fattree";
+      case TopologyKind::Dragonfly:
+        return "dragonfly";
       default:
         panic("topologyKindName: bad kind %d", static_cast<int>(k));
     }
@@ -33,26 +41,60 @@ MachineConfig::makeTopology(int p) const
 {
     if (p < 1)
         fatal("MachineConfig::makeTopology: bad node count %d", p);
-    if (p == 1)
-        return std::make_unique<net::FullyConnected>(1);
-    switch (topology) {
-      case TopologyKind::Mesh2D: {
-          auto [rows, cols] = net::meshDimsFor(p);
-          return std::make_unique<net::Mesh2D>(rows, cols);
-      }
-      case TopologyKind::Torus3D: {
-          auto d = net::torusDimsFor(p);
-          return std::make_unique<net::Torus3D>(d[0], d[1], d[2]);
-      }
-      case TopologyKind::Omega:
-        return std::make_unique<net::Omega>(p, switch_radix);
-      case TopologyKind::Hypercube:
-        return std::make_unique<net::Hypercube>(p);
-      case TopologyKind::FullyConnected:
-        return std::make_unique<net::FullyConnected>(p);
-      default:
-        panic("MachineConfig::makeTopology: bad topology kind");
+    // An explicit spec overrides the kind-based balanced shapes
+    // entirely (including any `hier:` wrapping it asks for).
+    if (!topo_spec.empty())
+        return net::makeTopology(topo_spec, p);
+
+    int inner_p = p;
+    if (hierarchy.enabled()) {
+        const int per = hierarchy.ranksPerNode();
+        if (p % per != 0)
+            fatal("MachineConfig %s: %d ranks do not divide into "
+                  "%d per node (%d chips x %d cores)",
+                  name.c_str(), p, per, hierarchy.chips,
+                  hierarchy.cores);
+        inner_p = p / per;
     }
+
+    std::unique_ptr<net::Topology> inner;
+    if (inner_p == 1) {
+        inner = std::make_unique<net::FullyConnected>(1);
+    } else {
+        switch (topology) {
+          case TopologyKind::Mesh2D: {
+              auto [rows, cols] = net::meshDimsFor(inner_p);
+              inner = std::make_unique<net::Mesh2D>(rows, cols);
+              break;
+          }
+          case TopologyKind::Torus3D: {
+              auto d = net::torusDimsFor(inner_p);
+              inner = std::make_unique<net::Torus3D>(d[0], d[1], d[2]);
+              break;
+          }
+          case TopologyKind::Omega:
+            inner = std::make_unique<net::Omega>(inner_p, switch_radix);
+            break;
+          case TopologyKind::Hypercube:
+            inner = std::make_unique<net::Hypercube>(inner_p);
+            break;
+          case TopologyKind::FullyConnected:
+            inner = std::make_unique<net::FullyConnected>(inner_p);
+            break;
+          case TopologyKind::FatTree:
+            inner = net::FatTree::balancedFor(inner_p);
+            break;
+          case TopologyKind::Dragonfly:
+            inner = net::Dragonfly::balancedFor(inner_p);
+            break;
+          default:
+            panic("MachineConfig::makeTopology: bad topology kind");
+        }
+    }
+    if (hierarchy.enabled())
+        return std::make_unique<net::Hierarchical>(
+            std::move(inner), hierarchy.chips, hierarchy.cores);
+    return inner;
 }
 
 void
@@ -63,6 +105,19 @@ MachineConfig::validate() const
     if (topology == TopologyKind::Omega && switch_radix < 2)
         fatal("MachineConfig %s: omega radix %d < 2", name.c_str(),
               switch_radix);
+    if (hierarchy.chips < 0 ||
+        (hierarchy.enabled() && hierarchy.cores < 1))
+        fatal("MachineConfig %s: bad hierarchy shape %d chips x %d "
+              "cores",
+              name.c_str(), hierarchy.chips, hierarchy.cores);
+    if (hierarchy.enabled() &&
+        (hierarchy.chip.link_bandwidth_mbs <= 0 ||
+         hierarchy.node.link_bandwidth_mbs <= 0 ||
+         hierarchy.chip.hop_latency < 0 ||
+         hierarchy.node.hop_latency < 0))
+        fatal("MachineConfig %s: hierarchy link parameters must be "
+              "positive",
+              name.c_str());
     if (hardware_barrier && hardware_barrier_latency < 0)
         fatal("MachineConfig %s: negative hardware barrier latency",
               name.c_str());

@@ -42,10 +42,37 @@ enum class TopologyKind
     Omega,          //!< SP2-style multistage switch
     Hypercube,      //!< nCUBE/iPSC-style binary hypercube
     FullyConnected, //!< ideal crossbar baseline
+    FatTree,        //!< folded-Clos D-mod-k fat tree (post-paper)
+    Dragonfly,      //!< group/router/node direct network (post-paper)
 };
 
 /** Printable topology-family name. */
 std::string topologyKindName(TopologyKind k);
+
+/**
+ * Multi-core node hierarchy: hang chips * cores ranks off every
+ * network endpoint (net::Hierarchical) with their own intra-chip /
+ * intra-node link parameters.  Disabled by default (chips == 0):
+ * the paper's machines were one rank per endpoint.
+ */
+struct HierarchySpec
+{
+    int chips = 0; //!< chips per node; 0 disables the hierarchy
+    int cores = 1; //!< cores (ranks) per chip
+
+    /** Link class 1: the shared on-chip interconnect. */
+    net::NetworkParams chip{.link_bandwidth_mbs = 8000.0,
+                            .hop_latency = nanoseconds(5)};
+
+    /** Link class 2: the shared in-node bus / NIC path. */
+    net::NetworkParams node{.link_bandwidth_mbs = 2000.0,
+                            .hop_latency = nanoseconds(50)};
+
+    bool enabled() const { return chips > 0; }
+
+    /** Ranks per network endpoint (1 when disabled). */
+    int ranksPerNode() const { return enabled() ? chips * cores : 1; }
+};
 
 /** Full description of one simulated multicomputer. */
 struct MachineConfig
@@ -56,6 +83,19 @@ struct MachineConfig
 
     /** Switch radix (Omega topology only). */
     int switch_radix = 4;
+
+    /**
+     * Explicit topology spec (net::makeTopology grammar, e.g.\
+     * "fattree:2;4,4;1,2" or "hier:2x4/torus3d").  When non-empty it
+     * overrides `topology`/`switch_radix` entirely — the factory
+     * builds exactly what the spec says for the requested node
+     * count.  Empty (the default) keeps the kind-based balanced
+     * shapes, so every pre-spec config behaves as before.
+     */
+    std::string topo_spec;
+
+    /** Multi-core node model (off by default; see HierarchySpec). */
+    HierarchySpec hierarchy;
 
     /** Physical network parameters. */
     net::NetworkParams network;

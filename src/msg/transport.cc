@@ -100,7 +100,7 @@ Transport::reliableDeliver(int dst, Bytes bytes, Time when,
     for (int attempt = 0;; ++attempt) {
         Time xmit = std::max(when, sim_.now());
         net::LinkId hole =
-            fi_->blackholedOnRoute(net_.cachedRoute(node_, dst), xmit);
+            fi_->blackholedOnRoute(net_.topology(), node_, dst, xmit);
 
         // degrade: the first copy probes the direct route; once a
         // black hole has eaten it, retransmissions detour via the

@@ -1,0 +1,106 @@
+#include "net/dragonfly.hh"
+
+#include <climits>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+Dragonfly::Dragonfly(int groups, int routers, int nodes)
+    : g_(groups), r_(routers), n_(nodes)
+{
+    if (groups < 1 || routers < 1 || nodes < 1)
+        fatal("Dragonfly: need positive shape, got %dx%dx%d", groups,
+              routers, nodes);
+    const long long N = 1LL * groups * routers * nodes;
+    // Link id space: [0, N) injection, [N, 2N) ejection, then every
+    // ordered intra-group router pair, then every ordered group pair.
+    const long long locals = 1LL * groups * routers * (routers - 1);
+    const long long globals = 1LL * groups * (groups - 1);
+    if (2 * N + locals + globals > INT_MAX)
+        fatal("Dragonfly: %dx%dx%d link ids overflow", groups,
+              routers, nodes);
+    num_nodes_ = static_cast<int>(N);
+    local_base_ = static_cast<LinkId>(2 * N);
+    global_base_ = static_cast<LinkId>(2 * N + locals);
+    num_links_ = static_cast<std::size_t>(2 * N + locals + globals);
+}
+
+std::size_t
+Dragonfly::numLinks() const
+{
+    return num_links_;
+}
+
+LinkId
+Dragonfly::localLink(int grp, int a, int b) const
+{
+    return local_base_ + grp * r_ * (r_ - 1) + a * (r_ - 1) +
+           (b > a ? b - 1 : b);
+}
+
+void
+Dragonfly::startRoute(RouteCursor &cur, int src, int dst) const
+{
+    // Minimal routes are at most five links, so the whole route fits
+    // in the cursor: s[2] = read position, s[3..7] = the links,
+    // kNoLink-padded.
+    auto &s = state(cur);
+    const int sr = src / n_, dr = dst / n_; // global router indices
+    const int sg = sr / r_, dg = dr / r_;
+    int idx = 3;
+    s[idx++] = static_cast<std::int32_t>(src); // injection
+    if (sr != dr) {
+        if (sg == dg) {
+            s[idx++] = localLink(sg, sr % r_, dr % r_);
+        } else {
+            const int q = dg > sg ? dg - 1 : dg; // peer index of dg
+            const int gw = q % r_; // gateway router towards dg
+            if (sr % r_ != gw)
+                s[idx++] = localLink(sg, sr % r_, gw);
+            s[idx++] = global_base_ + sg * (g_ - 1) + q;
+            const int q2 = sg > dg ? sg - 1 : sg;
+            const int entry = q2 % r_; // dg's router owning the link
+            if (entry != dr % r_)
+                s[idx++] = localLink(dg, entry, dr % r_);
+        }
+    }
+    s[idx++] = static_cast<std::int32_t>(num_nodes_ + dst); // ejection
+    while (idx <= 7)
+        s[idx++] = kNoLink;
+    s[2] = 3;
+}
+
+LinkId
+Dragonfly::stepRoute(RouteCursor &cur) const
+{
+    auto &s = state(cur);
+    if (s[2] > 7)
+        return kNoLink;
+    const LinkId l = s[s[2]];
+    if (l == kNoLink)
+        return kNoLink;
+    ++s[2];
+    return l;
+}
+
+std::unique_ptr<Dragonfly>
+Dragonfly::balancedFor(int p)
+{
+    if (p < 1)
+        fatal("Dragonfly: need at least 1 node, got %d", p);
+    auto [nx, ny, nz] = torusDimsFor(p);
+    return std::make_unique<Dragonfly>(nx, ny, nz);
+}
+
+std::string
+Dragonfly::name() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "dragonfly %dg x %dr x %dn", g_,
+                  r_, n_);
+    return buf;
+}
+
+} // namespace ccsim::net

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dragonfly: the group/router/node hierarchical direct network of
+ * modern extreme-scale machines (Cray XC Aries, Slingshot).  Routers
+ * within a group are fully connected; groups are fully connected
+ * through one global link per ordered group pair; each router hosts
+ * n compute nodes on injection/ejection ports.
+ *
+ * Routing is minimal (shortest-path) and analytic: inject at the
+ * source router, hop locally to the gateway router owning the global
+ * link towards the destination group, cross it, hop locally to the
+ * destination router, eject.  At most five links end to end, fixed
+ * regardless of machine size — the property that makes dragonflies
+ * interesting against the paper's O(sqrt p) meshes and O(log p)
+ * multistage switches.
+ *
+ * The gateway for peer group index q is router q mod r, the standard
+ * round-robin distribution of a group's g-1 global links over its r
+ * routers.
+ */
+
+#ifndef CCSIM_NET_DRAGONFLY_HH
+#define CCSIM_NET_DRAGONFLY_HH
+
+#include <memory>
+
+#include "net/topology.hh"
+
+namespace ccsim::net {
+
+/** Dragonfly(g groups; r routers/group; n nodes/router);
+ *  node id = (group * r + router) * n + slot. */
+class Dragonfly : public Topology
+{
+  public:
+    /** Construct with @p groups >= 1 groups of @p routers >= 1
+     *  routers carrying @p nodes >= 1 compute nodes each. */
+    Dragonfly(int groups, int routers, int nodes);
+
+    int numNodes() const override { return num_nodes_; }
+    std::size_t numLinks() const override;
+    std::string name() const override;
+
+    int groups() const { return g_; }
+    int routersPerGroup() const { return r_; }
+    int nodesPerRouter() const { return n_; }
+
+    /** A near-cubic dragonfly shape for @p p nodes (g >= r >= n). */
+    static std::unique_ptr<Dragonfly> balancedFor(int p);
+
+  protected:
+    void startRoute(RouteCursor &cur, int src, int dst) const override;
+    LinkId stepRoute(RouteCursor &cur) const override;
+
+  private:
+    /** Intra-group link from router @p a to router @p b of @p grp. */
+    LinkId localLink(int grp, int a, int b) const;
+
+    int g_, r_, n_;
+    int num_nodes_;
+    LinkId local_base_;  //!< first intra-group router-router link
+    LinkId global_base_; //!< first inter-group link
+    std::size_t num_links_;
+};
+
+} // namespace ccsim::net
+
+#endif // CCSIM_NET_DRAGONFLY_HH

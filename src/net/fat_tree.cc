@@ -1,0 +1,184 @@
+#include "net/fat_tree.hh"
+
+#include <climits>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+FatTree::FatTree(std::vector<int> down, std::vector<int> up)
+    : down_(std::move(down)), up_(std::move(up))
+{
+    if (down_.empty() || down_.size() != up_.size())
+        fatal("FatTree: need matched non-empty down/up radix lists, "
+              "got %zu down and %zu up",
+              down_.size(), up_.size());
+    const int levels = static_cast<int>(down_.size());
+    dprod_.assign(levels + 1, 1);
+    uprod_.assign(levels + 1, 1);
+    for (int l = 1; l <= levels; ++l) {
+        const int d = down_[l - 1];
+        const int u = up_[l - 1];
+        if (d < 1 || u < 1)
+            fatal("FatTree: level %d radices must be >= 1 (d=%d u=%d)",
+                  l, d, u);
+        const long long dp = 1LL * dprod_[l - 1] * d;
+        const long long upp = 1LL * uprod_[l - 1] * u;
+        if (dp > INT_MAX || upp > INT_MAX)
+            fatal("FatTree: level %d radix product overflows", l);
+        dprod_[l] = static_cast<int>(dp);
+        uprod_[l] = static_cast<int>(upp);
+    }
+    num_nodes_ = dprod_[levels];
+
+    // Tier-by-tier link layout: all tier-l up-links, then all tier-l
+    // down-links, then tier l+1.  Either direction of tier l has
+    // (N / D_{l-1}) * U_l links.
+    up_base_.resize(levels);
+    down_base_.resize(levels);
+    long long base = 0;
+    for (int l = 1; l <= levels; ++l) {
+        const long long tier =
+            1LL * (num_nodes_ / dprod_[l - 1]) * uprod_[l];
+        up_base_[l - 1] = static_cast<LinkId>(base);
+        base += tier;
+        down_base_[l - 1] = static_cast<LinkId>(base);
+        base += tier;
+        if (base > INT_MAX)
+            fatal("FatTree: link ids overflow at level %d "
+                  "(%lld links)",
+                  l, base);
+    }
+    num_links_ = static_cast<std::size_t>(base);
+}
+
+std::size_t
+FatTree::numLinks() const
+{
+    return num_links_;
+}
+
+int
+FatTree::switchesAt(int l) const
+{
+    if (l < 1 || l > levels())
+        panic("FatTree: no level %d (have 1..%d)", l, levels());
+    return (num_nodes_ / dprod_[l]) * uprod_[l];
+}
+
+int
+FatTree::commonLevel(int src, int dst) const
+{
+    int m = 0;
+    while (src != dst) {
+        src /= down_[m];
+        dst /= down_[m];
+        ++m;
+    }
+    return m;
+}
+
+void
+FatTree::startRoute(RouteCursor &cur, int src, int dst) const
+{
+    // Walk state: s[2] = tier being traversed, s[3] = phase
+    // (0 ascending, 1 descending), s[4] = entity group index g,
+    // s[5] = entity multiplicity index j, s[6] = common level m.
+    auto &s = state(cur);
+    s[2] = 1;
+    s[3] = 0;
+    s[4] = src;
+    s[5] = 0;
+    s[6] = commonLevel(src, dst);
+}
+
+LinkId
+FatTree::stepRoute(RouteCursor &cur) const
+{
+    auto &s = state(cur);
+    const int dst = s[1];
+    const int l = s[2];
+    if (s[3] == 0) {
+        // Ascend tier l from the level l-1 entity (g, j): parent
+        // digit is destination-modulo-k.
+        const int c = (dst / uprod_[l - 1]) % up_[l - 1];
+        const int e = s[4] * uprod_[l - 1] + s[5];
+        const LinkId link = up_base_[l - 1] +
+                            static_cast<LinkId>(e) * up_[l - 1] + c;
+        s[4] /= down_[l - 1];
+        s[5] += c * uprod_[l - 1];
+        if (l == s[6])
+            s[3] = 1; // common ancestor reached; descend from here
+        else
+            s[2] = l + 1;
+        return link;
+    }
+    if (l == 0) {
+        if (s[4] != dst)
+            panic("FatTree: route from %d ended at %d, wanted %d",
+                  s[0], s[4], dst);
+        return kNoLink;
+    }
+    // Descend tier l from switch (g, j) towards dst's subtree: the
+    // child digit is dst's level-l mixed-radix digit, and the child's
+    // multiplicity index drops the digits above its own level.
+    const int a = (dst / dprod_[l - 1]) % down_[l - 1];
+    const int sw = s[4] * uprod_[l] + s[5];
+    const LinkId link = down_base_[l - 1] +
+                        static_cast<LinkId>(sw) * down_[l - 1] + a;
+    s[4] = s[4] * down_[l - 1] + a;
+    s[5] %= uprod_[l - 1];
+    s[2] = l - 1;
+    return link;
+}
+
+std::unique_ptr<FatTree>
+FatTree::balancedFor(int p)
+{
+    if (p < 1)
+        fatal("FatTree: need at least 1 node, got %d", p);
+    const auto half = [](int d) { return d > 1 ? d / 2 : 1; };
+    if (p <= 4096) {
+        auto [rows, cols] = meshDimsFor(p);
+        if (rows == 1) // prime or tiny: one switch tier
+            return std::make_unique<FatTree>(std::vector<int>{p},
+                                             std::vector<int>{1});
+        return std::make_unique<FatTree>(
+            std::vector<int>{cols, rows},
+            std::vector<int>{1, half(rows)});
+    }
+    auto [nx, ny, nz] = torusDimsFor(p);
+    if (ny == 1)
+        return std::make_unique<FatTree>(std::vector<int>{p},
+                                         std::vector<int>{1});
+    if (nz == 1)
+        return std::make_unique<FatTree>(
+            std::vector<int>{nx, ny}, std::vector<int>{1, half(ny)});
+    return std::make_unique<FatTree>(
+        std::vector<int>{nx, ny, nz},
+        std::vector<int>{1, half(ny), half(nz)});
+}
+
+std::string
+FatTree::name() const
+{
+    std::string out = "fat-tree XGFT(";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d; ", levels());
+    out += buf;
+    for (int l = 0; l < levels(); ++l) {
+        std::snprintf(buf, sizeof(buf), "%s%d", l ? "," : "",
+                      down_[l]);
+        out += buf;
+    }
+    out += "; ";
+    for (int l = 0; l < levels(); ++l) {
+        std::snprintf(buf, sizeof(buf), "%s%d", l ? "," : "", up_[l]);
+        out += buf;
+    }
+    out += ")";
+    return out;
+}
+
+} // namespace ccsim::net

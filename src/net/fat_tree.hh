@@ -1,0 +1,88 @@
+/**
+ * @file
+ * FatTree: an L-level folded-Clos / extended generalized fat tree
+ * (XGFT) with deterministic D-mod-k up-routing — the topology of
+ * essentially every post-1997 large cluster (SP2's own successor
+ * fabrics included), added so the paper's O(p) vs O(log p) scaling
+ * story can be extrapolated to modern machines.
+ *
+ * Structure XGFT(L; d_1..d_L; u_1..u_L): compute nodes are the
+ * N = d_1 * ... * d_L leaves; a level-l switch has d_l down-links and
+ * u_{l+1} up-links; each level-(l-1) entity (leaf or switch) has u_l
+ * parents.  u_l is the link multiplicity that gives the tree its
+ * "fat" bisection: u_l = d_l is fully non-blocking at level l,
+ * u_l = 1 is a plain tree.
+ *
+ * Routing is minimal and analytic: a message climbs to the lowest
+ * common ancestor level m of src and dst and descends.  The up-path
+ * at tier l uses parent digit c_l = (dst / (u_1...u_{l-1})) mod u_l —
+ * destination-modulo-k, so the redundant parents share traffic
+ * deterministically and any two messages to the same destination
+ * converge (the classic D-mod-k property).  The down-path is unique.
+ *
+ * Link model: one directed link per (entity, parent digit) going up
+ * and per (switch, child digit) going down; messages contend exactly
+ * when their routes share a physical tree edge in the same direction.
+ */
+
+#ifndef CCSIM_NET_FAT_TREE_HH
+#define CCSIM_NET_FAT_TREE_HH
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.hh"
+
+namespace ccsim::net {
+
+/** XGFT(L; down...; up...) fat tree; node id = mixed-radix leaf
+ *  index, least-significant digit at the deepest level. */
+class FatTree : public Topology
+{
+  public:
+    /**
+     * @param down  children per switch, deepest level first
+     *              (d_1..d_L, each >= 2); the node count is their
+     *              product
+     * @param up    parents per entity below each level (u_1..u_L,
+     *              each >= 1; u_1 is the leaf uplink multiplicity)
+     */
+    FatTree(std::vector<int> down, std::vector<int> up);
+
+    int numNodes() const override { return num_nodes_; }
+    std::size_t numLinks() const override;
+    std::string name() const override;
+
+    /** Number of switch levels L. */
+    int levels() const { return static_cast<int>(down_.size()); }
+
+    /** Switches at level @p l (1-based). */
+    int switchesAt(int l) const;
+
+    /** The lowest common ancestor level of two leaves (0 = same
+     *  leaf); the route length is exactly twice this. */
+    int commonLevel(int src, int dst) const;
+
+    /** A balanced fat tree for @p p nodes: two levels up to 4096
+     *  nodes, three beyond, near-equal radices from p's
+     *  factorization, half-bisection above the leaf tier. */
+    static std::unique_ptr<FatTree> balancedFor(int p);
+
+  protected:
+    void startRoute(RouteCursor &cur, int src, int dst) const override;
+    LinkId stepRoute(RouteCursor &cur) const override;
+
+  private:
+    std::vector<int> down_; //!< d_1..d_L (index 0 = deepest)
+    std::vector<int> up_;   //!< u_1..u_L
+    std::vector<int> dprod_; //!< D_l = d_1..d_l, dprod_[0] = 1
+    std::vector<int> uprod_; //!< U_l = u_1..u_l, uprod_[0] = 1
+    std::vector<LinkId> up_base_;   //!< first up-link id of tier l
+    std::vector<LinkId> down_base_; //!< first down-link id of tier l
+    int num_nodes_;
+    std::size_t num_links_;
+};
+
+} // namespace ccsim::net
+
+#endif // CCSIM_NET_FAT_TREE_HH

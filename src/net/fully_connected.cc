@@ -19,13 +19,22 @@ FullyConnected::numLinks() const
 }
 
 void
-FullyConnected::route(int src, int dst, std::vector<LinkId> &out) const
+FullyConnected::startRoute(RouteCursor &cur, int src, int dst) const
 {
-    checkNode(src);
-    checkNode(dst);
-    if (src == dst)
-        return;
-    out.push_back(static_cast<LinkId>(src * num_nodes_ + dst));
+    // Walk state: s[2] = private pair link, emitted once.
+    auto &s = state(cur);
+    s[2] = static_cast<std::int32_t>(src * num_nodes_ + dst);
+    s[3] = 0;
+}
+
+LinkId
+FullyConnected::stepRoute(RouteCursor &cur) const
+{
+    auto &s = state(cur);
+    if (s[3])
+        return kNoLink;
+    s[3] = 1;
+    return static_cast<LinkId>(s[2]);
 }
 
 std::string

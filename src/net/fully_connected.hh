@@ -22,8 +22,11 @@ class FullyConnected : public Topology
 
     int numNodes() const override { return num_nodes_; }
     std::size_t numLinks() const override;
-    void route(int src, int dst, std::vector<LinkId> &out) const override;
     std::string name() const override;
+
+  protected:
+    void startRoute(RouteCursor &cur, int src, int dst) const override;
+    LinkId stepRoute(RouteCursor &cur) const override;
 
   private:
     int num_nodes_;

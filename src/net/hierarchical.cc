@@ -1,0 +1,115 @@
+#include "net/hierarchical.hh"
+
+#include <climits>
+
+#include "util/logging.hh"
+
+namespace ccsim::net {
+
+Hierarchical::Hierarchical(std::unique_ptr<Topology> inner, int chips,
+                           int cores)
+    : inner_(std::move(inner)), chips_(chips), cores_(cores)
+{
+    if (!inner_)
+        fatal("Hierarchical: need an inner topology");
+    if (chips < 1 || cores < 1)
+        fatal("Hierarchical: need positive shape, got %d chips x "
+              "%d cores",
+              chips, cores);
+    const long long nodes = inner_->numNodes();
+    const long long ranks = nodes * chips * cores;
+    const long long total_chips = nodes * chips;
+    const long long links =
+        static_cast<long long>(inner_->numLinks()) + total_chips +
+        nodes;
+    if (ranks > INT_MAX || links > INT_MAX)
+        fatal("Hierarchical: %lld ranks / %lld links overflow", ranks,
+              links);
+    num_ranks_ = static_cast<int>(ranks);
+    chip_base_ = static_cast<LinkId>(inner_->numLinks());
+    bus_base_ = static_cast<LinkId>(chip_base_ + total_chips);
+    num_links_ = static_cast<std::size_t>(links);
+}
+
+std::size_t
+Hierarchical::numLinks() const
+{
+    return num_links_;
+}
+
+int
+Hierarchical::linkClass(LinkId l) const
+{
+    if (l < chip_base_)
+        return 0; // inter-node wire
+    if (l < bus_base_)
+        return 1; // intra-chip
+    return 2;     // intra-node bus / NIC path
+}
+
+void
+Hierarchical::startRoute(RouteCursor &cur, int src, int dst) const
+{
+    // Wrapper state lives in words 8..11; words 0..7 carry the
+    // embedded inner walk (started below for inter-node routes).
+    // s[8] = phase, s[9] = src chip, s[10] = dst chip,
+    // s[11] = kind (0 same chip, 1 same node, 2 inter-node).
+    auto &s = state(cur);
+    const int src_chip = src / cores_;
+    const int dst_chip = dst / cores_;
+    const int src_node = src_chip / chips_;
+    const int dst_node = dst_chip / chips_;
+    s[8] = 0;
+    s[9] = src_chip;
+    s[10] = dst_chip;
+    if (src_chip == dst_chip) {
+        s[11] = 0;
+    } else if (src_node == dst_node) {
+        s[11] = 1;
+    } else {
+        s[11] = 2;
+        // The inner walk's convention expects its endpoints in
+        // s[0]/s[1]; the wrapper keeps everything it needs in 8..11.
+        s[0] = src_node;
+        s[1] = dst_node;
+        startRouteOf(*inner_, cur, src_node, dst_node);
+    }
+}
+
+LinkId
+Hierarchical::stepRoute(RouteCursor &cur) const
+{
+    auto &s = state(cur);
+    switch (s[8]) {
+      case 0: // source chip's shared link
+        s[8] = s[11] == 0 ? 5 : 1;
+        return chip_base_ + s[9];
+      case 1: // source node's bus
+        s[8] = s[11] == 1 ? 4 : 2;
+        return bus_base_ + s[9] / chips_;
+      case 2: { // the wire: inner topology's walk, in place
+        const LinkId l = stepRouteOf(*inner_, cur);
+        if (l != kNoLink)
+            return l;
+        s[8] = 3;
+        [[fallthrough]];
+      }
+      case 3: // destination node's bus
+        s[8] = 4;
+        return bus_base_ + s[10] / chips_;
+      case 4: // destination chip's shared link
+        s[8] = 5;
+        return chip_base_ + s[10];
+      default:
+        return kNoLink;
+    }
+}
+
+std::string
+Hierarchical::name() const
+{
+    return "hier " + std::to_string(chips_) + "chip x " +
+           std::to_string(cores_) + "core / " + inner_->name();
+}
+
+} // namespace ccsim::net

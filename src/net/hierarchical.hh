@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hierarchical: a multi-core node model wrapped around any inner
+ * topology.  The 1997 paper's machines had one rank per network
+ * endpoint; modern machines hang chips * cores ranks off every
+ * endpoint, and the first hops of a collective run over on-chip and
+ * in-node fabrics that are orders of magnitude faster than the wire.
+ *
+ * Rank layout: rank = (node * chips + chip) * cores + core, so
+ * consecutive ranks pack onto the same chip first (the MPI default
+ * "by slot" placement).
+ *
+ * Link model (three classes, each with its own NetworkParams
+ * override, see MachineConfig::hierarchy):
+ *   class 1 — one shared link per chip (the on-chip interconnect);
+ *   class 2 — one shared bus per node (memory bus / NIC path);
+ *   class 0 — the inner topology's links (the wires between nodes).
+ *
+ * Routes: same chip -> [chip]; same node -> [chip, bus, chip'];
+ * inter-node -> [chip, bus, inner-route..., bus', chip'].  The inner
+ * route is walked analytically in place — the wrapper adds O(1)
+ * cursor state (words 8..11) on top of the inner walk (words 0..7),
+ * so routing stays O(hops) time / O(1) memory at any scale.
+ */
+
+#ifndef CCSIM_NET_HIERARCHICAL_HH
+#define CCSIM_NET_HIERARCHICAL_HH
+
+#include <memory>
+
+#include "net/topology.hh"
+
+namespace ccsim::net {
+
+/** Multi-core endpoint wrapper: ranks = inner nodes * chips * cores. */
+class Hierarchical : public Topology
+{
+  public:
+    /**
+     * @param inner  the inter-node topology (owned)
+     * @param chips  chips per node, >= 1
+     * @param cores  cores (ranks) per chip, >= 1
+     */
+    Hierarchical(std::unique_ptr<Topology> inner, int chips,
+                 int cores);
+
+    int numNodes() const override { return num_ranks_; }
+    std::size_t numLinks() const override;
+    std::string name() const override;
+
+    int linkClass(LinkId l) const override;
+    int numLinkClasses() const override { return 3; }
+
+    const Topology &inner() const { return *inner_; }
+    int chipsPerNode() const { return chips_; }
+    int coresPerChip() const { return cores_; }
+
+  protected:
+    void startRoute(RouteCursor &cur, int src, int dst) const override;
+    LinkId stepRoute(RouteCursor &cur) const override;
+
+  private:
+    std::unique_ptr<Topology> inner_;
+    int chips_, cores_;
+    int num_ranks_;
+    LinkId chip_base_; //!< first per-chip link (class 1)
+    LinkId bus_base_;  //!< first per-node bus link (class 2)
+    std::size_t num_links_;
+};
+
+} // namespace ccsim::net
+
+#endif // CCSIM_NET_HIERARCHICAL_HH

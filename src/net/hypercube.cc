@@ -26,21 +26,34 @@ Hypercube::numLinks() const
 }
 
 void
-Hypercube::route(int src, int dst, std::vector<LinkId> &out) const
+Hypercube::startRoute(RouteCursor &cur, int src, int dst) const
 {
-    checkNode(src);
-    checkNode(dst);
+    // Walk state: s[2] = current corner, s[3] = next dimension.
+    auto &s = state(cur);
+    (void)dst;
+    s[2] = src;
+    s[3] = 0;
+}
+
+LinkId
+Hypercube::stepRoute(RouteCursor &cur) const
+{
+    auto &s = state(cur);
+    const int dst = s[1];
     // e-cube routing: correct differing bits from dimension 0 up.
-    int cur = src;
-    for (int d = 0; d < dims_; ++d) {
-        if (((cur ^ dst) >> d) & 1) {
-            out.push_back(linkFrom(cur, d));
-            cur ^= 1 << d;
+    for (std::int32_t &d = s[3]; d < dims_; ++d) {
+        if (((s[2] ^ dst) >> d) & 1) {
+            int node = s[2];
+            s[2] ^= 1 << d;
+            int dim = d;
+            ++d; // this dimension is corrected; resume above it
+            return linkFrom(node, dim);
         }
     }
-    if (cur != dst)
-        panic("Hypercube: route from %d ended at %d, wanted %d", src,
-              cur, dst);
+    if (s[2] != dst)
+        panic("Hypercube: route from %d ended at %d, wanted %d", s[0],
+              s[2], dst);
+    return kNoLink;
 }
 
 std::string

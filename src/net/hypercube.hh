@@ -24,11 +24,14 @@ class Hypercube : public Topology
 
     int numNodes() const override { return num_nodes_; }
     std::size_t numLinks() const override;
-    void route(int src, int dst, std::vector<LinkId> &out) const override;
     std::string name() const override;
 
     /** Number of dimensions (log2 of the node count). */
     int dimensions() const { return dims_; }
+
+  protected:
+    void startRoute(RouteCursor &cur, int src, int dst) const override;
+    LinkId stepRoute(RouteCursor &cur) const override;
 
   private:
     // One directed link slot per (node, dimension).

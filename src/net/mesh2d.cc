@@ -35,35 +35,43 @@ Mesh2D::nodeAt(int row, int col) const
 }
 
 void
-Mesh2D::route(int src, int dst, std::vector<LinkId> &out) const
+Mesh2D::startRoute(RouteCursor &cur, int src, int dst) const
 {
-    checkNode(src);
-    checkNode(dst);
-    auto [row, col] = coords(src);
-    auto [drow, dcol] = coords(dst);
+    // Walk state: current (row, col) and target (row, col).
+    auto &s = state(cur);
+    s[2] = src / cols_;
+    s[3] = src % cols_;
+    s[4] = dst / cols_;
+    s[5] = dst % cols_;
+}
 
-    // X first: correct the column.
-    while (col != dcol) {
-        int node = nodeAt(row, col);
-        if (col < dcol) {
-            out.push_back(linkFrom(node, PosX));
-            ++col;
-        } else {
-            out.push_back(linkFrom(node, NegX));
-            --col;
-        }
+LinkId
+Mesh2D::stepRoute(RouteCursor &cur) const
+{
+    auto &s = state(cur);
+    std::int32_t &row = s[2];
+    std::int32_t &col = s[3];
+    const int drow = s[4];
+    const int dcol = s[5];
+    int node = row * cols_ + col;
+    // X first: correct the column, then Y: correct the row.
+    if (col < dcol) {
+        ++col;
+        return linkFrom(node, PosX);
     }
-    // Then Y: correct the row.
-    while (row != drow) {
-        int node = nodeAt(row, col);
-        if (row < drow) {
-            out.push_back(linkFrom(node, PosY));
-            ++row;
-        } else {
-            out.push_back(linkFrom(node, NegY));
-            --row;
-        }
+    if (col > dcol) {
+        --col;
+        return linkFrom(node, NegX);
     }
+    if (row < drow) {
+        ++row;
+        return linkFrom(node, PosY);
+    }
+    if (row > drow) {
+        --row;
+        return linkFrom(node, NegY);
+    }
+    return kNoLink;
 }
 
 std::string

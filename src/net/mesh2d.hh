@@ -22,7 +22,6 @@ class Mesh2D : public Topology
 
     int numNodes() const override { return rows_ * cols_; }
     std::size_t numLinks() const override;
-    void route(int src, int dst, std::vector<LinkId> &out) const override;
     std::string name() const override;
 
     int rows() const { return rows_; }
@@ -33,6 +32,10 @@ class Mesh2D : public Topology
 
     /** Node id at (row, col). */
     int nodeAt(int row, int col) const;
+
+  protected:
+    void startRoute(RouteCursor &cur, int src, int dst) const override;
+    LinkId stepRoute(RouteCursor &cur) const override;
 
   private:
     // Four directed link slots per node: +x, -x, +y, -y.  Edge slots

@@ -17,42 +17,39 @@ Network::Network(std::unique_ptr<Topology> topo, const NetworkParams &params)
               params_.link_bandwidth_mbs);
     if (params_.hop_latency < 0 || params_.packet_overhead < 0)
         fatal("Network: negative hop latency or packet overhead");
-    link_free_.assign(topo_->numLinks(), 0);
-    link_busy_.assign(topo_->numLinks(), 0);
-    route_cache_.resize(static_cast<std::size_t>(topo_->numNodes()) *
-                        static_cast<std::size_t>(topo_->numNodes()));
+    link_free_.reset(topo_->numLinks());
+    link_busy_.reset(topo_->numLinks());
+    class_params_.assign(
+        static_cast<std::size_t>(topo_->numLinkClasses()), params_);
+    classed_ = topo_->numLinkClasses() > 1;
 }
 
-const RouteVec &
-Network::cachedRoute(int src, int dst)
+void
+Network::setLinkClassParams(int cls, const NetworkParams &p)
 {
-    if (src == dst)
-        panic("Network::cachedRoute: no route from node %d to itself",
-              src);
-    std::size_t slot = static_cast<std::size_t>(src) *
-                           static_cast<std::size_t>(topo_->numNodes()) +
-                       static_cast<std::size_t>(dst);
-    if (slot >= route_cache_.size())
-        panic("Network::cachedRoute: node out of range (%d -> %d)", src,
-              dst);
-    RouteVec &path = route_cache_[slot];
-    if (path.empty()) {
-        ++route_misses_;
-        // Topology::route appends into a plain vector; compute into a
-        // reusable scratch and copy exact-size into pooled storage so
-        // a fresh Machine's route misses stop hitting the heap (the
-        // copies come from blocks the previous Machine parked).
-        static thread_local std::vector<LinkId> scratch;
-        scratch.clear();
-        topo_->route(src, dst, scratch);
-        if (scratch.empty())
-            panic("Network::cachedRoute: empty route from %d to %d", src,
-                  dst);
-        path.assign(scratch.begin(), scratch.end());
-    } else {
-        ++route_hits_;
-    }
-    return path;
+    if (cls < 0 || cls >= static_cast<int>(class_params_.size()))
+        panic("Network::setLinkClassParams: topology '%s' has no "
+              "link class %d (classes: %d)",
+              topo_->name().c_str(), cls, topo_->numLinkClasses());
+    if (p.link_bandwidth_mbs <= 0)
+        fatal("Network: link class %d bandwidth must be positive, "
+              "got %g MB/s",
+              cls, p.link_bandwidth_mbs);
+    if (p.hop_latency < 0 || p.packet_overhead < 0)
+        fatal("Network: link class %d has negative hop latency or "
+              "packet overhead",
+              cls);
+    class_params_[static_cast<std::size_t>(cls)] = p;
+    if (cls == 0)
+        params_ = p; // class 0 is the base wire
+}
+
+const NetworkParams &
+Network::linkClassParams(int cls) const
+{
+    if (cls < 0 || cls >= static_cast<int>(class_params_.size()))
+        panic("Network::linkClassParams: no link class %d", cls);
+    return class_params_[static_cast<std::size_t>(cls)];
 }
 
 Time
@@ -65,57 +62,85 @@ Network::transfer(int src, int dst, Bytes bytes, Time now)
         panic("Network::transfer: negative size %lld",
               static_cast<long long>(bytes));
 
-    const RouteVec &path = cachedRoute(src, dst);
+    ++route_walks_;
 
-    Bytes wire = bytes + params_.packet_overhead;
-    Time ser = transferTime(wire, params_.link_bandwidth_mbs);
+    // Uniform wiring: one serialisation time for the whole route.
+    // Multi-class wiring computes the gating (slowest-link)
+    // serialisation and per-class hop latency during the first walk.
+    Time ser = classed_ ? 0
+                        : transferTime(bytes + params_.packet_overhead,
+                                       params_.link_bandwidth_mbs);
+    Time hops_delay = 0;
 
+    // Walk 1: route length and the contention window — the transfer
+    // starts when every link on the route is free.
     Time start = now;
     LinkId constraining = -1;
-    if (params_.contention)
-        for (LinkId l : path)
-            if (link_free_[static_cast<size_t>(l)] > start) {
-                start = link_free_[static_cast<size_t>(l)];
+    std::size_t path_len = 0;
+    topo_->forEachLink(src, dst, [&](LinkId l) {
+        ++path_len;
+        if (classed_) {
+            const NetworkParams &cp =
+                class_params_[static_cast<std::size_t>(
+                    topo_->linkClass(l))];
+            ser = std::max(
+                ser, transferTime(bytes + cp.packet_overhead,
+                                  cp.link_bandwidth_mbs));
+            hops_delay += cp.hop_latency;
+        }
+        if (params_.contention) {
+            const Time f = link_free_.get(static_cast<std::size_t>(l));
+            if (f > start) {
+                start = f;
                 constraining = l;
             }
+        }
+    });
+    if (path_len == 0)
+        panic("Network::transfer: empty route from %d to %d", src,
+              dst);
+    route_hops_ += path_len;
+    if (!classed_)
+        hops_delay =
+            params_.hop_latency * static_cast<Time>(path_len);
 
     if (slowdown_hook_) {
         // A degraded link slows the whole cut-through worm: the
         // serialisation rate is set by the slowest link on the route.
         double worst = 1.0;
-        for (LinkId l : path)
+        topo_->forEachLink(src, dst, [&](LinkId l) {
             worst = std::max(worst, slowdown_hook_(l, start));
+        });
         if (worst > 1.0)
             ser = static_cast<Time>(
                 std::llround(static_cast<double>(ser) * worst));
     }
 
-    if (params_.contention)
-        for (LinkId l : path)
-            link_free_[static_cast<size_t>(l)] = start + ser;
-    for (LinkId l : path)
-        link_busy_[static_cast<size_t>(l)] += ser;
+    // Walk 2 (3 with a slowdown hook): commit the reservation.
+    topo_->forEachLink(src, dst, [&](LinkId l) {
+        const auto i = static_cast<std::size_t>(l);
+        if (params_.contention)
+            link_free_.slot(i) = start + ser;
+        link_busy_.slot(i) += ser;
+        if (counters_)
+            counters_->bytes.slot(i) += bytes;
+    });
 
     ++messages_;
     total_bytes_ += bytes;
-    total_link_busy_ += ser * static_cast<Time>(path.size());
+    total_link_busy_ += ser * static_cast<Time>(path_len);
 
-    if (counters_) {
-        for (LinkId l : path)
-            counters_->bytes[static_cast<size_t>(l)] += bytes;
-        if (constraining >= 0) {
-            // The wait from arrival to grant, charged to the link
-            // whose occupancy set the start time — "who is the
-            // bottleneck", the paper's contention question.
-            Time stall = start - now;
-            counters_->stall[static_cast<size_t>(constraining)] += stall;
-            counters_->total_stall += stall;
-            ++counters_->stalled_transfers;
-        }
+    if (counters_ && constraining >= 0) {
+        // The wait from arrival to grant, charged to the link whose
+        // occupancy set the start time — "who is the bottleneck",
+        // the paper's contention question.
+        const Time stall = start - now;
+        counters_->stall.slot(static_cast<std::size_t>(constraining)) +=
+            stall;
+        counters_->total_stall += stall;
+        ++counters_->stalled_transfers;
     }
 
-    Time hops_delay =
-        params_.hop_latency * static_cast<Time>(path.size());
     return start + hops_delay + ser;
 }
 
@@ -136,10 +161,10 @@ Network::utilization(Time horizon) const
     if (horizon <= 0)
         return u;
     double sum = 0.0;
-    for (std::size_t i = 0; i < link_free_.size(); ++i) {
-        Time busy = std::min(link_free_[i], horizon);
+    link_free_.forEach([&](std::size_t i, Time end) {
+        Time busy = std::min(end, horizon);
         if (busy <= 0)
-            continue;
+            return;
         ++u.links_used;
         double frac = static_cast<double>(busy) /
                       static_cast<double>(horizon);
@@ -148,8 +173,8 @@ Network::utilization(Time horizon) const
             u.max = frac;
             u.hottest = static_cast<LinkId>(i);
         }
-    }
-    if (!link_free_.empty())
+    });
+    if (link_free_.size() > 0)
         u.mean = sum / static_cast<double>(link_free_.size());
     return u;
 }
@@ -161,10 +186,10 @@ Network::exactUtilization(Time horizon) const
     if (horizon <= 0)
         return u;
     double sum = 0.0;
-    for (std::size_t i = 0; i < link_busy_.size(); ++i) {
-        Time busy = std::min(link_busy_[i], horizon);
+    link_busy_.forEach([&](std::size_t i, Time acc) {
+        Time busy = std::min(acc, horizon);
         if (busy <= 0)
-            continue;
+            return;
         ++u.links_used;
         double frac = static_cast<double>(busy) /
                       static_cast<double>(horizon);
@@ -173,8 +198,8 @@ Network::exactUtilization(Time horizon) const
             u.max = frac;
             u.hottest = static_cast<LinkId>(i);
         }
-    }
-    if (!link_busy_.empty())
+    });
+    if (link_busy_.size() > 0)
         u.mean = sum / static_cast<double>(link_busy_.size());
     return u;
 }
@@ -185,8 +210,8 @@ Network::enableCounters()
     if (counters_)
         return;
     counters_ = std::make_unique<LinkCounters>();
-    counters_->bytes.assign(topo_->numLinks(), 0);
-    counters_->stall.assign(topo_->numLinks(), 0);
+    counters_->bytes.reset(topo_->numLinks());
+    counters_->stall.reset(topo_->numLinks());
 }
 
 void
@@ -194,8 +219,8 @@ Network::resetCounters()
 {
     if (!counters_)
         return;
-    std::fill(counters_->bytes.begin(), counters_->bytes.end(), 0);
-    std::fill(counters_->stall.begin(), counters_->stall.end(), 0);
+    counters_->bytes.clear();
+    counters_->stall.clear();
     counters_->total_stall = 0;
     counters_->stalled_transfers = 0;
 }
@@ -203,12 +228,10 @@ Network::resetCounters()
 void
 Network::reset()
 {
-    std::fill(link_free_.begin(), link_free_.end(), 0);
-    std::fill(link_busy_.begin(), link_busy_.end(), 0);
-    for (auto &path : route_cache_)
-        path.clear();
-    route_hits_ = 0;
-    route_misses_ = 0;
+    link_free_.clear();
+    link_busy_.clear();
+    route_walks_ = 0;
+    route_hops_ = 0;
     messages_ = 0;
     total_bytes_ = 0;
     total_link_busy_ = 0;

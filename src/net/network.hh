@@ -13,18 +13,25 @@
  *  3. distance: per-hop router latency scales with route length.
  *
  * A transfer of b bytes from src to dst starts when every link on
- * its dimension-order route is free, holds each for the wire
+ * its deterministic route is free, holds each for the wire
  * serialisation time (b + packet overhead at the link bandwidth),
  * and is fully received hops * hop_latency + serialisation after it
  * starts.  Contention can be disabled for ablation studies.
  *
- * Routing is deterministic, so the link path for a (src, dst) pair
- * never changes over a network's lifetime; transfer() therefore
- * memoises routes in a per-pair cache filled lazily from
- * Topology::route.  A k-iteration collective measurement reuses the
- * same pairs k times, so all but the first enumeration of each pair
- * is a cache hit.  reset() drops the cache along with the occupancy
- * state (fresh-measurement hygiene; cached paths would remain valid).
+ * Routing is ANALYTIC: transfer() walks the route with a RouteCursor
+ * (O(1) state, one link per step) as many times as it needs passes —
+ * there is no stored route anywhere.  The old per-(src, dst) route
+ * cache was O(p^2) memory and capped the simulator around p ~ 10^4;
+ * with analytic walks plus lazily-paged link state (LazyArray), a
+ * Network's footprint is O(links touched), and p = 10^5..10^6 rank
+ * machines are simulable.
+ *
+ * Heterogeneous links: a multi-class topology (Hierarchical's
+ * intra-chip / intra-node / inter-node wiring) can be given per-class
+ * NetworkParams via setLinkClassParams(); the worm is then gated by
+ * the slowest link's serialisation and accumulates per-hop latency
+ * per class.  Uniform (single-class) topologies keep the exact
+ * historical arithmetic, bit for bit.
  */
 
 #ifndef CCSIM_NET_NETWORK_HH
@@ -36,6 +43,7 @@
 #include <vector>
 
 #include "net/topology.hh"
+#include "util/lazy_array.hh"
 #include "util/units.hh"
 
 namespace ccsim::net {
@@ -89,6 +97,18 @@ class Network
     const Topology &topology() const { return *topo_; }
     const NetworkParams &params() const { return params_; }
 
+    /**
+     * Override the physical parameters of link class @p cls (see
+     * Topology::linkClass).  Class 0 defaults to the construction
+     * params; classes >= 1 (hierarchical intra-chip / intra-node
+     * links) default to the same until overridden.  Panics on a class
+     * the topology does not have.
+     */
+    void setLinkClassParams(int cls, const NetworkParams &p);
+
+    /** Effective parameters of link class @p cls. */
+    const NetworkParams &linkClassParams(int cls) const;
+
     /** Total messages injected. */
     std::uint64_t messages() const { return messages_; }
 
@@ -98,22 +118,16 @@ class Network
     /** Sum over links of busy time (for utilization reports). */
     Time totalLinkBusy() const { return total_link_busy_; }
 
-    /** Forget all link occupancy, stats, and cached routes (fresh
-     *  measurement run). */
+    /** Forget all link occupancy and stats (fresh measurement run).
+     *  O(links touched), not O(total links). */
     void reset();
 
-    /**
-     * The memoised route from @p src to @p dst (filled from
-     * Topology::route on first use).  The reference stays valid until
-     * reset().  src must differ from dst.
-     */
-    const RouteVec &cachedRoute(int src, int dst);
+    /** Route walks performed (one per transfer; the streaming
+     *  successor of the old route-cache hit/miss counters). */
+    std::uint64_t routeWalks() const { return route_walks_; }
 
-    /** Transfers/lookups served from the route cache. */
-    std::uint64_t routeCacheHits() const { return route_hits_; }
-
-    /** Route enumerations that had to consult the topology. */
-    std::uint64_t routeCacheMisses() const { return route_misses_; }
+    /** Total links enumerated across all route walks. */
+    std::uint64_t routeHops() const { return route_hops_; }
 
     /** Utilization summary over a time horizon. */
     struct Utilization
@@ -134,15 +148,33 @@ class Network
     Utilization utilization(Time horizon) const;
 
     /**
-     * Exact per-link busy accounting: link i's accumulated wire
-     * serialisation time (unlike utilization(), which approximates by
-     * last reservation end).  Added for the fault layer's degraded-
-     * link diagnostics; always maintained, reset() clears it.
+     * Exact accumulated wire serialisation time of one link (unlike
+     * utilization(), which approximates by last reservation end).
+     * Always maintained; reset() clears it.  Replaces the old dense
+     * linkBusyTimes() vector accessor.
      */
-    const std::vector<Time> &linkBusyTimes() const { return link_busy_; }
+    Time
+    linkBusy(LinkId l) const
+    {
+        return link_busy_.get(static_cast<std::size_t>(l));
+    }
 
-    /** Exact busy fractions over @p horizon, from linkBusyTimes(). */
+    /** Exact busy fractions over @p horizon, from linkBusy(). */
     Utilization exactUtilization(Time horizon) const;
+
+    /**
+     * Visit fn(LinkId, Time busy) for every link whose occupancy page
+     * has been touched, in ascending id order — the O(links touched)
+     * iteration backing per-link reports at extreme scale.
+     */
+    template <typename Fn>
+    void
+    forEachTouchedLink(Fn &&fn) const
+    {
+        link_busy_.forEach([&](std::size_t i, Time busy) {
+            fn(static_cast<LinkId>(i), busy);
+        });
+    }
 
     /**
      * Optional per-link traffic/contention counters for the metrics
@@ -153,9 +185,9 @@ class Network
      */
     struct LinkCounters
     {
-        std::vector<Bytes> bytes; //!< payload bytes carried per link
-        std::vector<Time> stall;  //!< wait time charged to each link
-        Time total_stall = 0;     //!< sum of per-transfer waits
+        LazyArray<Bytes> bytes; //!< payload bytes carried per link
+        LazyArray<Time> stall;  //!< wait time charged to each link
+        Time total_stall = 0;   //!< sum of per-transfer waits
         std::uint64_t stalled_transfers = 0; //!< transfers that waited
     };
 
@@ -186,16 +218,18 @@ class Network
   private:
     std::unique_ptr<Topology> topo_;
     NetworkParams params_;
-    std::vector<Time> link_free_;
-    std::vector<Time> link_busy_;
+    /** Per-link-class params; index by Topology::linkClass.  Size 1
+     *  for uniform topologies — then the single entry is params_ and
+     *  the classed arithmetic is bypassed entirely. */
+    std::vector<NetworkParams> class_params_;
+    bool classed_ = false;
+    LazyArray<Time> link_free_;
+    LazyArray<Time> link_busy_;
     LinkSlowdownHook slowdown_hook_;
     std::unique_ptr<LinkCounters> counters_;
 
-    /** Per-(src,dst) memoised routes, indexed src * numNodes + dst.
-     *  An unfilled slot is empty; every legal route has >= 1 link. */
-    std::vector<RouteVec> route_cache_;
-    std::uint64_t route_hits_ = 0;
-    std::uint64_t route_misses_ = 0;
+    std::uint64_t route_walks_ = 0;
+    std::uint64_t route_hops_ = 0;
 
     std::uint64_t messages_ = 0;
     Bytes total_bytes_ = 0;

@@ -41,34 +41,43 @@ Omega::shuffle(int w) const
 }
 
 void
-Omega::route(int src, int dst, std::vector<LinkId> &out) const
+Omega::startRoute(RouteCursor &cur, int src, int dst) const
 {
-    checkNode(src);
-    checkNode(dst);
-    if (src == dst)
-        return;
+    // Walk state: s[2] = current port position, s[3] = destination-
+    // digit divisor, s[4] = next stage (-1 = injection link pending).
+    auto &s = state(cur);
+    (void)dst;
+    s[2] = src;
+    s[3] = ports_ / radix_;
+    s[4] = -1;
+}
 
-    // Injection link from the node into its network input port.
-    out.push_back(static_cast<LinkId>(src));
-
-    int w = src;
-    // Destination digits, most significant first.
-    int div = ports_ / radix_;
-    for (int stage = 0; stage < stages_; ++stage) {
-        w = shuffle(w);
-        int digit = (dst / div) % radix_;
-        div /= radix_;
-        if (div == 0)
-            div = 1;
-        w = w - (w % radix_) + digit;
-        // Output wire of this stage at position w (the final stage's
-        // wire doubles as the ejection link).
-        out.push_back(static_cast<LinkId>(
-            num_nodes_ + stage * ports_ + w));
+LinkId
+Omega::stepRoute(RouteCursor &cur) const
+{
+    auto &s = state(cur);
+    const int dst = s[1];
+    if (s[4] < 0) {
+        // Injection link from the node into its network input port.
+        s[4] = 0;
+        return static_cast<LinkId>(s[0]);
     }
-    if (w != dst)
-        panic("Omega: route from %d ended at port %d, wanted %d",
-              src, w, dst);
+    int stage = s[4];
+    if (stage >= stages_) {
+        if (s[2] != dst)
+            panic("Omega: route from %d ended at port %d, wanted %d",
+                  s[0], s[2], dst);
+        return kNoLink;
+    }
+    int w = shuffle(s[2]);
+    int digit = (dst / s[3]) % radix_;
+    s[3] = s[3] / radix_ > 0 ? s[3] / radix_ : 1;
+    w = w - (w % radix_) + digit;
+    s[2] = w;
+    s[4] = stage + 1;
+    // Output wire of this stage at position w (the final stage's
+    // wire doubles as the ejection link).
+    return static_cast<LinkId>(num_nodes_ + stage * ports_ + w);
 }
 
 std::string

@@ -39,7 +39,6 @@ class Omega : public Topology
 
     int numNodes() const override { return num_nodes_; }
     std::size_t numLinks() const override;
-    void route(int src, int dst, std::vector<LinkId> &out) const override;
     std::string name() const override;
 
     /** Number of switch stages. */
@@ -50,6 +49,10 @@ class Omega : public Topology
 
     /** Perfect shuffle of a port position (rotate-left, base radix). */
     int shuffle(int w) const;
+
+  protected:
+    void startRoute(RouteCursor &cur, int src, int dst) const override;
+    LinkId stepRoute(RouteCursor &cur) const override;
 
   private:
     int num_nodes_;

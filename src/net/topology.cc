@@ -1,17 +1,42 @@
 #include "net/topology.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
 
 #include "util/logging.hh"
 
 namespace ccsim::net {
 
+RouteCursor
+Topology::routeFrom(int src, int dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    RouteCursor cur;
+    if (src == dst)
+        return cur; // exhausted: self-routes are empty
+    cur.topo_ = this;
+    cur.s[0] = src;
+    cur.s[1] = dst;
+    startRoute(cur, src, dst);
+    return cur;
+}
+
+std::vector<LinkId>
+Topology::routeVector(int src, int dst) const
+{
+    std::vector<LinkId> out;
+    forEachLink(src, dst, [&](LinkId l) { out.push_back(l); });
+    return out;
+}
+
 int
 Topology::hops(int src, int dst) const
 {
-    std::vector<LinkId> p;
-    route(src, dst, p);
-    return static_cast<int>(p.size());
+    int n = 0;
+    forEachLink(src, dst, [&](LinkId) { ++n; });
+    return n;
 }
 
 int
@@ -34,45 +59,46 @@ Topology::checkNode(int node) const
               name().c_str(), node, numNodes());
 }
 
-namespace {
-
-bool
-isPowerOfTwo(int p)
-{
-    return p > 0 && (p & (p - 1)) == 0;
-}
-
-} // namespace
-
 std::pair<int, int>
 meshDimsFor(int p)
 {
-    if (!isPowerOfTwo(p))
-        fatal("meshDimsFor: %d is not a power of two", p);
-    // Split the exponent as evenly as possible; wider than tall,
-    // matching how Paragon cabinets were laid out.
-    int e = 0;
-    while ((1 << e) < p)
-        ++e;
-    int ce = (e + 1) / 2; // cols exponent (the larger half)
-    int re = e - ce;
-    return {1 << re, 1 << ce};
+    if (p < 1)
+        fatal("meshDimsFor: need a positive node count, got %d", p);
+    // Largest divisor at or below sqrt(p) becomes the row count, so
+    // the mesh is as square as p's factorization allows and wider
+    // than tall — power-of-two sizes keep the shapes the Paragon
+    // cabinets had (8 -> 2x4, 128 -> 8x16).
+    int r = static_cast<int>(
+        std::round(std::sqrt(static_cast<double>(p))));
+    while (r * r > p)
+        --r; // floor against floating-point drift on perfect squares
+    while (r > 1 && p % r != 0)
+        --r;
+    return {r, p / r};
 }
 
 std::array<int, 3>
 torusDimsFor(int p)
 {
-    if (!isPowerOfTwo(p))
-        fatal("torusDimsFor: %d is not a power of two", p);
-    int e = 0;
-    while ((1 << e) < p)
-        ++e;
-    // Distribute the exponent across z, y, x as evenly as possible,
-    // giving the extra factors to x first (e.g. 128 -> 8x4x4).
-    int ex = (e + 2) / 3;
-    int ey = (e - ex + 1) / 2;
-    int ez = e - ex - ey;
-    return {1 << ex, 1 << ey, 1 << ez};
+    if (p < 1)
+        fatal("torusDimsFor: need a positive node count, got %d", p);
+    // Peel the largest divisor at or below cbrt(p) off as z, then
+    // split the rest near-square; extra factors go to x first
+    // (e.g. 128 -> 8x4x4, matching the historical power-of-two
+    // shapes).
+    int nz = static_cast<int>(
+        std::round(std::cbrt(static_cast<double>(p))));
+    while (nz * nz * nz > p)
+        --nz; // floor against floating-point drift on perfect cubes
+    while (nz > 1 && p % nz != 0)
+        --nz;
+    auto [ny, nx] = meshDimsFor(p / nz);
+    std::array<int, 3> d{nx, ny, nz};
+    // A prime residue can leave ny < nz (e.g. 26 -> 13x1x2); restore
+    // the documented nx >= ny >= nz.  No-op for every power of two,
+    // so the historical shapes are untouched.
+    std::sort(d.begin(), d.end(), std::greater<>());
+    return d;
 }
 
 } // namespace ccsim::net

@@ -8,9 +8,18 @@
  * traverses.  Link identifiers index the Network's per-link occupancy
  * table, so two routes that share a LinkId contend for that wire.
  *
+ * Routing is ANALYTIC: a route is never materialized.  routeFrom()
+ * returns a RouteCursor — a fixed-size walk state advanced one link
+ * at a time — so enumerating a route costs O(hops) time and O(1)
+ * memory at any machine size.  This is what lets the simulator reach
+ * p = 100k–1M ranks: the old per-(src, dst) route cache was O(p²)
+ * memory and is gone entirely.
+ *
  * Concrete topologies: Mesh2D (Intel Paragon), Torus3D (Cray T3D),
- * Omega multistage (IBM SP2 Vulcan switch fabric), FullyConnected
- * (an ideal contention-free baseline).
+ * Omega multistage (IBM SP2 Vulcan switch fabric), Hypercube
+ * (nCUBE/iPSC), FatTree (k-ary D-mod-k), Dragonfly (group/router/
+ * node), Hierarchical (multi-core node wrapper), FullyConnected (an
+ * ideal contention-free baseline).  See docs/TOPOLOGY.md.
  */
 
 #ifndef CCSIM_NET_TOPOLOGY_HH
@@ -22,23 +31,52 @@
 #include <utility>
 #include <vector>
 
-#include "sim/pool.hh"
-
 namespace ccsim::net {
 
 /** Index of a directed physical link within a topology. */
 using LinkId = std::int32_t;
 
-/**
- * A stored route: the directed links from one node to another, backed
- * by the thread's frame pool.  Used for long-lived route storage on
- * the simulation hot path (Network's route cache is rebuilt for every
- * Machine, i.e.\ every sweep point); Topology::route itself keeps
- * taking a plain vector — it runs once per (src, dst) pair.
- */
-using RouteVec = std::vector<LinkId, sim::PoolAlloc<LinkId>>;
+/** Cursor value when the walk is exhausted. */
+inline constexpr LinkId kNoLink = -1;
 
-/** Abstract interconnect wiring + routing. */
+/** Fixed size of a RouteCursor's walk state, in 32-bit words.  Words
+ *  0..7 belong to the (innermost) topology; words 8..11 are reserved
+ *  for wrappers (Hierarchical) that embed an inner walk. */
+inline constexpr int kCursorWords = 12;
+
+class Topology;
+
+/**
+ * An in-progress analytic route walk: O(1) state, one link per
+ * next() call, kNoLink when the destination is reached.  Obtained
+ * from Topology::routeFrom(); cheap to copy, so a caller that needs
+ * several passes over the same route (Network::transfer does) simply
+ * restarts from a saved copy or calls routeFrom() again.
+ *
+ * The state words are private to the owning topology's stepRoute();
+ * nothing outside a Topology implementation interprets them.
+ */
+class RouteCursor
+{
+  public:
+    /** An exhausted cursor (next() returns kNoLink forever). */
+    RouteCursor() = default;
+
+    /** The next link on the route, or kNoLink when done. */
+    LinkId next();
+
+    /** True once the walk has emitted its last link. */
+    bool done() const { return topo_ == nullptr; }
+
+  private:
+    friend class Topology;
+
+    const Topology *topo_ = nullptr; //!< null = exhausted
+    /** topology-private walk state */
+    std::array<std::int32_t, kCursorWords> s{};
+};
+
+/** Abstract interconnect wiring + analytic routing. */
 class Topology
 {
   public:
@@ -50,16 +88,37 @@ class Topology
     /** Total directed links (valid LinkIds are [0, numLinks())). */
     virtual std::size_t numLinks() const = 0;
 
-    /**
-     * Append the directed links of the route from @p src to @p dst to
-     * @p out.  Routing is deterministic and minimal for the direct
-     * topologies.  src == dst yields an empty path.  Panics on
-     * out-of-range node ids.
-     */
-    virtual void route(int src, int dst, std::vector<LinkId> &out) const = 0;
-
     /** Human-readable name, e.g.\ "mesh2d 8x4". */
     virtual std::string name() const = 0;
+
+    /**
+     * Begin the deterministic route walk from @p src to @p dst.
+     * Routing is minimal for the direct topologies.  src == dst
+     * yields an exhausted cursor (empty path).  Panics on
+     * out-of-range node ids.
+     */
+    RouteCursor routeFrom(int src, int dst) const;
+
+    /**
+     * Visit every link of the @p src -> @p dst route in order:
+     * fn(LinkId).  The streaming analogue of the old
+     * route-into-vector API, for callers that want the whole path in
+     * one expression.
+     */
+    template <typename Fn>
+    void
+    forEachLink(int src, int dst, Fn &&fn) const
+    {
+        RouteCursor cur = routeFrom(src, dst);
+        for (LinkId l = cur.next(); l != kNoLink; l = cur.next())
+            fn(l);
+    }
+
+    /**
+     * Materialize a route into a plain vector — tests, debug dumps,
+     * and tooling only; simulation hot paths walk the cursor.
+     */
+    std::vector<LinkId> routeVector(int src, int dst) const;
 
     /** Number of hops (links) from src to dst. */
     int hops(int src, int dst) const;
@@ -67,18 +126,93 @@ class Topology
     /** Maximum hop count over all ordered pairs (brute force). */
     int diameter() const;
 
+    /**
+     * Physical class of a link, indexing NetworkParams overrides:
+     * 0 is the base inter-node wire; hierarchical topologies return
+     * 1 (intra-chip) / 2 (intra-node bus) for their local links.
+     * Uniform topologies keep the default.
+     */
+    virtual int linkClass(LinkId) const { return 0; }
+
+    /** Number of distinct link classes (1 = uniform wiring). */
+    virtual int numLinkClasses() const { return 1; }
+
   protected:
+    /**
+     * Initialize @p cur's state words for the src -> dst walk.  Node
+     * ids are already validated and src != dst.  Implementations that
+     * need no setup beyond endpoints can rely on the convention that
+     * s[0] = src and s[1] = dst are pre-loaded by routeFrom().
+     */
+    virtual void startRoute(RouteCursor &cur, int src, int dst) const = 0;
+
+    /**
+     * Emit the next link of @p cur's walk and advance its state, or
+     * return kNoLink when the destination has been reached.
+     */
+    virtual LinkId stepRoute(RouteCursor &cur) const = 0;
+
     /** Panic unless @p node is a valid node id. */
     void checkNode(int node) const;
+
+    /** A concrete topology's window into its cursors' walk state
+     *  (friendship is not inherited). */
+    static std::array<std::int32_t, kCursorWords> &
+    state(RouteCursor &cur)
+    {
+        return cur.s;
+    }
+
+    static const std::array<std::int32_t, kCursorWords> &
+    state(const RouteCursor &cur)
+    {
+        return cur.s;
+    }
+
+    /**
+     * Delegation shims for wrapper topologies (Hierarchical): start /
+     * advance another topology's walk inside this cursor's state
+     * words.  Static so the protected-through-sibling access rule
+     * does not get in the way.
+     */
+    static void
+    startRouteOf(const Topology &t, RouteCursor &cur, int src, int dst)
+    {
+        t.startRoute(cur, src, dst);
+    }
+
+    static LinkId
+    stepRouteOf(const Topology &t, RouteCursor &cur)
+    {
+        return t.stepRoute(cur);
+    }
+
+    friend class RouteCursor;
 };
 
+inline LinkId
+RouteCursor::next()
+{
+    if (!topo_)
+        return kNoLink;
+    LinkId l = topo_->stepRoute(*this);
+    if (l == kNoLink)
+        topo_ = nullptr;
+    return l;
+}
+
 /**
- * Pick near-square 2-D mesh dimensions (rows x cols) for @p p nodes.
- * p must be a power of two (the only machine sizes the paper uses).
+ * Pick near-square 2-D mesh dimensions (rows x cols) for any
+ * @p p >= 1: cols is the smallest divisor of p at or above sqrt(p),
+ * so the grid is as square as p's factorization allows, wider than
+ * tall (Paragon cabinets).  Power-of-two sizes keep their historical
+ * shapes (8 -> 2x4, 128 -> 8x16); a prime p degenerates to 1 x p.
  */
 std::pair<int, int> meshDimsFor(int p);
 
-/** Pick near-cubic 3-D torus dimensions for @p p (power of two). */
+/** Near-cubic 3-D torus dimensions for any @p p >= 1 (nx >= ny >= nz,
+ *  extra factors to x first; power-of-two sizes keep their historical
+ *  shapes, e.g.\ 128 -> 8x4x4). */
 std::array<int, 3> torusDimsFor(int p);
 
 } // namespace ccsim::net

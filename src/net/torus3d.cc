@@ -48,24 +48,37 @@ Torus3D::ringStep(int from, int to, int size)
 }
 
 void
-Torus3D::route(int src, int dst, std::vector<LinkId> &out) const
+Torus3D::startRoute(RouteCursor &cur, int src, int dst) const
 {
-    checkNode(src);
-    checkNode(dst);
-    auto c = coords(src);
-    auto d = coords(dst);
+    // Walk state: current coordinates in s[2..4], target in s[5..7].
+    auto &s = state(cur);
+    s[2] = src % nx_;
+    s[3] = (src / nx_) % ny_;
+    s[4] = src / (nx_ * ny_);
+    s[5] = dst % nx_;
+    s[6] = (dst / nx_) % ny_;
+    s[7] = dst / (nx_ * ny_);
+}
+
+LinkId
+Torus3D::stepRoute(RouteCursor &cur) const
+{
+    auto &s = state(cur);
     const int sizes[3] = {nx_, ny_, nz_};
-    const Dir pos[3] = {PosX, PosY, PosZ};
-    const Dir neg[3] = {NegX, NegY, NegZ};
+    static constexpr Dir pos[3] = {PosX, PosY, PosZ};
+    static constexpr Dir neg[3] = {NegX, NegY, NegZ};
 
     for (int dim = 0; dim < 3; ++dim) {
-        while (c[dim] != d[dim]) {
-            int step = ringStep(c[dim], d[dim], sizes[dim]);
-            int node = nodeAt(c[0], c[1], c[2]);
-            out.push_back(linkFrom(node, step > 0 ? pos[dim] : neg[dim]));
-            c[dim] = (c[dim] + step + sizes[dim]) % sizes[dim];
-        }
+        std::int32_t &c = s[2 + dim];
+        const int d = s[5 + dim];
+        if (c == d)
+            continue;
+        int step = ringStep(c, d, sizes[dim]);
+        int node = (s[4] * ny_ + s[3]) * nx_ + s[2];
+        c = (c + step + sizes[dim]) % sizes[dim];
+        return linkFrom(node, step > 0 ? pos[dim] : neg[dim]);
     }
+    return kNoLink;
 }
 
 std::string

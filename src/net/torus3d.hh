@@ -24,7 +24,6 @@ class Torus3D : public Topology
 
     int numNodes() const override { return nx_ * ny_ * nz_; }
     std::size_t numLinks() const override;
-    void route(int src, int dst, std::vector<LinkId> &out) const override;
     std::string name() const override;
 
     /** Torus coordinates of @p node as {x, y, z}. */
@@ -38,6 +37,10 @@ class Torus3D : public Topology
      * @p size (positive on ties).  Exposed for testing.
      */
     static int ringStep(int from, int to, int size);
+
+  protected:
+    void startRoute(RouteCursor &cur, int src, int dst) const override;
+    LinkId stepRoute(RouteCursor &cur) const override;
 
   private:
     // Six directed link slots per node: +/- in each dimension.

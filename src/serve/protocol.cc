@@ -111,6 +111,8 @@ parseRequest(const std::string &line)
             req.config_path = value;
         } else if (key == "selection") {
             req.selection = value;
+        } else if (key == "topo") {
+            req.topo = value;
         } else if (key == "op") {
             req.op = parseOp(value);
             saw_op = true;
@@ -198,6 +200,8 @@ formatRequest(const Request &req)
         out += " machine=" + req.machine;
     if (!req.selection.empty())
         out += " selection=" + req.selection;
+    if (!req.topo.empty())
+        out += " topo=" + req.topo;
     out += " op=" + machine::collKey(req.op);
     out += " p=" + std::to_string(req.p);
     out += " m=" + std::to_string(req.m);

@@ -11,8 +11,8 @@
  *
  *     predict machine=T3D op=alltoall p=64 m=65536
  *             [algo=auto] [selection=NAME|FILE] [config=FILE]
- *             [tier=auto|fast|exact] [wait=block|ticket]
- *             [deadline_ms=N]
+ *             [topo=SPEC] [tier=auto|fast|exact]
+ *             [wait=block|ticket] [deadline_ms=N]
  *     poll ticket=N
  *     metrics
  *     health
@@ -99,6 +99,7 @@ struct Request
     std::string machine = "T3D"; //!< preset name (ignored with config)
     std::string config_path;     //!< non-empty: machine config file
     std::string selection;       //!< selection table preset or file
+    std::string topo;            //!< non-empty: topology spec override
     machine::Coll op = machine::Coll::Alltoall;
     machine::Algo algo = machine::Algo::Auto;
     int p = 0;

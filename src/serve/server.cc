@@ -111,14 +111,15 @@ machine::ConfigHandle
 Server::resolveConfig(const Request &req)
 {
     const bool from_file = !req.config_path.empty();
-    if (req.selection.empty())
+    if (req.selection.empty() && req.topo.empty())
         return from_file
                    ? machine::sharedConfigFile(req.config_path)
                    : machine::sharedPreset(req.machine);
 
     std::string key = (from_file ? "file:" + req.config_path
                                  : "preset:" + loweredName(req.machine))
-                      + "|sel=" + req.selection;
+                      + "|sel=" + req.selection
+                      + "|topo=" + req.topo;
     std::lock_guard<std::mutex> lock(cfg_mu_);
     auto it = cfg_cache_.find(key);
     if (it != cfg_cache_.end())
@@ -127,7 +128,10 @@ Server::resolveConfig(const Request &req)
     machine::MachineConfig cfg =
         from_file ? *machine::sharedConfigFile(req.config_path)
                   : *machine::sharedPreset(req.machine);
-    tuning::attachSelection(cfg, req.selection);
+    if (!req.topo.empty())
+        cfg.topo_spec = req.topo;
+    if (!req.selection.empty())
+        tuning::attachSelection(cfg, req.selection);
     auto handle =
         std::make_shared<const machine::MachineConfig>(std::move(cfg));
     cfg_cache_.emplace(key, handle);

@@ -2,9 +2,9 @@
  * @file
  * ccsim::Error — the root of every exception the library raises.
  *
- * Each subsystem's typed exception (FatalError/PanicError here and
- * in util/logging.hh, fault::FaultError, replay::TraceError,
- * machine::ConfigError) derives from this base and carries:
+ * Each subsystem's typed exception (FatalError/PanicError/
+ * ConfigError here and in util/logging.hh, fault::FaultError,
+ * replay::TraceError) derives from this base and carries:
  *
  *  - component(): which layer raised it ("fault", "replay", ...);
  *  - exitCode():  the process exit status the CLI maps it to, so
@@ -80,6 +80,23 @@ struct FatalError : Error
     FatalError(std::string component, const std::string &message,
                int exit_code)
         : Error(std::move(component), message, exit_code)
+    {
+    }
+};
+
+/**
+ * A bad machine/topology configuration: unknown preset/key/
+ * algorithm/topology family, a malformed value or spec string, or an
+ * unreadable config file.  Derives from FatalError (a user error,
+ * catchable as one) but refines the component to "config" and the
+ * CLI exit code to kConfigExit.  Lives at the util layer so both the
+ * machine config loader and the net topology factory can raise it;
+ * machine::ConfigError is an alias (config_io.hh).
+ */
+struct ConfigError : FatalError
+{
+    explicit ConfigError(const std::string &message)
+        : FatalError("config", message, kConfigExit)
     {
     }
 };

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fat_tree.hh"
 #include "net/fully_connected.hh"
+#include "net/hierarchical.hh"
 #include "net/mesh2d.hh"
 #include "net/network.hh"
 #include "net/torus3d.hh"
@@ -14,14 +16,6 @@ namespace ccsim::net {
 namespace {
 
 using namespace time_literals;
-
-/** RouteVec is pool-backed; lift to a plain vector for EXPECT_EQ
- *  against what Topology::route fills. */
-std::vector<LinkId>
-plain(const RouteVec &r)
-{
-    return std::vector<LinkId>(r.begin(), r.end());
-}
 
 NetworkParams
 simpleParams()
@@ -198,79 +192,110 @@ TEST(Network, UtilizationClampsToHorizon)
     EXPECT_DOUBLE_EQ(u.max, 1.0); // clamped, not > 1
 }
 
-TEST(Network, RouteCacheMatchesFreshTopologyRoute)
-{
-    Network net(std::make_unique<Torus3D>(2, 2, 2), simpleParams());
-    Torus3D fresh(2, 2, 2);
-    for (int s = 0; s < 8; ++s) {
-        for (int d = 0; d < 8; ++d) {
-            if (s == d)
-                continue;
-            std::vector<LinkId> expect;
-            fresh.route(s, d, expect);
-            EXPECT_EQ(plain(net.cachedRoute(s, d)), expect)
-                << s << " -> " << d;
-            // Second lookup: a hit, same path.
-            EXPECT_EQ(plain(net.cachedRoute(s, d)), expect);
-        }
-    }
-    EXPECT_EQ(net.routeCacheMisses(), 8u * 7u);
-    EXPECT_EQ(net.routeCacheHits(), 8u * 7u);
-}
-
-TEST(Network, TransferPopulatesAndHitsRouteCache)
+TEST(Network, RouteWalkCountersAccumulateAndReset)
 {
     Network net(std::make_unique<Mesh2D>(2, 2), simpleParams());
-    EXPECT_EQ(net.routeCacheMisses(), 0u);
-    net.transfer(0, 3, 100, 0);
-    EXPECT_EQ(net.routeCacheMisses(), 1u);
-    EXPECT_EQ(net.routeCacheHits(), 0u);
-    net.transfer(0, 3, 100, 0);
-    net.transfer(0, 3, 100, 0);
-    EXPECT_EQ(net.routeCacheMisses(), 1u);
-    EXPECT_EQ(net.routeCacheHits(), 2u);
-    // A different pair is its own entry.
-    net.transfer(3, 0, 100, 0);
-    EXPECT_EQ(net.routeCacheMisses(), 2u);
+    EXPECT_EQ(net.routeWalks(), 0u);
+    EXPECT_EQ(net.routeHops(), 0u);
+    net.transfer(0, 3, 100, 0); // 2 hops
+    EXPECT_EQ(net.routeWalks(), 1u);
+    EXPECT_EQ(net.routeHops(), 2u);
+    net.transfer(0, 1, 100, 0); // 1 hop
+    net.transfer(0, 1, 100, 0);
+    EXPECT_EQ(net.routeWalks(), 3u);
+    EXPECT_EQ(net.routeHops(), 4u);
+    net.reset();
+    EXPECT_EQ(net.routeWalks(), 0u);
+    EXPECT_EQ(net.routeHops(), 0u);
 }
 
-TEST(Network, CachedTransferTimesEqualUncachedTimes)
+TEST(Network, RepeatedTransfersMatchFreshNetworkTimes)
 {
-    // The cache must not change any physics: compare against a second
-    // network whose cache is reset between transfers (forcing misses).
-    Network cached(std::make_unique<Torus3D>(2, 2, 2), simpleParams());
-    Network uncached(std::make_unique<Torus3D>(2, 2, 2),
-                     simpleParams());
+    // Analytic routing is stateless: the k-th enumeration of a pair's
+    // route must produce the same physics as the first.
+    Network a(std::make_unique<Torus3D>(2, 2, 2), simpleParams());
+    Network b(std::make_unique<Torus3D>(2, 2, 2), simpleParams());
     for (int rep = 0; rep < 3; ++rep) {
         for (int s = 0; s < 8; ++s) {
             int d = (s + 3) % 8;
-            Time a = cached.transfer(s, d, 4096, 0);
-            Time b = uncached.transfer(s, d, 4096, 0);
-            EXPECT_EQ(a, b);
+            EXPECT_EQ(a.transfer(s, d, 4096, 0),
+                      b.transfer(s, d, 4096, 0));
         }
     }
 }
 
-TEST(Network, ResetKeepsRouteCacheCoherent)
+TEST(Network, LinkBusyAccessorTracksSerialisation)
 {
-    Network net(std::make_unique<Mesh2D>(2, 4), simpleParams());
-    std::vector<LinkId> before = plain(net.cachedRoute(0, 7));
+    Network net(std::make_unique<Mesh2D>(1, 3), simpleParams());
+    net.transfer(0, 2, 1000, 0); // links 0->1->2, 10 us each
+    std::vector<LinkId> path = net.topology().routeVector(0, 2);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(net.linkBusy(path[0]), 10 * US);
+    EXPECT_EQ(net.linkBusy(path[1]), 10 * US);
+    int touched = 0;
+    net.forEachTouchedLink([&](LinkId, Time) { ++touched; });
+    EXPECT_GT(touched, 0);
     net.reset();
-    EXPECT_EQ(net.routeCacheHits(), 0u);
-    EXPECT_EQ(net.routeCacheMisses(), 0u);
-    // Refilled lazily, identical to a fresh Topology::route.
-    std::vector<LinkId> expect;
-    Mesh2D(2, 4).route(0, 7, expect);
-    EXPECT_EQ(plain(net.cachedRoute(0, 7)), before);
-    EXPECT_EQ(plain(net.cachedRoute(0, 7)), expect);
-    EXPECT_EQ(net.routeCacheMisses(), 1u);
+    EXPECT_EQ(net.linkBusy(path[0]), 0);
 }
 
-TEST(Network, CachedRouteSelfSendPanics)
+TEST(Network, ConstructionIsLazyAtExtremeScale)
+{
+    // The O(1)-memory guard: a million-rank fat tree must construct
+    // a Network without touching any occupancy page, and a transfer
+    // must materialize only the pages its route lands on.
+    auto ft = FatTree::balancedFor(1 << 20);
+    ASSERT_EQ(ft->numNodes(), 1 << 20);
+    Network net(std::move(ft), simpleParams());
+    Time t = net.transfer(0, (1 << 20) - 1, 4096, 0);
+    EXPECT_GT(t, 0);
+    int touched = 0;
+    net.forEachTouchedLink([&](LinkId, Time) { ++touched; });
+    // One route touches a bounded handful of 4096-entry pages, not
+    // the multi-million-link fabric.
+    EXPECT_LE(touched, 4096 * 8);
+    EXPECT_GT(net.routeHops(), 0u);
+}
+
+TEST(Network, LinkClassParamsGateHeterogeneousRoutes)
+{
+    // 2 nodes x 1 chip x 2 cores on a fully-connected wire.  The
+    // inter-node route is chip, bus, wire, bus, chip; making the bus
+    // (class 2) slower than the wire must slow the whole transfer.
+    auto topo = [] {
+        return std::make_unique<Hierarchical>(
+            std::make_unique<FullyConnected>(2), 1, 2);
+    };
+    Network base(topo(), simpleParams());
+    ASSERT_EQ(base.topology().numLinkClasses(), 3);
+    NetworkParams fast = simpleParams();
+    fast.link_bandwidth_mbs = 100000.0;
+    base.setLinkClassParams(1, fast);
+    base.setLinkClassParams(2, fast);
+    Time quick = base.transfer(0, 2, 100000, 0);
+
+    Network slow_bus(topo(), simpleParams());
+    NetworkParams slow = simpleParams();
+    slow.link_bandwidth_mbs = 10.0; // 10x slower than the wire
+    slow_bus.setLinkClassParams(1, fast);
+    slow_bus.setLinkClassParams(2, slow);
+    Time slowed = slow_bus.transfer(0, 2, 100000, 0);
+    EXPECT_GT(slowed, quick);
+
+    // Same-chip traffic never crosses the bus: unaffected.  Start
+    // well past the earlier transfers so link occupancy cannot skew
+    // the comparison.
+    Time far = 100 * MS;
+    EXPECT_EQ(base.transfer(0, 1, 100000, far),
+              slow_bus.transfer(0, 1, 100000, far));
+}
+
+TEST(Network, SetLinkClassParamsRejectsMissingClass)
 {
     throwOnError(true);
-    Network net(std::make_unique<Mesh2D>(1, 2), simpleParams());
-    EXPECT_THROW(net.cachedRoute(1, 1), PanicError);
+    Network net(std::make_unique<Mesh2D>(2, 2), simpleParams());
+    EXPECT_THROW(net.setLinkClassParams(1, simpleParams()),
+                 PanicError);
     throwOnError(false);
 }
 

@@ -259,6 +259,21 @@ TEST(ServeBackfill, CoalescesDuplicateKeysIntoOneSimulation)
     QueryCache cache;
     BackfillQueue queue(cache, 1);
 
+    // Keep the single worker busy on a slow point first so the two
+    // duplicate submissions below are both pending at once — without
+    // it, the tiny p=4 barrier can finish between the two submit()
+    // calls and there is nothing left to coalesce onto.
+    BackfillJob slow;
+    slow.cfg = machine::sharedPreset("T3D");
+    slow.p = 32;
+    slow.op = machine::Coll::Alltoall;
+    slow.m = 4096;
+    slow.algo = machine::Algo::Default;
+    slow.key = harness::measurePointKey(*slow.cfg, 32,
+                                        machine::Coll::Alltoall, 4096,
+                                        machine::Algo::Default);
+    std::uint64_t ts = queue.submit(slow);
+
     BackfillJob job;
     job.cfg = machine::sharedPreset("T3D");
     job.p = 4;
@@ -270,6 +285,7 @@ TEST(ServeBackfill, CoalescesDuplicateKeysIntoOneSimulation)
 
     std::uint64_t t1 = queue.submit(job);
     std::uint64_t t2 = queue.submit(job);
+    EXPECT_FALSE(queue.wait(ts).failed);
     BackfillResult r1 = queue.wait(t1);
     BackfillResult r2 = queue.wait(t2);
     EXPECT_FALSE(r1.failed);

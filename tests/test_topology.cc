@@ -1,10 +1,13 @@
-/** @file Unit + property tests for topologies and routing. */
+/** @file Unit + property tests for topologies and analytic routing. */
 
 #include <set>
 
 #include <gtest/gtest.h>
 
+#include "net/dragonfly.hh"
+#include "net/fat_tree.hh"
 #include "net/fully_connected.hh"
+#include "net/hierarchical.hh"
 #include "net/hypercube.hh"
 #include "net/mesh2d.hh"
 #include "net/omega.hh"
@@ -39,8 +42,7 @@ TEST(Mesh2D, XThenYRouting)
     // From (0,0) to (1,1): the route must pass through (0,1), i.e.
     // its first link must be an +x link of node 0.
     Mesh2D m(2, 2);
-    std::vector<LinkId> path;
-    m.route(0, 3, path);
+    std::vector<LinkId> path = m.routeVector(0, 3);
     ASSERT_EQ(path.size(), 2u);
     EXPECT_EQ(path[0], 0 * 4 + 0);    // node 0, PosX
     EXPECT_EQ(path[1], 1 * 4 + 2);    // node 1, PosY
@@ -55,9 +57,8 @@ TEST(Mesh2D, DiameterIsPerimeterPath)
 TEST(Mesh2D, OppositeRoutesUseDisjointLinks)
 {
     Mesh2D m(4, 4);
-    std::vector<LinkId> ab, ba;
-    m.route(0, 15, ab);
-    m.route(15, 0, ba);
+    std::vector<LinkId> ab = m.routeVector(0, 15);
+    std::vector<LinkId> ba = m.routeVector(15, 0);
     std::set<LinkId> sa(ab.begin(), ab.end());
     for (LinkId l : ba)
         EXPECT_EQ(sa.count(l), 0u) << "full-duplex links must differ";
@@ -75,10 +76,39 @@ TEST(Mesh2D, OutOfRangeNodePanics)
 {
     throwOnError(true);
     Mesh2D m(2, 2);
-    std::vector<LinkId> path;
-    EXPECT_THROW(m.route(0, 4, path), PanicError);
-    EXPECT_THROW(m.route(-1, 0, path), PanicError);
+    EXPECT_THROW(m.routeFrom(0, 4), PanicError);
+    EXPECT_THROW(m.routeFrom(-1, 0), PanicError);
     throwOnError(false);
+}
+
+TEST(RouteCursor, DefaultIsExhaustedAndSelfRouteIsEmpty)
+{
+    RouteCursor fresh;
+    EXPECT_TRUE(fresh.done());
+    EXPECT_EQ(fresh.next(), kNoLink);
+
+    Mesh2D m(4, 4);
+    RouteCursor self = m.routeFrom(5, 5);
+    EXPECT_TRUE(self.done());
+    EXPECT_EQ(self.next(), kNoLink);
+}
+
+TEST(RouteCursor, CopyRestartsIndependently)
+{
+    // A saved copy replays the remainder of the walk even after the
+    // original is exhausted — this is what lets Network::transfer
+    // make several passes over one route.
+    Mesh2D m(4, 4);
+    RouteCursor a = m.routeFrom(0, 15);
+    RouteCursor saved = a;
+    std::vector<LinkId> first, second;
+    for (LinkId l = a.next(); l != kNoLink; l = a.next())
+        first.push_back(l);
+    EXPECT_TRUE(a.done());
+    for (LinkId l = saved.next(); l != kNoLink; l = saved.next())
+        second.push_back(l);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first, m.routeVector(0, 15));
 }
 
 TEST(Torus3D, CoordsRoundTrip)
@@ -150,24 +180,21 @@ TEST(Omega, PortsCoverNodes)
 TEST(Omega, RouteLengthIsStagesPlusInjection)
 {
     Omega o(64, 4);
-    std::vector<LinkId> path;
-    o.route(5, 44, path);
-    EXPECT_EQ(path.size(), static_cast<size_t>(o.stages()) + 1);
+    EXPECT_EQ(o.routeVector(5, 44).size(),
+              static_cast<size_t>(o.stages()) + 1);
 }
 
 TEST(Omega, AllPairsRouteToDestination)
 {
-    // route() panics internally if the digit steering fails, so just
+    // The walk panics internally if the digit steering fails, so just
     // exercising every pair is a real property check.
     for (int radix : {2, 4}) {
         Omega o(32, radix);
-        std::vector<LinkId> path;
         for (int s = 0; s < 32; ++s) {
             for (int d = 0; d < 32; ++d) {
                 if (s == d)
                     continue;
-                path.clear();
-                o.route(s, d, path);
+                std::vector<LinkId> path = o.routeVector(s, d);
                 ASSERT_EQ(path.size(),
                           static_cast<size_t>(o.stages()) + 1);
                 for (LinkId l : path)
@@ -180,27 +207,19 @@ TEST(Omega, AllPairsRouteToDestination)
 TEST(Omega, DistinctDestinationsUseDistinctEjectionWires)
 {
     Omega o(16, 2);
-    std::vector<LinkId> p1, p2;
-    o.route(3, 7, p1);
-    o.route(3, 8, p2);
-    EXPECT_NE(p1.back(), p2.back());
+    EXPECT_NE(o.routeVector(3, 7).back(), o.routeVector(3, 8).back());
 }
 
 TEST(Omega, SameDestinationSharesEjectionWire)
 {
     Omega o(16, 2);
-    std::vector<LinkId> p1, p2;
-    o.route(3, 7, p1);
-    o.route(12, 7, p2);
-    EXPECT_EQ(p1.back(), p2.back());
+    EXPECT_EQ(o.routeVector(3, 7).back(), o.routeVector(12, 7).back());
 }
 
 TEST(Omega, SelfRouteIsEmpty)
 {
     Omega o(16, 2);
-    std::vector<LinkId> p;
-    o.route(5, 5, p);
-    EXPECT_TRUE(p.empty());
+    EXPECT_TRUE(o.routeVector(5, 5).empty());
 }
 
 TEST(Hypercube, DimensionsAndLinks)
@@ -225,8 +244,7 @@ TEST(Hypercube, HopsAreHammingDistance)
 TEST(Hypercube, EcubeRoutingCorrectsLowBitsFirst)
 {
     Hypercube h(8);
-    std::vector<LinkId> path;
-    h.route(0, 6, path); // 000 -> 110: dims 1 then 2
+    std::vector<LinkId> path = h.routeVector(0, 6); // 000 -> 110
     ASSERT_EQ(path.size(), 2u);
     EXPECT_EQ(path[0], 0 * 3 + 1); // node 0, dim 1
     EXPECT_EQ(path[1], 2 * 3 + 2); // node 2, dim 2
@@ -235,12 +253,9 @@ TEST(Hypercube, EcubeRoutingCorrectsLowBitsFirst)
 TEST(Hypercube, AllPairsRoutesAreMinimal)
 {
     Hypercube h(32);
-    std::vector<LinkId> path;
     for (int s = 0; s < 32; ++s) {
         for (int d = 0; d < 32; ++d) {
-            path.clear();
-            h.route(s, d, path);
-            ASSERT_EQ(path.size(),
+            ASSERT_EQ(h.routeVector(s, d).size(),
                       static_cast<size_t>(__builtin_popcount(
                           static_cast<unsigned>(s ^ d))));
         }
@@ -266,16 +281,209 @@ TEST(FullyConnected, AllPairsDisjointLinks)
 {
     FullyConnected f(8);
     std::set<LinkId> seen;
-    std::vector<LinkId> p;
     for (int s = 0; s < 8; ++s) {
         for (int d = 0; d < 8; ++d) {
             if (s == d)
                 continue;
-            p.clear();
-            f.route(s, d, p);
+            std::vector<LinkId> p = f.routeVector(s, d);
             ASSERT_EQ(p.size(), 1u);
             EXPECT_TRUE(seen.insert(p[0]).second)
                 << "pair " << s << "->" << d << " reuses a link";
+        }
+    }
+}
+
+TEST(FatTree, ShapeCounts)
+{
+    // XGFT(2; 4,4; 1,2): 16 nodes, 4 leaf switches, 2 roots.
+    FatTree ft({4, 4}, {1, 2});
+    EXPECT_EQ(ft.numNodes(), 16);
+    EXPECT_EQ(ft.levels(), 2);
+    EXPECT_EQ(ft.switchesAt(1), 4);
+    EXPECT_EQ(ft.switchesAt(2), 2);
+    // Tier 1: 16 up + 16 down; tier 2: 8 up + 8 down.
+    EXPECT_EQ(ft.numLinks(), 48u);
+}
+
+TEST(FatTree, RouteLengthIsTwiceCommonLevel)
+{
+    FatTree ft({4, 4}, {1, 2});
+    for (int s = 0; s < 16; ++s) {
+        for (int d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            const int m = ft.commonLevel(s, d);
+            ASSERT_EQ(ft.hops(s, d), 2 * m) << s << "->" << d;
+            // Same leaf switch iff same block of 4.
+            EXPECT_EQ(m, s / 4 == d / 4 ? 1 : 2);
+        }
+    }
+}
+
+TEST(FatTree, AllPairsRoutesValidAndMirrorSymmetric)
+{
+    // The down-path to d is unique, so the last link of every route
+    // to d from outside its leaf block is the same (traffic to one
+    // node converges); link ids stay in range throughout.
+    FatTree ft({2, 2, 2}, {1, 2, 2});
+    ASSERT_EQ(ft.numNodes(), 8);
+    for (int s = 0; s < 8; ++s) {
+        for (int d = 0; d < 8; ++d) {
+            if (s == d)
+                continue;
+            std::vector<LinkId> p = ft.routeVector(s, d);
+            ASSERT_EQ(p.size(),
+                      2 * static_cast<size_t>(ft.commonLevel(s, d)));
+            for (LinkId l : p)
+                ASSERT_LT(static_cast<std::size_t>(l), ft.numLinks());
+        }
+    }
+}
+
+TEST(FatTree, DmodKSpreadsUplinksByDestination)
+{
+    // With 2 root switches the tier-2 up-digit is dst mod 2 (U_1 is
+    // 1), so destinations of different parity must use different
+    // tier-2 up-links from the same source: that is the D-mod-k
+    // load-spreading property.
+    FatTree ft({4, 4}, {1, 2});
+    std::vector<LinkId> to4 = ft.routeVector(0, 4);
+    std::vector<LinkId> to5 = ft.routeVector(0, 5);
+    ASSERT_EQ(to4.size(), 4u);
+    ASSERT_EQ(to5.size(), 4u);
+    EXPECT_EQ(to4[0], to5[0]);  // same leaf up-link (u_1 = 1)
+    EXPECT_NE(to4[1], to5[1]);  // different root switch
+}
+
+TEST(FatTree, BalancedForMatchesNodeCountAndRoutes)
+{
+    for (int p : {1, 2, 6, 16, 24, 64, 97, 100}) {
+        auto ft = FatTree::balancedFor(p);
+        ASSERT_EQ(ft->numNodes(), p) << "p=" << p;
+        for (int s = 0; s < p; ++s) {
+            for (int d = 0; d < p; ++d) {
+                if (s != d) {
+                    ASSERT_GT(ft->hops(s, d), 0);
+                }
+            }
+        }
+    }
+}
+
+TEST(Dragonfly, ShapeCounts)
+{
+    Dragonfly df(4, 2, 2);
+    EXPECT_EQ(df.numNodes(), 16);
+    // 16 injection + 16 ejection + 4 groups * 2 local (r(r-1)) +
+    // 4*3 global.
+    EXPECT_EQ(df.numLinks(), 16u + 16u + 8u + 12u);
+}
+
+TEST(Dragonfly, MinimalRouteShapes)
+{
+    Dragonfly df(4, 2, 2);
+    // Same router, different slot: inject + eject.
+    EXPECT_EQ(df.hops(0, 1), 2);
+    // Same group, different router: inject + local + eject.
+    EXPECT_EQ(df.hops(0, 2), 3);
+    // Remote group: at most inject + local + global + local + eject.
+    for (int s = 0; s < 16; ++s)
+        for (int d = 0; d < 16; ++d)
+            if (s != d) {
+                int h = df.hops(s, d);
+                ASSERT_GE(h, 2);
+                ASSERT_LE(h, 5);
+            }
+    EXPECT_LE(df.diameter(), 5);
+}
+
+TEST(Dragonfly, GlobalLinkSharedByGroupPair)
+{
+    // Every route from group 0 to group 2 crosses the same global
+    // link regardless of endpoints (minimal routing, one link per
+    // ordered group pair).
+    Dragonfly df(4, 2, 2);
+    auto globalOf = [&](int s, int d) {
+        for (LinkId l : df.routeVector(s, d))
+            if (static_cast<std::size_t>(l) >= 40u) // global base
+                return l;
+        return kNoLink;
+    };
+    LinkId g = globalOf(0, 8);
+    EXPECT_NE(g, kNoLink);
+    for (int s = 0; s < 4; ++s)
+        for (int d = 8; d < 12; ++d)
+            EXPECT_EQ(globalOf(s, d), g);
+}
+
+TEST(Dragonfly, AllPairsLinksInRange)
+{
+    Dragonfly df(6, 3, 2);
+    for (int s = 0; s < df.numNodes(); ++s)
+        for (int d = 0; d < df.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            for (LinkId l : df.routeVector(s, d))
+                ASSERT_LT(static_cast<std::size_t>(l), df.numLinks());
+        }
+}
+
+TEST(Hierarchical, CountsAndClasses)
+{
+    // 2x2 mesh of nodes, 2 chips x 2 cores each: 16 ranks.
+    auto h = Hierarchical(std::make_unique<Mesh2D>(2, 2), 2, 2);
+    EXPECT_EQ(h.numNodes(), 16);
+    EXPECT_EQ(h.numLinkClasses(), 3);
+    const std::size_t inner_links = Mesh2D(2, 2).numLinks();
+    EXPECT_EQ(h.numLinks(), inner_links + 8u + 4u);
+    // Class boundaries: inner wires, then 8 chip links, 4 node buses.
+    EXPECT_EQ(h.linkClass(0), 0);
+    EXPECT_EQ(h.linkClass(static_cast<LinkId>(inner_links)), 1);
+    EXPECT_EQ(h.linkClass(static_cast<LinkId>(inner_links + 8)), 2);
+}
+
+TEST(Hierarchical, RouteShapesByLocality)
+{
+    auto h = Hierarchical(std::make_unique<Mesh2D>(2, 2), 2, 2);
+    // Ranks 0,1 share a chip: one chip-local link.
+    std::vector<LinkId> same_chip = h.routeVector(0, 1);
+    ASSERT_EQ(same_chip.size(), 1u);
+    EXPECT_EQ(h.linkClass(same_chip[0]), 1);
+    // Ranks 0,2 share a node, different chips: chip, bus, chip.
+    std::vector<LinkId> same_node = h.routeVector(0, 2);
+    ASSERT_EQ(same_node.size(), 3u);
+    EXPECT_EQ(h.linkClass(same_node[0]), 1);
+    EXPECT_EQ(h.linkClass(same_node[1]), 2);
+    EXPECT_EQ(h.linkClass(same_node[2]), 1);
+    // Ranks 0,4 are on adjacent nodes: chip, bus, wire(s), bus, chip.
+    std::vector<LinkId> remote = h.routeVector(0, 4);
+    std::vector<LinkId> inner = Mesh2D(2, 2).routeVector(0, 1);
+    ASSERT_EQ(remote.size(), 4u + inner.size());
+    EXPECT_EQ(h.linkClass(remote[0]), 1);
+    EXPECT_EQ(h.linkClass(remote[1]), 2);
+    for (std::size_t i = 0; i < inner.size(); ++i) {
+        EXPECT_EQ(remote[2 + i], inner[i]) << "inner walk embedded";
+        EXPECT_EQ(h.linkClass(remote[2 + i]), 0);
+    }
+    EXPECT_EQ(h.linkClass(remote[remote.size() - 2]), 2);
+    EXPECT_EQ(h.linkClass(remote.back()), 1);
+}
+
+TEST(Hierarchical, WrapsAnyInnerTopology)
+{
+    for (int chips : {1, 2}) {
+        for (int cores : {1, 3}) {
+            auto h = Hierarchical(std::make_unique<Torus3D>(2, 2, 2),
+                                  chips, cores);
+            ASSERT_EQ(h.numNodes(), 8 * chips * cores);
+            for (int s = 0; s < h.numNodes(); ++s)
+                for (int d = 0; d < h.numNodes(); ++d) {
+                    if (s == d)
+                        continue;
+                    for (LinkId l : h.routeVector(s, d))
+                        ASSERT_LT(static_cast<std::size_t>(l),
+                                  h.numLinks());
+                }
         }
     }
 }
@@ -297,21 +505,39 @@ TEST(TopologyDims, TorusDimsForPowersOfTwo)
     EXPECT_EQ(torusDimsFor(16), (std::array<int, 3>{4, 2, 2}));
 }
 
-TEST(TopologyDims, NonPowerOfTwoFatal)
+TEST(TopologyDims, ArbitrarySizesSupported)
+{
+    // The dims helpers used to reject non-powers-of-two; they now
+    // factor any p (near-square / near-cubic, degenerating for
+    // primes).
+    EXPECT_EQ(meshDimsFor(24), (std::pair<int, int>{4, 6}));
+    EXPECT_EQ(meshDimsFor(12), (std::pair<int, int>{3, 4}));
+    EXPECT_EQ(meshDimsFor(7), (std::pair<int, int>{1, 7}));
+    EXPECT_EQ(meshDimsFor(1), (std::pair<int, int>{1, 1}));
+    EXPECT_EQ(torusDimsFor(24), (std::array<int, 3>{4, 3, 2}));
+    EXPECT_EQ(torusDimsFor(7), (std::array<int, 3>{7, 1, 1}));
+    EXPECT_EQ(torusDimsFor(1), (std::array<int, 3>{1, 1, 1}));
+}
+
+TEST(TopologyDims, NonPositiveFatal)
 {
     throwOnError(true);
-    EXPECT_THROW(meshDimsFor(24), FatalError);
+    EXPECT_THROW(meshDimsFor(0), FatalError);
     EXPECT_THROW(torusDimsFor(0), FatalError);
+    EXPECT_THROW(meshDimsFor(-8), FatalError);
     throwOnError(false);
 }
 
-TEST(TopologyDims, ProductMatches)
+TEST(TopologyDims, ProductMatchesForAllSmallSizes)
 {
-    for (int p : {2, 4, 8, 16, 32, 64, 128}) {
+    for (int p = 1; p <= 200; ++p) {
         auto [r, c] = meshDimsFor(p);
-        EXPECT_EQ(r * c, p);
+        ASSERT_EQ(r * c, p) << "mesh p=" << p;
+        ASSERT_LE(r, c) << "mesh wider than tall, p=" << p;
         auto t = torusDimsFor(p);
-        EXPECT_EQ(t[0] * t[1] * t[2], p);
+        ASSERT_EQ(t[0] * t[1] * t[2], p) << "torus p=" << p;
+        ASSERT_GE(t[0], t[1]) << "torus p=" << p;
+        ASSERT_GE(t[1], t[2]) << "torus p=" << p;
     }
 }
 

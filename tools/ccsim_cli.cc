@@ -139,6 +139,8 @@ addMachineOpts(cli::Options &o)
     o.value("machine", "machine preset (SP2, T3D, Paragon, Ideal)",
             "NAME");
     o.value("config", "load machine from a config file instead", "FILE");
+    o.value("topo", "topology spec, e.g. 'fattree:2;4,4;1,2' or "
+                    "'hier:2x4/dragonfly'", "SPEC");
     o.value("faults", "fault spec, e.g. 'drop=0.01,seed=7'", "SPEC");
 }
 
@@ -164,6 +166,8 @@ resolveMachine(const cli::Options &o, const std::string &fallback = "T3D")
         o.has("config") ? machine::loadConfigFile(o.get("config"))
                         : machine::presetByName(
                               o.get("machine", fallback));
+    if (o.has("topo"))
+        cfg.topo_spec = o.get("topo");
     if (o.has("faults"))
         cfg.fault = fault::parseFaultSpec(o.get("faults"));
     // Only subcommands that declared the selection pair can carry
@@ -1005,6 +1009,7 @@ cmdQuery(int argc, char **argv)
             "NAME");
     o.value("config", "machine config file (daemon-side path)",
             "FILE");
+    o.value("topo", "topology spec forwarded to the daemon", "SPEC");
     addPointOpts(o);
     o.value("tier", "auto | fast | exact (default auto)", "T");
     o.flag("ticket", "exact tier: return a ticket instead of blocking");
@@ -1037,6 +1042,7 @@ cmdQuery(int argc, char **argv)
         req.machine = o.get("machine", "T3D");
         req.config_path = o.get("config");
         req.selection = o.get("selection");
+        req.topo = o.get("topo");
         req.op = resolveOp(o);
         req.algo = resolveAlgo(o);
         req.p = static_cast<int>(o.getInt("p", 32));
